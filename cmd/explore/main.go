@@ -1,0 +1,194 @@
+// Command explore exhaustively enumerates the optimization phase order
+// space of the benchmark functions and prints the per-function search
+// statistics of Table 3.
+//
+// Usage:
+//
+//	explore [flags]
+//
+//	-bench name     restrict to one benchmark (default: all six)
+//	-func name      restrict to one function
+//	-cap n          per-level sequence cap (paper: 1000000)
+//	-maxnodes n     abort a function beyond n distinct instances
+//	-timeout d      per-function wall-clock budget (0 = none)
+//	-verify         differentially execute every instance (slow)
+//	-phases         print the Table 1 phase catalog and exit
+//	-list           print the Table 2 benchmark list and exit
+//	-levels         also print instances per level (Figure 4 view)
+//	-speed          best-performing leaf via CF-class inference (Sec. 7)
+//	-save dir       persist each space for phasestats -load / spacedot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/mibench"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "restrict to one benchmark")
+		funcName  = flag.String("func", "", "restrict to one function")
+		levelCap  = flag.Int("cap", 1_000_000, "per-level sequence cap")
+		maxNodes  = flag.Int("maxnodes", 0, "abort beyond this many distinct instances (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "per-function time budget (0 = none)")
+		verify    = flag.Bool("verify", false, "differentially execute every enumerated instance")
+		phases    = flag.Bool("phases", false, "print the phase catalog (Table 1) and exit")
+		list      = flag.Bool("list", false, "print the benchmark list (Table 2) and exit")
+		levels    = flag.Bool("levels", false, "print instances per level for each function")
+		speed     = flag.Bool("speed", false, "find the best-performing leaf instance via control-flow-class inference (Section 7)")
+		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
+	)
+	flag.Parse()
+
+	if *phases {
+		fmt.Println("Candidate optimization phases (Table 1):")
+		for _, p := range opt.All() {
+			req := "any order"
+			switch p.ID() {
+			case 'o':
+				req = "only before register assignment"
+			case 'k':
+				req = "only after instruction selection"
+			case 'g', 'l':
+				req = "only after register allocation"
+			}
+			fmt.Printf("  %c  %-34s (%s)\n", p.ID(), p.Name(), req)
+		}
+		return
+	}
+	if *list {
+		fmt.Println("Benchmarks (Table 2):")
+		for _, p := range mibench.All() {
+			fmt.Printf("  %-10s %-12s %s\n", p.Category, p.Name, p.Description)
+		}
+		return
+	}
+
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(search.TableHeader())
+	totalStart := time.Now()
+	done := 0
+	aborted := 0
+	for _, tf := range funcs {
+		if *benchName != "" && tf.Bench != *benchName {
+			continue
+		}
+		if *funcName != "" && tf.Func.Name != *funcName {
+			continue
+		}
+		opts := search.Options{
+			MaxSeqPerLevel: *levelCap,
+			MaxNodes:       *maxNodes,
+			Timeout:        *timeout,
+		}
+		if *verify {
+			opts.Verifier = makeVerifier(tf)
+		}
+		r := search.Run(tf.Func, opts)
+		st := search.ComputeStats(r)
+		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
+		fmt.Printf("%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
+		if *saveDir != "" && !r.Aborted {
+			path := filepath.Join(*saveDir, fmt.Sprintf("%s.%s.space.gz", tf.Bench, tf.Func.Name))
+			if err := r.SaveFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if r.Aborted {
+			aborted++
+		} else {
+			done++
+		}
+		if *levels && !r.Aborted {
+			fmt.Printf("    per-level instances: %v\n", search.NodesPerLevel(r))
+		}
+		if *speed && !r.Aborted {
+			p, err := mibench.ByName(tf.Bench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			best, all, executions, err := r.BestDynamicCount(tf.Prog, p.Driver, p.DriverArgs)
+			if err != nil {
+				fmt.Printf("    speed: %v\n", err)
+				continue
+			}
+			var worst int64
+			for _, e := range all {
+				if e.Instrs > worst {
+					worst = e.Instrs
+				}
+			}
+			fmt.Printf("    speed: best leaf %d dyn-instrs (seq %q), worst %d (+%.1f%%); %d leaves inferred from %d executions\n",
+				best.Instrs, best.Node.Seq, worst,
+				100*float64(worst-best.Instrs)/float64(max64(best.Instrs, 1)),
+				len(all), executions)
+		}
+	}
+	fmt.Printf("\n%d of %d functions enumerated completely (%.1f%%) in %s\n",
+		done, done+aborted, 100*float64(done)/float64(done+aborted),
+		time.Since(totalStart).Round(time.Millisecond))
+}
+
+// makeVerifier returns a function that checks an instance behaves like
+// the unoptimized program on the benchmark driver.
+func makeVerifier(tf mibench.TaggedFunc) func(*rtl.Func) error {
+	p, err := mibench.ByName(tf.Bench)
+	if err != nil {
+		panic(err)
+	}
+	ref, err := interp.Run(tf.Prog, p.Driver, p.DriverArgs...)
+	if err != nil {
+		panic(fmt.Sprintf("reference run failed: %v", err))
+	}
+	return func(f *rtl.Func) error {
+		mod := tf.Prog.Clone()
+		for i, fn := range mod.Funcs {
+			if fn.Name == f.Name {
+				mod.Funcs[i] = f
+			}
+		}
+		got, err := interp.Run(mod, p.Driver, p.DriverArgs...)
+		if err != nil {
+			return err
+		}
+		if got.Ret != ref.Ret || len(got.Trace) != len(ref.Trace) {
+			return fmt.Errorf("behaviour diverged (ret %d vs %d)", got.Ret, ref.Ret)
+		}
+		for i := range ref.Trace {
+			if got.Trace[i] != ref.Trace[i] {
+				return fmt.Errorf("trace diverged at %d", i)
+			}
+		}
+		return nil
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Command phasestats enumerates the phase order spaces of the
+// benchmark suite and prints the optimization phase interaction
+// statistics of Section 5: the enabling probabilities (Table 4), the
+// disabling probabilities (Table 5) and the independence relationships
+// (Table 6). With -out it also writes the probability tables to a JSON
+// file that cmd/probcc feeds to the probabilistic batch compiler.
+//
+// Usage:
+//
+//	phasestats [-maxnodes n] [-timeout d] [-enable] [-disable] [-indep] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/mibench"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		maxNodes = flag.Int("maxnodes", 20000, "per-function instance cap for the mining searches")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-function search budget")
+		enable   = flag.Bool("enable", false, "print only the enabling table")
+		disable  = flag.Bool("disable", false, "print only the disabling table")
+		indep    = flag.Bool("indep", false, "print only the independence table")
+		out      = flag.String("out", "", "write probability tables to this JSON file")
+		loadDir  = flag.String("load", "", "analyze saved spaces from this directory (explore -save) instead of re-enumerating")
+	)
+	flag.Parse()
+	all := !*enable && !*disable && !*indep
+
+	x := analysis.NewInteractions()
+	mined, skipped := 0, 0
+	start := time.Now()
+	if *loadDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*loadDir, "*.space.gz"))
+		if err != nil || len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "no saved spaces in %s\n", *loadDir)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			r, err := search.LoadFile(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			x.Accumulate(r)
+			mined++
+		}
+	} else {
+		funcs, err := mibench.AllFunctions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, tf := range funcs {
+			r := search.Run(tf.Func, search.Options{
+				MaxNodes: *maxNodes,
+				Timeout:  *timeout,
+			})
+			if r.Aborted {
+				skipped++
+				continue
+			}
+			x.Accumulate(r)
+			mined++
+		}
+	}
+	fmt.Printf("mined %d function spaces (%d exceeded caps) in %s\n\n",
+		mined, skipped, time.Since(start).Round(time.Millisecond))
+
+	if all || *enable {
+		fmt.Println(analysis.FormatTable(
+			"Table 4: probability of each phase (row) being ENABLED by another phase (column)",
+			x.Enabling(), x.StartProbabilities(), 0.005, 0))
+	}
+	if all || *disable {
+		fmt.Println(analysis.FormatTable(
+			"Table 5: probability of each phase (row) being DISABLED by another phase (column)",
+			x.Disabling(), nil, 0.005, 0))
+	}
+	if all || *indep {
+		fmt.Println(analysis.FormatTable(
+			"Table 6: probability of each phase pair being INDEPENDENT (blank > 0.995)",
+			x.Independence(), nil, 0.005, 0.995))
+	}
+
+	if *out != "" {
+		if err := driver.SaveProbabilities(*out, driver.FromInteractions(x)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("probability tables written to %s\n", *out)
+	}
+}

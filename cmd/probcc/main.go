@@ -1,0 +1,115 @@
+// Command probcc reproduces Table 7: it compiles every benchmark
+// function with the old batch compiler and with the probabilistic
+// batch compiler of Figure 8, then compares attempted phases, active
+// phases, compilation time, code size and whole-program dynamic
+// instruction counts.
+//
+// The probabilistic compiler needs the enabling/disabling statistics;
+// pass a file produced by "phasestats -out" with -probs, or let probcc
+// mine them first (the default, bounded by -minenodes/-minetimeout).
+//
+// Usage:
+//
+//	probcc [-probs file] [-minenodes n] [-minetimeout d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mibench"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		probsPath   = flag.String("probs", "", "probability tables JSON (from phasestats -out)")
+		mineNodes   = flag.Int("minenodes", 10000, "per-function instance cap when mining probabilities")
+		mineTimeout = flag.Duration("minetimeout", 20*time.Second, "per-function search budget when mining")
+	)
+	flag.Parse()
+
+	var probs *driver.Probabilities
+	if *probsPath != "" {
+		p, err := driver.LoadProbabilities(*probsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		probs = p
+	} else {
+		fmt.Println("mining enabling/disabling probabilities from the corpus...")
+		funcs, err := mibench.AllFunctions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		x := analysis.NewInteractions()
+		for _, tf := range funcs {
+			r := search.Run(tf.Func, search.Options{MaxNodes: *mineNodes, Timeout: *mineTimeout})
+			if !r.Aborted {
+				x.Accumulate(r)
+			}
+		}
+		probs = driver.FromInteractions(x)
+	}
+
+	d := machine.StrongARM()
+	fmt.Println()
+	fmt.Println(driver.TableHeader())
+	var (
+		sumOldAtt, sumOldAct, sumProbAtt, sumProbAct int
+		sumOldTime, sumProbTime                      time.Duration
+		sumOldSize, sumProbSize                      int
+		rows                                         int
+	)
+	for _, p := range mibench.All() {
+		prog, err := p.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cmp, err := driver.CompareProgram(prog, p.Driver, p.DriverArgs, d, probs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		for _, r := range cmp.Rows {
+			r.Function = fmt.Sprintf("%s(%s)", r.Function, p.Name[:1])
+			fmt.Println(driver.FormatRow(r))
+			sumOldAtt += r.OldAttempted
+			sumOldAct += r.OldActive
+			sumProbAtt += r.ProbAttempted
+			sumProbAct += r.ProbActive
+			sumOldTime += r.OldTime
+			sumProbTime += r.ProbTime
+			sumOldSize += r.OldSize
+			sumProbSize += r.ProbSize
+			rows++
+		}
+		fmt.Printf("%-16s dynamic instructions: batch %d, probabilistic %d (ratio %.3f)\n",
+			"["+p.Name+"]", cmp.OldSteps, cmp.ProbSteps, cmp.SpeedRatio())
+	}
+	fmt.Println()
+	fmt.Printf("averages over %d functions:\n", rows)
+	fmt.Printf("  attempted phases: batch %.1f, probabilistic %.1f (ratio %.3f)\n",
+		avg(sumOldAtt, rows), avg(sumProbAtt, rows), float64(sumProbAtt)/float64(sumOldAtt))
+	fmt.Printf("  active phases:    batch %.1f, probabilistic %.1f\n",
+		avg(sumOldAct, rows), avg(sumProbAct, rows))
+	fmt.Printf("  compile time:     batch %s, probabilistic %s (ratio %.3f)\n",
+		sumOldTime.Round(time.Microsecond), sumProbTime.Round(time.Microsecond),
+		float64(sumProbTime)/float64(sumOldTime))
+	fmt.Printf("  code size ratio (prob/old): %.3f\n", float64(sumProbSize)/float64(sumOldSize))
+}
+
+func avg(total, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

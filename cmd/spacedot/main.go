@@ -1,0 +1,67 @@
+// Command spacedot renders a saved phase order space (explore -save)
+// as a Graphviz DOT graph — the pictures of Figures 4 and 7. Nodes are
+// labeled with instance code size (and weight with -weights); edges
+// with the phase that transforms one instance into the other.
+//
+// Usage:
+//
+//	spacedot [-weights] [-maxnodes n] file.space.gz > space.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/search"
+)
+
+func main() {
+	var (
+		weights  = flag.Bool("weights", false, "label nodes with Figure 7 weights")
+		maxNodes = flag.Int("maxnodes", 500, "refuse to render spaces larger than this")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spacedot [flags] file.space.gz")
+		os.Exit(2)
+	}
+	r, err := search.LoadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(r.Nodes) > *maxNodes {
+		fmt.Fprintf(os.Stderr, "space has %d nodes; raise -maxnodes to render it anyway\n", len(r.Nodes))
+		os.Exit(1)
+	}
+	var w []float64
+	if *weights {
+		w = analysis.Weights(r)
+	}
+
+	fmt.Printf("digraph %q {\n", r.FuncName)
+	fmt.Println("  rankdir=TB;")
+	fmt.Println("  node [shape=circle, fontsize=10];")
+	for _, n := range r.Nodes {
+		label := fmt.Sprintf("%d", n.NumInstrs)
+		if *weights {
+			label = fmt.Sprintf("%d\\nw=%.0f", n.NumInstrs, w[n.ID])
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if n.IsLeaf() {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		if n.ID == 0 {
+			attrs += ", shape=doublecircle"
+		}
+		fmt.Printf("  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range r.Nodes {
+		for _, e := range n.Edges {
+			fmt.Printf("  n%d -> n%d [label=\"%c\", fontsize=9];\n", n.ID, e.To, e.Phase)
+		}
+	}
+	fmt.Println("}")
+}

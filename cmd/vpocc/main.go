@@ -1,0 +1,127 @@
+// Command vpocc is the compiler driver: it compiles a mini-C source
+// file to RTL and optimizes it, either with the batch compiler's fixed
+// phase order or with an explicit phase sequence, then prints the
+// resulting RTL (and optionally runs the program).
+//
+// Usage:
+//
+//	vpocc [flags] file.c
+//
+//	-seq letters   apply exactly this phase sequence (Table 1 IDs,
+//	               e.g. "sckshl"); default is the batch compiler
+//	-O0            print the unoptimized RTL
+//	-func name     restrict output to one function
+//	-run entry     execute the named function after compilation
+//	-args a,b,c    integer arguments for -run
+//	-time          print per-function compile statistics
+//	-rtl           treat the input as textual RTL (one function in the
+//	               paper's notation) instead of mini-C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+func main() {
+	var (
+		seq      = flag.String("seq", "", "explicit phase sequence (Table 1 IDs)")
+		noOpt    = flag.Bool("O0", false, "print unoptimized RTL")
+		funcName = flag.String("func", "", "restrict output to one function")
+		runEntry = flag.String("run", "", "execute this function after compiling")
+		runArgs  = flag.String("args", "", "comma-separated integer arguments for -run")
+		showTime = flag.Bool("time", false, "print per-function compile statistics")
+		rtlIn    = flag.Bool("rtl", false, "input is textual RTL, not mini-C")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpocc [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var prog *rtl.Program
+	if *rtlIn {
+		f, err := rtl.ParseFunc(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = &rtl.Program{Funcs: []*rtl.Func{f}}
+	} else {
+		p, err := mc.Compile(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = p
+	}
+
+	d := machine.StrongARM()
+	if !*noOpt {
+		for _, f := range prog.Funcs {
+			if *seq != "" {
+				st := opt.State{}
+				for i := 0; i < len(*seq); i++ {
+					p := opt.ByID((*seq)[i])
+					if p == nil {
+						fmt.Fprintf(os.Stderr, "unknown phase %q (see explore -phases)\n", (*seq)[i])
+						os.Exit(2)
+					}
+					opt.Attempt(f, &st, p, d)
+				}
+				opt.FixEntryExit(f)
+				continue
+			}
+			res := driver.Batch(f, d)
+			if *showTime {
+				fmt.Fprintf(os.Stderr, "%s: attempted %d, active %d (%s), %s\n",
+					f.Name, res.Attempted, res.Active, res.Seq, res.Elapsed)
+			}
+		}
+	}
+
+	for _, f := range prog.Funcs {
+		if *funcName != "" && f.Name != *funcName {
+			continue
+		}
+		fmt.Print(f.String())
+		fmt.Println()
+	}
+
+	if *runEntry != "" {
+		var args []int32
+		if *runArgs != "" {
+			for _, s := range strings.Split(*runArgs, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				args = append(args, int32(v))
+			}
+		}
+		res, err := interp.Run(prog, *runEntry, args...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s(%v) = %d   [%d instructions executed]\n", *runEntry, args, res.Ret, res.Steps)
+		for _, v := range res.Trace {
+			fmt.Printf("trace: %d\n", v)
+		}
+	}
+}

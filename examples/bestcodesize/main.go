@@ -1,0 +1,60 @@
+// Bestcodesize: use the exhaustive phase order space to find the
+// provably minimal code size for benchmark functions, and measure how
+// far the conventional batch compiler's fixed phase order falls short
+// — the "best vs worst phase ordering" gap of Table 3 (37.8% between
+// leaf extremes on average in the paper) seen from a user's
+// perspective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mibench"
+	"repro/internal/search"
+)
+
+func main() {
+	d := machine.StrongARM()
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %6s %8s %8s %9s %9s %8s\n",
+		"function", "unopt", "batch", "optimal", "bestleaf", "worstleaf", "gap")
+	for _, tf := range funcs {
+		// Bound the per-function search so the example stays quick.
+		r := search.Run(tf.Func, search.Options{
+			MaxNodes: 8000,
+			Timeout:  10 * time.Second,
+		})
+		if r.Aborted {
+			fmt.Printf("%-18s %6d %8s\n", tf.Func.Name, tf.Func.NumInstrs(), "(space too big for this example)")
+			continue
+		}
+		var best, worst int
+		for _, n := range r.Leaves() {
+			if best == 0 || n.NumInstrs < best {
+				best = n.NumInstrs
+			}
+			if n.NumInstrs > worst {
+				worst = n.NumInstrs
+			}
+		}
+		optimal := r.OptimalCodeSize().NumInstrs
+
+		batch := tf.Func.Clone()
+		driver.Optimize(batch, d) // no entry/exit fixup: leaf sizes are pre-fixup too
+
+		gap := 0.0
+		if best > 0 {
+			gap = 100 * float64(worst-best) / float64(best)
+		}
+		fmt.Printf("%-18s %6d %8d %8d %9d %9d %7.1f%%\n",
+			tf.Func.Name, tf.Func.NumInstrs(), batch.NumInstrs(), optimal, best, worst, gap)
+	}
+}

@@ -1,0 +1,72 @@
+// Probabilistic: mine phase interaction probabilities from a few
+// exhaustively enumerated functions, then compile the whole benchmark
+// suite with the Figure 8 probabilistic compiler and compare it
+// against the conventional batch compiler — Section 6 of the paper in
+// miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mibench"
+	"repro/internal/search"
+)
+
+func main() {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Mine the enabling/disabling probabilities from small spaces.
+	fmt.Println("mining phase interaction probabilities...")
+	x := analysis.NewInteractions()
+	mined := 0
+	for _, tf := range funcs {
+		r := search.Run(tf.Func, search.Options{
+			MaxNodes: 3000,
+			Timeout:  5 * time.Second,
+		})
+		if r.Aborted {
+			continue
+		}
+		x.Accumulate(r)
+		mined++
+	}
+	fmt.Printf("  %d function spaces mined\n\n", mined)
+	probs := driver.FromInteractions(x)
+
+	// 2. Compile every function both ways.
+	d := machine.StrongARM()
+	var oldAtt, probAtt, oldSize, probSize int
+	var oldTime, probTime time.Duration
+	n := 0
+	for _, tf := range funcs {
+		old := tf.Func.Clone()
+		ores := driver.Batch(old, d)
+		prb := tf.Func.Clone()
+		pres := driver.Probabilistic(prb, d, probs)
+
+		oldAtt += ores.Attempted
+		probAtt += pres.Attempted
+		oldTime += ores.Elapsed
+		probTime += pres.Elapsed
+		oldSize += old.NumInstrs()
+		probSize += prb.NumInstrs()
+		n++
+	}
+
+	fmt.Printf("over %d functions:\n", n)
+	fmt.Printf("  attempted phases  batch %4d   probabilistic %4d   (x%.2f fewer)\n",
+		oldAtt, probAtt, float64(oldAtt)/float64(probAtt))
+	fmt.Printf("  compile time      batch %-8s probabilistic %-8s (ratio %.3f)\n",
+		oldTime.Round(time.Microsecond), probTime.Round(time.Microsecond),
+		float64(probTime)/float64(oldTime))
+	fmt.Printf("  total code size   batch %4d   probabilistic %4d   (ratio %.3f)\n",
+		oldSize, probSize, float64(probSize)/float64(oldSize))
+}

@@ -1,0 +1,181 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/mc"
+	"repro/internal/search"
+)
+
+func idx(id byte) int {
+	for i, p := range analysis.PhaseIDs {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// fig7DAG hand-builds a weighted DAG in the spirit of Figure 7:
+//
+//	n0 --a--> n1 --b--> n4 (leaf)
+//	n0 --b--> n2 --a--> n4        (a and b independent at n0)
+//	n0 --c--> n3 (leaf)
+//	n1 --c--> n5 (leaf)
+//	n2 --c--> n6 (leaf)           (a,c and b,c only active in one order)
+func fig7DAG() *search.Result {
+	mk := func(id, level int, seq string, edges ...search.Edge) *search.Node {
+		return &search.Node{ID: id, Level: level, Seq: seq, Edges: edges}
+	}
+	return &search.Result{Nodes: []*search.Node{
+		mk(0, 0, "",
+			search.Edge{Phase: 'b', To: 1}, // 'b' plays the figure's a
+			search.Edge{Phase: 'c', To: 2},
+			search.Edge{Phase: 'd', To: 3}),
+		mk(1, 1, "b",
+			search.Edge{Phase: 'c', To: 4},
+			search.Edge{Phase: 'd', To: 5}),
+		mk(2, 1, "c",
+			search.Edge{Phase: 'b', To: 4},
+			search.Edge{Phase: 'd', To: 6}),
+		mk(3, 1, "d"),
+		mk(4, 2, "bc"),
+		mk(5, 2, "bd"),
+		mk(6, 2, "cd"),
+	}}
+}
+
+// TestFig7NodeWeights checks the weighting rule: leaves weigh 1, an
+// interior node weighs the sum over its outgoing edges.
+func TestFig7NodeWeights(t *testing.T) {
+	r := fig7DAG()
+	w := analysis.Weights(r)
+	want := []float64{5, 2, 2, 1, 1, 1, 1}
+	for i, exp := range want {
+		if w[i] != exp {
+			t.Errorf("weight[%d] = %v, want %v", i, w[i], exp)
+		}
+	}
+	if r.Nodes[0].Weight != 5 {
+		t.Errorf("node weight not recorded on the node")
+	}
+}
+
+// TestInteractionsOnFig7 verifies the transition accounting.
+func TestInteractionsOnFig7(t *testing.T) {
+	x := analysis.NewInteractions()
+	x.Accumulate(fig7DAG())
+
+	en := x.Enabling()
+	dis := x.Disabling()
+	ind := x.Independence()
+
+	b, c, d := idx('b'), idx('c'), idx('d')
+
+	// b and c are independent at the root: both orders reach node 4.
+	if ind[b][c] != 1 || ind[c][b] != 1 {
+		t.Errorf("independence b,c = %v / %v, want 1", ind[b][c], ind[c][b])
+	}
+
+	// c is active at n0 and still active after b (edge to n1, where c
+	// is active): active->active, so disabling probability 0. Same for
+	// b after c.
+	if dis[c][b] != 0 {
+		t.Errorf("disabling[c][b] = %v, want 0", dis[c][b])
+	}
+	if dis[b][c] != 0 {
+		t.Errorf("disabling[b][c] = %v, want 0", dis[b][c])
+	}
+
+	// d stays active across the level-1 edges out of the root (child
+	// weights 2 each) but is dormant at the shared leaf n4, reached by
+	// one b edge and one c edge of weight 1: the weighted disabling
+	// probability of d by either phase is 1/(1+2).
+	if got := dis[d][b]; got != 1.0/3 {
+		t.Errorf("disabling[d][b] = %v, want 1/3", got)
+	}
+	if got := dis[d][c]; got != 1.0/3 {
+		t.Errorf("disabling[d][c] = %v, want 1/3", got)
+	}
+
+	// g is never active anywhere: it is dormant at every node, and no
+	// phase ever enables it.
+	g := idx('g')
+	if en[g][b] != 0 {
+		t.Errorf("enabling[g][b] = %v, want 0", en[g][b])
+	}
+
+	// St: b, c, d active at the root of the single accumulated space.
+	st := x.StartProbabilities()
+	if st[b] != 1 || st[c] != 1 || st[d] != 1 {
+		t.Errorf("start probabilities = %v", st)
+	}
+	if st[idx('s')] != 0 {
+		t.Errorf("s should not be active at the root")
+	}
+}
+
+// TestInteractionsOnRealSpace sanity-checks the statistics of a real
+// enumerated function: probabilities in range, independence symmetric,
+// self-disabling certain whenever observed.
+func TestInteractionsOnRealSpace(t *testing.T) {
+	src := `
+int a[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int sum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := search.Run(prog.Func("sum"), search.Options{MaxNodes: 30000})
+	if r.Aborted {
+		t.Fatal("search aborted")
+	}
+	x := analysis.NewInteractions()
+	x.Accumulate(r)
+
+	en, dis, ind := x.Enabling(), x.Disabling(), x.Independence()
+	for i := range analysis.PhaseIDs {
+		for j := range analysis.PhaseIDs {
+			for _, m := range [][][]float64{en, dis, ind} {
+				if v := m[i][j]; v != -1 && (v < 0 || v > 1) {
+					t.Fatalf("probability out of range: %v", v)
+				}
+			}
+			if ind[i][j] != ind[j][i] {
+				t.Fatalf("independence not symmetric at %c,%c: %v vs %v",
+					analysis.PhaseIDs[i], analysis.PhaseIDs[j], ind[i][j], ind[j][i])
+			}
+		}
+		// A phase that was just active is never immediately active
+		// again, so observed self-disabling is always certain.
+		if v := dis[i][i]; v != -1 && v != 1 {
+			t.Fatalf("self-disabling of %c = %v, want 1", analysis.PhaseIDs[i], v)
+		}
+	}
+
+	// The classic interaction: register allocation enables instruction
+	// selection (loads/stores become collapsible moves).
+	if v := en[idx('s')][idx('k')]; v <= 0 {
+		t.Errorf("enabling[s][k] = %v, want > 0", v)
+	}
+	// Instruction selection must be active on unoptimized code.
+	if st := x.StartProbabilities(); st[idx('s')] != 1 {
+		t.Errorf("St(s) = %v, want 1", st[idx('s')])
+	}
+}
+
+// TestFormatTable smoke-checks the rendering.
+func TestFormatTable(t *testing.T) {
+	x := analysis.NewInteractions()
+	x.Accumulate(fig7DAG())
+	out := analysis.FormatTable("T", x.Enabling(), x.StartProbabilities(), 0.005, 0)
+	if len(out) == 0 || out[0] != 'T' {
+		t.Fatal("empty table")
+	}
+}

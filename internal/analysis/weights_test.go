@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/mc"
+	"repro/internal/search"
+)
+
+// TestRootWeightCountsMaximalSequences validates Figure 7's meaning on
+// a real space: the root's weight must equal the number of distinct
+// root-to-leaf paths (each path is one maximal active phase sequence).
+func TestRootWeightCountsMaximalSequences(t *testing.T) {
+	src := `
+int f(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := search.Run(prog.Func("f"), search.Options{MaxNodes: 20000})
+	if r.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+	w := analysis.Weights(r)
+
+	// Count paths by memoized DFS.
+	memo := make([]float64, len(r.Nodes))
+	seen := make([]bool, len(r.Nodes))
+	var paths func(id int) float64
+	paths = func(id int) float64 {
+		if seen[id] {
+			return memo[id]
+		}
+		seen[id] = true
+		n := r.Nodes[id]
+		if n.IsLeaf() {
+			memo[id] = 1
+			return 1
+		}
+		total := 0.0
+		for _, e := range n.Edges {
+			total += paths(e.To)
+		}
+		memo[id] = total
+		return total
+	}
+	want := paths(0)
+	if w[0] != want {
+		t.Fatalf("root weight %v, want %v distinct maximal sequences", w[0], want)
+	}
+	// Each interior node's weight equals the sum over its edges.
+	for _, n := range r.Nodes {
+		if n.IsLeaf() {
+			if w[n.ID] != 1 {
+				t.Fatalf("leaf %d weight %v", n.ID, w[n.ID])
+			}
+			continue
+		}
+		sum := 0.0
+		for _, e := range n.Edges {
+			sum += w[e.To]
+		}
+		if w[n.ID] != sum {
+			t.Fatalf("node %d weight %v != edge sum %v", n.ID, w[n.ID], sum)
+		}
+	}
+}

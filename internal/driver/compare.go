@@ -1,0 +1,128 @@
+package driver
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// Row is one function's line of Table 7, comparing the old batch
+// compilation against the probabilistic one.
+type Row struct {
+	Function string
+
+	OldAttempted, OldActive   int
+	OldTime                   time.Duration
+	OldSize                   int
+	ProbAttempted, ProbActive int
+	ProbTime                  time.Duration
+	ProbSize                  int
+}
+
+// TimeRatio is probabilistic/old compile time.
+func (r Row) TimeRatio() float64 {
+	if r.OldTime == 0 {
+		return 1
+	}
+	return float64(r.ProbTime) / float64(r.OldTime)
+}
+
+// SizeRatio is probabilistic/old code size.
+func (r Row) SizeRatio() float64 {
+	if r.OldSize == 0 {
+		return 1
+	}
+	return float64(r.ProbSize) / float64(r.OldSize)
+}
+
+// Comparison is a whole-program Table 7 result.
+type Comparison struct {
+	Rows []Row
+	// OldSteps and ProbSteps are whole-program dynamic instruction
+	// counts under each compiler (the paper's "Speed" ratio source);
+	// zero when the program was not executed.
+	OldSteps, ProbSteps int64
+}
+
+// SpeedRatio is the probabilistic/old dynamic instruction count ratio.
+func (c Comparison) SpeedRatio() float64 {
+	if c.OldSteps == 0 {
+		return 1
+	}
+	return float64(c.ProbSteps) / float64(c.OldSteps)
+}
+
+// CompareProgram compiles every function of the program with both
+// compilers, executes the named entry under each, verifies that both
+// compilations preserve the unoptimized program's observable behaviour
+// and returns the per-function and whole-program statistics.
+func CompareProgram(prog *rtl.Program, entry string, args []int32, d *machine.Desc, probs *Probabilities) (Comparison, error) {
+	var cmp Comparison
+
+	ref, err := interp.Run(prog, entry, args...)
+	if err != nil {
+		return cmp, fmt.Errorf("driver: reference run: %w", err)
+	}
+
+	oldProg := prog.Clone()
+	probProg := prog.Clone()
+	for i := range prog.Funcs {
+		row := Row{Function: prog.Funcs[i].Name}
+
+		ores := Batch(oldProg.Funcs[i], d)
+		row.OldAttempted, row.OldActive = ores.Attempted, ores.Active
+		row.OldTime = ores.Elapsed
+		row.OldSize = oldProg.Funcs[i].NumInstrs()
+
+		pres := Probabilistic(probProg.Funcs[i], d, probs)
+		row.ProbAttempted, row.ProbActive = pres.Attempted, pres.Active
+		row.ProbTime = pres.Elapsed
+		row.ProbSize = probProg.Funcs[i].NumInstrs()
+
+		cmp.Rows = append(cmp.Rows, row)
+	}
+
+	oldRun, err := interp.Run(oldProg, entry, args...)
+	if err != nil {
+		return cmp, fmt.Errorf("driver: batch-compiled run: %w", err)
+	}
+	probRun, err := interp.Run(probProg, entry, args...)
+	if err != nil {
+		return cmp, fmt.Errorf("driver: probabilistically-compiled run: %w", err)
+	}
+	if !reflect.DeepEqual(ref.Trace, oldRun.Trace) {
+		return cmp, fmt.Errorf("driver: batch compilation changed program behaviour")
+	}
+	if !reflect.DeepEqual(ref.Trace, probRun.Trace) {
+		return cmp, fmt.Errorf("driver: probabilistic compilation changed program behaviour")
+	}
+	cmp.OldSteps, cmp.ProbSteps = oldRun.Steps, probRun.Steps
+	return cmp, nil
+}
+
+// TableHeader is the column header for FormatRow.
+func TableHeader() string {
+	return fmt.Sprintf("%-16s %9s %7s %9s | %9s %7s %9s | %6s %6s",
+		"Function", "Attempted", "Active", "Time",
+		"Attempted", "Active", "Time", "T-rat", "S-rat")
+}
+
+// FormatRow renders one Table 7 line.
+func FormatRow(r Row) string {
+	return fmt.Sprintf("%-16s %9d %7d %9s | %9d %7d %9s | %6.3f %6.3f",
+		clip(r.Function, 16),
+		r.OldAttempted, r.OldActive, r.OldTime.Round(time.Microsecond),
+		r.ProbAttempted, r.ProbActive, r.ProbTime.Round(time.Microsecond),
+		r.TimeRatio(), r.SizeRatio())
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,210 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/mibench"
+	"repro/internal/search"
+)
+
+const testSrc = `
+int a[16] = {5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+int sum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}`
+
+// minedProbs enumerates a couple of small functions once per test run.
+func minedProbs(t *testing.T) *driver.Probabilities {
+	t.Helper()
+	prog, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := analysis.NewInteractions()
+	r := search.Run(prog.Func("sum"), search.Options{MaxNodes: 30000})
+	if r.Aborted {
+		t.Fatal("mining search aborted")
+	}
+	x.Accumulate(r)
+	return driver.FromInteractions(x)
+}
+
+// TestBatchPreservesBehaviour compiles and runs a function.
+func TestBatchPreservesBehaviour(t *testing.T) {
+	prog, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(prog, "sum", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := driver.Batch(prog.Func("sum"), machine.StrongARM())
+	if res.Active == 0 {
+		t.Fatal("batch compiler applied nothing")
+	}
+	got, err := interp.Run(prog, "sum", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ret != ref.Ret {
+		t.Fatalf("batch compilation changed the result: %d vs %d", got.Ret, ref.Ret)
+	}
+	if got.Steps >= ref.Steps {
+		t.Fatalf("batch compilation did not speed the function up: %d vs %d steps", got.Steps, ref.Steps)
+	}
+}
+
+// TestFig8AlgorithmSteps drives the probabilistic compiler with a
+// hand-built probability table and checks it follows Figure 8: highest
+// probability first, enable/disable updates only after active phases.
+func TestFig8AlgorithmSteps(t *testing.T) {
+	prog, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(analysis.PhaseIDs)
+	probs := &driver.Probabilities{
+		Start:   make([]float64, n),
+		Enable:  make([][]float64, n),
+		Disable: make([][]float64, n),
+	}
+	for i := range probs.Enable {
+		probs.Enable[i] = make([]float64, n)
+		probs.Disable[i] = make([]float64, n)
+	}
+	idx := func(id byte) int {
+		for i, p := range analysis.PhaseIDs {
+			if p == id {
+				return i
+			}
+		}
+		return -1
+	}
+	// s starts certain; s enables c and k; k enables s again; c
+	// enables h.
+	probs.Start[idx('s')] = 1.0
+	probs.Enable[idx('c')][idx('s')] = 0.9
+	probs.Enable[idx('k')][idx('s')] = 0.8
+	probs.Enable[idx('s')][idx('k')] = 0.9
+	probs.Enable[idx('h')][idx('c')] = 0.7
+
+	f := prog.Func("sum")
+	res := driver.Probabilistic(f, machine.StrongARM(), probs)
+	if res.Active == 0 {
+		t.Fatal("probabilistic compiler applied nothing")
+	}
+	// The first active phase must be s (the only nonzero start
+	// probability), and c must come before k (0.9 > 0.8).
+	if res.Seq[0] != 's' {
+		t.Fatalf("first active phase %c, want s (seq %q)", res.Seq[0], res.Seq)
+	}
+	ci, ki := -1, -1
+	for i := 0; i < len(res.Seq); i++ {
+		if res.Seq[i] == 'c' && ci < 0 {
+			ci = i
+		}
+		if res.Seq[i] == 'k' && ki < 0 {
+			ki = i
+		}
+	}
+	if ci >= 0 && ki >= 0 && ci > ki {
+		t.Fatalf("c scheduled after k despite higher probability (seq %q)", res.Seq)
+	}
+
+	got, err := interp.Run(prog, "sum", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ret != 82 {
+		t.Fatalf("sum(16) = %d, want 82", got.Ret)
+	}
+}
+
+// TestProbabilisticSavesAttempts reproduces the Table 7 shape on one
+// program: fewer attempted phases, comparable code size, unchanged
+// behaviour.
+func TestProbabilisticSavesAttempts(t *testing.T) {
+	probs := minedProbs(t)
+	p, err := mibench.ByName("bitcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := driver.CompareProgram(prog, p.Driver, p.DriverArgs, machine.StrongARM(), probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldAtt, probAtt, oldSize, probSize int
+	for _, r := range cmp.Rows {
+		oldAtt += r.OldAttempted
+		probAtt += r.ProbAttempted
+		oldSize += r.OldSize
+		probSize += r.ProbSize
+	}
+	if probAtt >= oldAtt {
+		t.Errorf("probabilistic compiler attempted more phases (%d) than batch (%d)", probAtt, oldAtt)
+	}
+	if float64(probSize) > 1.10*float64(oldSize) {
+		t.Errorf("probabilistic code size %d more than 10%% worse than batch %d", probSize, oldSize)
+	}
+	if cmp.OldSteps == 0 || cmp.ProbSteps == 0 {
+		t.Fatal("dynamic counts missing")
+	}
+	if cmp.SpeedRatio() > 1.25 {
+		t.Errorf("probabilistic code much slower: ratio %.3f", cmp.SpeedRatio())
+	}
+}
+
+// TestProbabilityFileRoundTrip saves and reloads the tables.
+func TestProbabilityFileRoundTrip(t *testing.T) {
+	probs := minedProbs(t)
+	path := filepath.Join(t.TempDir(), "probs.json")
+	if err := driver.SaveProbabilities(path, probs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := driver.LoadProbabilities(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(probs, got) {
+		t.Fatal("probabilities changed across save/load")
+	}
+}
+
+// TestBatchTerminates guards against a phase pair that re-enable each
+// other forever.
+func TestBatchTerminates(t *testing.T) {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.StrongARM()
+	for _, tf := range funcs {
+		done := make(chan struct{})
+		f := tf.Func.Clone()
+		go func() {
+			driver.Batch(f, d)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("batch compilation of %s did not terminate", tf.Func.Name)
+		}
+	}
+}

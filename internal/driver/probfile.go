@@ -1,0 +1,55 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// probFile is the on-disk representation of mined probabilities, as
+// written by cmd/phasestats and read by cmd/probcc.
+type probFile struct {
+	PhaseIDs string      `json:"phase_ids"`
+	Start    []float64   `json:"start"`
+	Enable   [][]float64 `json:"enable"`
+	Disable  [][]float64 `json:"disable"`
+}
+
+// SaveProbabilities writes the probability tables to a JSON file.
+func SaveProbabilities(path string, p *Probabilities) error {
+	pf := probFile{
+		PhaseIDs: string(analysis.PhaseIDs),
+		Start:    p.Start,
+		Enable:   p.Enable,
+		Disable:  p.Disable,
+	}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadProbabilities reads probability tables written by
+// SaveProbabilities.
+func LoadProbabilities(path string) (*Probabilities, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pf probFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("driver: parsing %s: %w", path, err)
+	}
+	if pf.PhaseIDs != string(analysis.PhaseIDs) {
+		return nil, fmt.Errorf("driver: %s was produced for phases %q, this build has %q",
+			path, pf.PhaseIDs, analysis.PhaseIDs)
+	}
+	n := len(analysis.PhaseIDs)
+	if len(pf.Start) != n || len(pf.Enable) != n || len(pf.Disable) != n {
+		return nil, fmt.Errorf("driver: %s has malformed tables", path)
+	}
+	return &Probabilities{Start: pf.Start, Enable: pf.Enable, Disable: pf.Disable}, nil
+}

@@ -1,0 +1,44 @@
+package driver_test
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mibench"
+)
+
+// TestCompareProgramWholeSuite runs the Table 7 harness over every
+// benchmark: both compilers must preserve each program's behaviour,
+// and the probabilistic compiler must attempt fewer phases overall.
+func TestCompareProgramWholeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite comparison")
+	}
+	probs := minedProbs(t)
+	d := machine.StrongARM()
+	var oldAtt, probAtt int
+	for _, p := range mibench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmp, err := driver.CompareProgram(prog, p.Driver, p.DriverArgs, d, probs)
+			if err != nil {
+				t.Fatal(err) // includes behaviour-preservation failures
+			}
+			for _, r := range cmp.Rows {
+				oldAtt += r.OldAttempted
+				probAtt += r.ProbAttempted
+			}
+			if cmp.SpeedRatio() > 1.5 {
+				t.Errorf("probabilistic code much slower: %.3f", cmp.SpeedRatio())
+			}
+		})
+	}
+	if probAtt >= oldAtt {
+		t.Errorf("probabilistic compiler attempted more phases overall: %d vs %d", probAtt, oldAtt)
+	}
+}

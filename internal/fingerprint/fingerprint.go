@@ -1,0 +1,240 @@
+// Package fingerprint detects identical function instances, the
+// second pruning technique of the paper (Section 4.2). Two instances
+// produced by different phase orderings are considered the same when
+// their instructions are identical after canonically renumbering
+// registers and block labels in first-encounter order — the paper's
+// Figure 5 remapping, which catches instances that differ only because
+// optimization phases consumed registers or created blocks in a
+// different order.
+//
+// Following the paper, each instance is summarized by three values —
+// instruction count, byte sum and CRC-32 checksum of the canonical
+// encoding. The package additionally exposes the full canonical
+// encoding so the search can compare instances exactly; the paper
+// verified empirically that the checksum triple never conflated
+// distinct instances, and the exact encoding lets this implementation
+// guarantee it.
+package fingerprint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/rtl"
+)
+
+// FP is the paper's function-instance summary: the number of
+// instructions, the byte sum of the canonical encoding, and its CRC-32
+// checksum.
+type FP struct {
+	Count   int
+	ByteSum uint32
+	CRC     uint32
+}
+
+// Key is the exact canonical encoding of a function instance, usable
+// as a map key. Instances with equal Keys are identical up to register
+// and label renumbering.
+type Key string
+
+// remapper assigns canonical numbers to registers and labels in
+// first-encounter order, scanning the function from the top basic
+// block, as in Section 4.2.1.
+type remapper struct {
+	regs   map[rtl.Reg]uint16
+	labels map[int]uint16
+}
+
+func newRemapper() *remapper {
+	r := &remapper{
+		regs:   make(map[rtl.Reg]uint16),
+		labels: make(map[int]uint16),
+	}
+	// Structural registers keep fixed codes: the stack pointer and
+	// condition codes are not allocatable, so renumbering them would
+	// only mask real differences.
+	r.regs[rtl.RegSP] = 0xFFF0
+	r.regs[rtl.RegIC] = 0xFFF1
+	r.regs[rtl.RegNone] = 0xFFFF
+	return r
+}
+
+func (r *remapper) reg(x rtl.Reg) uint16 {
+	if n, ok := r.regs[x]; ok {
+		return n
+	}
+	n := uint16(len(r.regs))
+	r.regs[x] = n
+	return n
+}
+
+func (r *remapper) label(id int) uint16 {
+	if n, ok := r.labels[id]; ok {
+		return n
+	}
+	n := uint16(len(r.labels))
+	r.labels[id] = n
+	return n
+}
+
+// Encode produces the canonical byte encoding of the function.
+func Encode(f *rtl.Func) []byte {
+	rm := newRemapper()
+	buf := make([]byte, 0, f.NumInstrs()*16)
+	u16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	operand := func(o rtl.Operand) {
+		buf = append(buf, byte(o.Kind))
+		switch o.Kind {
+		case rtl.OperReg:
+			u16(rm.reg(o.Reg))
+		case rtl.OperImm:
+			u32(uint32(o.Imm))
+		}
+	}
+	// Pre-assign labels of blocks in layout order as they are
+	// encountered from the top; branch targets met before their block
+	// get numbered at first reference, exactly like a top-down scan.
+	for _, b := range f.Blocks {
+		u16(rm.label(b.ID))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = append(buf, byte(in.Op))
+			switch in.Op {
+			case rtl.OpBranch:
+				buf = append(buf, byte(in.Rel))
+				u16(rm.label(in.Target))
+			case rtl.OpJmp:
+				u16(rm.label(in.Target))
+			case rtl.OpCall:
+				buf = append(buf, in.NArgs)
+				buf = append(buf, byte(len(in.Sym)))
+				buf = append(buf, in.Sym...)
+			case rtl.OpMovHi, rtl.OpAddLo:
+				u16(rm.reg(in.Dst))
+				operand(in.A)
+				buf = append(buf, byte(len(in.Sym)))
+				buf = append(buf, in.Sym...)
+			default:
+				u16(rm.reg(in.Dst))
+				operand(in.A)
+				operand(in.B)
+				u32(uint32(in.Disp))
+			}
+		}
+	}
+	return buf
+}
+
+// KeyOf returns the exact canonical key of a function instance.
+func KeyOf(f *rtl.Func) Key { return Key(Encode(f)) }
+
+// Of computes the paper's three-value fingerprint of a function
+// instance.
+func Of(f *rtl.Func) FP {
+	enc := Encode(f)
+	var sum uint32
+	for _, b := range enc {
+		sum += uint32(b)
+	}
+	return FP{
+		Count:   f.NumInstrs(),
+		ByteSum: sum,
+		CRC:     crc32.ChecksumIEEE(enc),
+	}
+}
+
+// Canonicalize returns a copy of the function with registers and
+// labels renumbered to canonical form — the transformation of
+// Figure 5(d). The copy is for display and testing; the search
+// compares encodings directly.
+func Canonicalize(f *rtl.Func) *rtl.Func {
+	rm := newRemapper()
+	nf := f.Clone()
+	// Establish numbering with a scan identical to Encode's.
+	for _, b := range nf.Blocks {
+		rm.label(b.ID)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case rtl.OpBranch, rtl.OpJmp:
+				rm.label(in.Target)
+			case rtl.OpCall:
+			default:
+				if in.Dst != rtl.RegNone {
+					rm.reg(in.Dst)
+				}
+				if in.A.Kind == rtl.OperReg {
+					rm.reg(in.A.Reg)
+				}
+				if in.B.Kind == rtl.OperReg {
+					rm.reg(in.B.Reg)
+				}
+			}
+		}
+	}
+	mapReg := func(x rtl.Reg) rtl.Reg {
+		switch x {
+		case rtl.RegSP, rtl.RegIC, rtl.RegNone:
+			return x
+		}
+		// Canonical registers start at 1 in the paper's presentation;
+		// the remapper's fixed codes occupy high values, and dynamic
+		// codes start after the three preassigned entries.
+		return rtl.Reg(rm.regs[x] - 2)
+	}
+	for _, b := range nf.Blocks {
+		b.ID = int(rm.labels[b.ID])
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == rtl.OpBranch || in.Op == rtl.OpJmp {
+				in.Target = int(rm.labels[in.Target])
+				continue
+			}
+			if in.Op == rtl.OpCall {
+				continue
+			}
+			if in.Dst != rtl.RegNone {
+				in.Dst = mapReg(in.Dst)
+			}
+			if in.A.Kind == rtl.OperReg {
+				in.A.Reg = mapReg(in.A.Reg)
+			}
+			if in.B.Kind == rtl.OperReg {
+				in.B.Reg = mapReg(in.B.Reg)
+			}
+		}
+	}
+	nf.NextBlockID = len(nf.Blocks)
+	return nf
+}
+
+// ControlFlowKey summarizes the control-flow shape of a function —
+// block count plus the branch structure — used for the paper's count
+// of distinct control flows (Table 3, column CF).
+func ControlFlowKey(f *rtl.Func) Key {
+	rm := newRemapper()
+	var buf []byte
+	u16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+	for _, b := range f.Blocks {
+		u16(rm.label(b.ID))
+		last := b.Last()
+		if last == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		switch last.Op {
+		case rtl.OpBranch:
+			buf = append(buf, 1, byte(last.Rel))
+			u16(rm.label(last.Target))
+		case rtl.OpJmp:
+			buf = append(buf, 2)
+			u16(rm.label(last.Target))
+		case rtl.OpRet:
+			buf = append(buf, 3)
+		default:
+			buf = append(buf, 0)
+		}
+	}
+	return Key(buf)
+}

@@ -1,0 +1,240 @@
+// Package genetic implements the biased-sampling search the paper's
+// related work revolves around (Cooper et al. [3], Kulkarni et al.
+// [4,14]) and its Section 7 future-work proposal: a genetic algorithm
+// over optimization phase sequences whose mutation can be biased by
+// the enabling probabilities mined from exhaustively enumerated
+// spaces, and whose evaluation avoids redundant work by detecting
+// sequences that produce already-seen function instances — the same
+// fingerprinting the exhaustive search uses.
+//
+// The exhaustive enumeration makes the GA measurable: on a function
+// whose space is fully enumerated, the distance between the GA's best
+// instance and the true optimum is known exactly.
+package genetic
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/driver"
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// Options configure a run. The defaults follow the experimental setup
+// of the prior work: population 20, 100 generations, sequences of 20
+// phases.
+type Options struct {
+	PopulationSize int
+	Generations    int
+	SeqLen         int
+	MutationRate   float64
+	Seed           int64
+	Machine        *machine.Desc
+	// Fitness scores an optimized instance; lower is better. The
+	// default is static code size, the paper's optimization target
+	// for the embedded domain.
+	Fitness func(*rtl.Func) float64
+	// Probabilities, when set, bias mutation: a mutated gene is drawn
+	// from the distribution of phases most likely to be enabled by the
+	// preceding gene (Section 7's "enabling/disabling relationships
+	// could be used for faster genetic algorithm searches").
+	Probabilities *driver.Probabilities
+}
+
+func (o *Options) fill() {
+	if o.PopulationSize == 0 {
+		o.PopulationSize = 20
+	}
+	if o.Generations == 0 {
+		o.Generations = 100
+	}
+	if o.SeqLen == 0 {
+		o.SeqLen = 20
+	}
+	if o.MutationRate == 0 {
+		o.MutationRate = 0.05
+	}
+	if o.Machine == nil {
+		o.Machine = machine.StrongARM()
+	}
+	if o.Fitness == nil {
+		o.Fitness = func(f *rtl.Func) float64 { return float64(f.NumInstrs()) }
+	}
+}
+
+// Result reports the search outcome.
+type Result struct {
+	// BestSeq is the attempted gene sequence of the best individual;
+	// BestActive the subsequence that was actually active.
+	BestSeq    string
+	BestActive string
+	// BestFitness is its score; BestFunc the optimized instance.
+	BestFitness float64
+	BestFunc    *rtl.Func
+	// Evaluations counts full sequence applications; CacheHits counts
+	// evaluations skipped because the sequence (or the instance it
+	// produced) had been seen before — the redundancy detection of
+	// [14].
+	Evaluations int
+	CacheHits   int
+	Generations int
+}
+
+type individual struct {
+	genes   []byte
+	fitness float64
+	active  string
+	inst    *rtl.Func
+}
+
+// Search runs the GA on a function and returns the best instance
+// found.
+func Search(f *rtl.Func, o Options) Result {
+	o.fill()
+	rng := rand.New(rand.NewSource(o.Seed))
+	ids := phaseIDs()
+
+	seqCache := make(map[string]float64)        // gene string -> fitness
+	instCache := make(map[fingerprint.Key]bool) // instances already scored
+	res := Result{BestFitness: 1e18}
+
+	evaluate := func(ind *individual) {
+		key := string(ind.genes)
+		if fit, ok := seqCache[key]; ok {
+			res.CacheHits++
+			ind.fitness = fit
+			return
+		}
+		g := f.Clone()
+		st := opt.State{}
+		active := make([]byte, 0, len(ind.genes))
+		for _, id := range ind.genes {
+			p := opt.ByID(id)
+			if p == nil || !opt.Enabled(p, st) {
+				continue
+			}
+			if opt.Attempt(g, &st, p, o.Machine) {
+				active = append(active, id)
+			}
+		}
+		res.Evaluations++
+		ind.fitness = o.Fitness(g)
+		ind.active = string(active)
+		ind.inst = g
+		seqCache[key] = ind.fitness
+		ik := fingerprint.KeyOf(g)
+		if instCache[ik] {
+			res.CacheHits++
+		}
+		instCache[ik] = true
+		if ind.fitness < res.BestFitness {
+			res.BestFitness = ind.fitness
+			res.BestSeq = key
+			res.BestActive = ind.active
+			res.BestFunc = g
+		}
+	}
+
+	randGene := func() byte { return ids[rng.Intn(len(ids))] }
+
+	// Biased gene choice: weight phases by their probability of being
+	// enabled by (or surviving) the previous gene.
+	biasedGene := func(prev byte) byte {
+		if o.Probabilities == nil {
+			return randGene()
+		}
+		pi := phaseIndex(prev)
+		if pi < 0 {
+			return randGene()
+		}
+		weights := make([]float64, len(ids))
+		total := 0.0
+		for i := range ids {
+			w := 0.02 // floor so nothing is unreachable
+			w += o.Probabilities.Enable[i][pi]
+			w += o.Probabilities.Start[i] * 0.25
+			weights[i] = w
+			total += w
+		}
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return ids[i]
+			}
+		}
+		return ids[len(ids)-1]
+	}
+
+	pop := make([]*individual, o.PopulationSize)
+	for i := range pop {
+		genes := make([]byte, o.SeqLen)
+		for j := range genes {
+			genes[j] = randGene()
+		}
+		pop[i] = &individual{genes: genes}
+		evaluate(pop[i])
+	}
+
+	for gen := 0; gen < o.Generations; gen++ {
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness < pop[j].fitness })
+		res.Generations = gen + 1
+
+		// Elitism: the top quarter survives; the rest is rebuilt from
+		// rank-biased crossover + mutation.
+		elite := o.PopulationSize / 4
+		if elite < 1 {
+			elite = 1
+		}
+		next := make([]*individual, 0, o.PopulationSize)
+		next = append(next, pop[:elite]...)
+		pick := func() *individual {
+			// Rank-biased: squaring favours the front of the sorted
+			// population.
+			r := rng.Float64()
+			return pop[int(r*r*float64(len(pop)))]
+		}
+		for len(next) < o.PopulationSize {
+			a, b := pick(), pick()
+			cut := 1 + rng.Intn(o.SeqLen-1)
+			genes := make([]byte, o.SeqLen)
+			copy(genes, a.genes[:cut])
+			copy(genes[cut:], b.genes[cut:])
+			for j := range genes {
+				if rng.Float64() < o.MutationRate {
+					if j > 0 {
+						genes[j] = biasedGene(genes[j-1])
+					} else {
+						genes[j] = randGene()
+					}
+				}
+			}
+			child := &individual{genes: genes}
+			evaluate(child)
+			next = append(next, child)
+		}
+		pop = next
+	}
+	return res
+}
+
+func phaseIDs() []byte {
+	all := opt.All()
+	ids := make([]byte, len(all))
+	for i, p := range all {
+		ids[i] = p.ID()
+	}
+	return ids
+}
+
+func phaseIndex(id byte) int {
+	for i, p := range phaseIDs() {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,120 @@
+package genetic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/driver"
+	"repro/internal/genetic"
+	"repro/internal/mc"
+	"repro/internal/rtl"
+	"repro/internal/search"
+)
+
+const gaSrc = `
+int a[16] = {5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+int sum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}`
+
+func gaFunc(t *testing.T) (*rtl.Program, *rtl.Func) {
+	t.Helper()
+	prog, err := mc.Compile(gaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.Func("sum")
+}
+
+// TestGAFindsNearOptimalCodeSize measures the GA against the ground
+// truth only the exhaustive enumeration can provide: the best leaf
+// code size of the full space.
+func TestGAFindsNearOptimalCodeSize(t *testing.T) {
+	_, f := gaFunc(t)
+	exhaustive := search.Run(f, search.Options{MaxNodes: 50000})
+	if exhaustive.Aborted {
+		t.Skip("ground-truth space exceeds the test budget")
+	}
+	// The global optimum can sit at an interior node (leaves may carry
+	// size-increasing transformations like loop unrolling), so compare
+	// against the minimum over the whole space.
+	optimum := exhaustive.OptimalCodeSize().NumInstrs
+
+	res := genetic.Search(f, genetic.Options{
+		Generations: 40,
+		Seed:        1,
+	})
+	if res.BestFunc == nil {
+		t.Fatal("no result")
+	}
+	if err := rtl.Validate(res.BestFunc); err != nil {
+		t.Fatalf("GA produced invalid code: %v", err)
+	}
+	got := int(res.BestFitness)
+	if got < optimum {
+		t.Fatalf("GA beat the exhaustive optimum (%d < %d): enumeration is incomplete!",
+			got, optimum)
+	}
+	if float64(got) > 1.15*float64(optimum) {
+		t.Errorf("GA best %d more than 15%% off the optimum %d", got, optimum)
+	}
+	t.Logf("optimum %d, GA %d, %d evaluations, %d cache hits",
+		optimum, got, res.Evaluations, res.CacheHits)
+}
+
+// TestGACachesRedundantSequences: the [14]-style redundancy detection
+// must fire (GA populations are full of repeated tails).
+func TestGACachesRedundantSequences(t *testing.T) {
+	_, f := gaFunc(t)
+	res := genetic.Search(f, genetic.Options{Generations: 15, Seed: 7})
+	if res.CacheHits == 0 {
+		t.Error("no redundant sequences detected across 15 generations")
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("nothing evaluated")
+	}
+}
+
+// TestGABiasedMutationUsesTables: with mined probabilities the search
+// must still find a near-optimal instance and remain deterministic for
+// a fixed seed.
+func TestGABiasedMutationUsesTables(t *testing.T) {
+	_, f := gaFunc(t)
+	exhaustive := search.Run(f, search.Options{MaxNodes: 50000})
+	if exhaustive.Aborted {
+		t.Skip("ground-truth space exceeds the test budget")
+	}
+	x := analysis.NewInteractions()
+	x.Accumulate(exhaustive)
+	probs := driver.FromInteractions(x)
+
+	a := genetic.Search(f, genetic.Options{Generations: 30, Seed: 3, Probabilities: probs})
+	b := genetic.Search(f, genetic.Options{Generations: 30, Seed: 3, Probabilities: probs})
+	if a.BestSeq != b.BestSeq || a.Evaluations != b.Evaluations {
+		t.Error("biased GA not deterministic for a fixed seed")
+	}
+	optimum := exhaustive.OptimalCodeSize().NumInstrs
+	if float64(a.BestFitness) > 1.15*float64(optimum) {
+		t.Errorf("biased GA best %v more than 15%% off the optimum %d", a.BestFitness, optimum)
+	}
+}
+
+// TestGACustomFitness: minimizing a different metric (branch count)
+// must steer the search.
+func TestGACustomFitness(t *testing.T) {
+	_, f := gaFunc(t)
+	res := genetic.Search(f, genetic.Options{
+		Generations: 10,
+		Seed:        5,
+		Fitness:     func(g *rtl.Func) float64 { return float64(g.NumBranches()) },
+	})
+	if res.BestFunc == nil {
+		t.Fatal("no result")
+	}
+	if res.BestFitness > float64(f.NumBranches()) {
+		t.Errorf("GA made branch count worse: %v > %d", res.BestFitness, f.NumBranches())
+	}
+}

@@ -1,0 +1,247 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mc"
+)
+
+func run(t *testing.T, src, fn string, args ...int32) interp.Result {
+	t.Helper()
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(prog, fn, args...)
+	if err != nil {
+		t.Fatalf("run %s: %v", fn, err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    return (a + b) * (a - b) / 2 + a % 3;
+}`
+	got := run(t, src, "f", 10, 4).Ret
+	want := (10+4)*(10-4)/2 + 10%3
+	if got != int32(want) {
+		t.Fatalf("f(10,4) = %d, want %d", got, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int fib(int n) {
+    int a = 0;
+    int b = 1;
+    int i;
+    for (i = 0; i < n; i++) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}`
+	cases := map[int32]int32{0: 0, 1: 1, 2: 1, 10: 55, 20: 6765}
+	for n, want := range cases {
+		if got := run(t, src, "fib", n).Ret; got != want {
+			t.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	src := `
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+int twice(int x) { return fact(x) + fact(x); }
+`
+	if got := run(t, src, "fact", 6).Ret; got != 720 {
+		t.Fatalf("fact(6) = %d, want 720", got)
+	}
+	if got := run(t, src, "twice", 5).Ret; got != 240 {
+		t.Fatalf("twice(5) = %d, want 240", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int a[8] = {5, 1, 4, 1, 5, 9, 2, 6};
+int total;
+int sum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    total = s;
+    return s;
+}`
+	res := run(t, src, "sum", 8)
+	if res.Ret != 33 {
+		t.Fatalf("sum = %d, want 33", res.Ret)
+	}
+}
+
+func TestLocalArraysAndPointers(t *testing.T) {
+	src := `
+int rev3(int x, int y, int z) {
+    int buf[3];
+    int *p;
+    buf[0] = x; buf[1] = y; buf[2] = z;
+    p = &buf[0];
+    return p[2] * 100 + p[1] * 10 + p[0];
+}`
+	if got := run(t, src, "rev3", 1, 2, 3).Ret; got != 321 {
+		t.Fatalf("rev3 = %d, want 321", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+int g;
+int bump(int v) { g += 1; return v; }
+int f(int a, int b) {
+    g = 0;
+    if (a && bump(b)) return g + 100;
+    return g;
+}`
+	// a=0: bump never runs, g stays 0.
+	if got := run(t, src, "f", 0, 1).Ret; got != 0 {
+		t.Fatalf("f(0,1) = %d, want 0", got)
+	}
+	// a=1,b=1: bump runs once.
+	if got := run(t, src, "f", 1, 1).Ret; got != 101 {
+		t.Fatalf("f(1,1) = %d, want 101", got)
+	}
+	// a=1,b=0: bump runs, condition false.
+	if got := run(t, src, "f", 1, 0).Ret; got != 1 {
+		t.Fatalf("f(1,0) = %d, want 1", got)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+int f(int n) {
+    int i = 0;
+    int s = 0;
+    while (1) {
+        i++;
+        if (i > n) break;
+        if (i % 2 == 0) continue;
+        s += i;
+    }
+    return s;
+}`
+	if got := run(t, src, "f", 10).Ret; got != 25 { // 1+3+5+7+9
+		t.Fatalf("f(10) = %d, want 25", got)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    do {
+        s += n;
+        n--;
+    } while (n > 0);
+    return s;
+}`
+	if got := run(t, src, "f", 4).Ret; got != 10 {
+		t.Fatalf("f(4) = %d, want 10", got)
+	}
+	if got := run(t, src, "f", 0).Ret; got != 0 { // body runs once
+		t.Fatalf("f(0) = %d, want 0", got)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	src := `
+int f(int x) {
+    return ((x << 3) ^ (x >> 1)) | (x & 0x0F0) | ~x;
+}`
+	x := int32(0x1234)
+	want := ((x << 3) ^ (x >> 1)) | (x & 0x0F0) | ^x
+	if got := run(t, src, "f", x).Ret; got != want {
+		t.Fatalf("f = %#x, want %#x", got, want)
+	}
+}
+
+func TestTraceBuiltin(t *testing.T) {
+	src := `
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) __trace(i * i);
+}`
+	res := run(t, src, "f", 4)
+	want := []int32{0, 1, 4, 9}
+	if len(res.Trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", res.Trace, want)
+	}
+	for i := range want {
+		if res.Trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", res.Trace, want)
+		}
+	}
+}
+
+func TestCallClobbersCallerSave(t *testing.T) {
+	// The value crossing the call must be spilled by codegen; if the
+	// interpreter failed to poison caller-save registers, a missed
+	// spill would go undetected.
+	src := `
+int id(int x) { return x; }
+int f(int a, int b) { return id(a) + id(b) + a; }
+`
+	if got := run(t, src, "f", 7, 9).Ret; got != 23 {
+		t.Fatalf("f(7,9) = %d, want 23", got)
+	}
+}
+
+func TestMemoryPersistsAcrossRuns(t *testing.T) {
+	src := `
+int counter;
+int inc(void) { counter += 1; return counter; }
+`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, interp.Limits{})
+	for want := int32(1); want <= 3; want++ {
+		res, err := m.Run("inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != want {
+			t.Fatalf("inc run %d = %d", want, res.Ret)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `void f(void) { while (1) {} }`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, interp.Limits{MaxSteps: 1000})
+	if _, err := m.Run("f"); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	src := `int f(int a, int b) { return a / b; }`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.Run(prog, "f", 1, 0); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}

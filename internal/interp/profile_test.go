@@ -1,0 +1,107 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mc"
+)
+
+// TestBlockProfiling checks the per-block execution counts that power
+// the control-flow-class dynamic count inference.
+func TestBlockProfiling(t *testing.T) {
+	src := `
+int f(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, interp.Limits{})
+	m.Profile("f")
+	res, err := m.Run("f", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Fatalf("f(5) = %d, want 10", res.Ret)
+	}
+	counts := m.BlockCounts()
+	f := prog.Func("f")
+	if len(counts) != len(f.Blocks) {
+		t.Fatalf("got %d counts for %d blocks", len(counts), len(f.Blocks))
+	}
+	// The entry block runs once; the sum over (count * block size)
+	// must equal the function's share of the dynamic instructions.
+	if counts[0] != 1 {
+		t.Fatalf("entry block executed %d times", counts[0])
+	}
+	var total int64
+	for i, c := range counts {
+		total += c * int64(len(f.Blocks[i].Instrs))
+	}
+	if total != res.Steps {
+		t.Fatalf("block-count total %d != executed steps %d", total, res.Steps)
+	}
+	// The loop head runs n+1 times: find a block with count 6.
+	found := false
+	for _, c := range counts {
+		if c == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no block executed n+1 times: %v", counts)
+	}
+}
+
+// TestProfilingAccumulatesAcrossActivations: recursive and repeated
+// calls all tally into the same counters.
+func TestBlockProfilingAccumulates(t *testing.T) {
+	src := `
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, interp.Limits{})
+	m.Profile("fact")
+	if _, err := m.Run("fact", 5); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.BlockCounts()
+	if counts[0] != 5 { // five activations enter the entry block
+		t.Fatalf("entry block executed %d times, want 5", counts[0])
+	}
+}
+
+// TestRunErrors covers the interpreter's failure modes.
+func TestRunErrors(t *testing.T) {
+	src := `
+int deep(int n) { return deep(n + 1); }
+int callmissing(void) { return nosuch(1); }
+`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.New(prog, interp.Limits{MaxDepth: 16}).Run("deep", 0); err == nil {
+		t.Error("unbounded recursion not caught")
+	}
+	if _, err := interp.Run(prog, "callmissing"); err == nil {
+		t.Error("call to unknown function not caught")
+	}
+	if _, err := interp.Run(prog, "nosuchentry"); err == nil {
+		t.Error("unknown entry function not caught")
+	}
+	if _, err := interp.Run(prog, "deep", 1, 2, 3, 4, 5); err == nil {
+		t.Error("more than four arguments not caught")
+	}
+}

@@ -1,0 +1,116 @@
+package machine_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+func TestImmediateRanges(t *testing.T) {
+	d := machine.StrongARM()
+	cases := []struct {
+		op   rtl.Op
+		imm  int32
+		want bool
+	}{
+		{rtl.OpMov, 0, true},
+		{rtl.OpMov, 65535, true},
+		{rtl.OpMov, -65535, true},
+		{rtl.OpMov, 65536, false},
+		{rtl.OpAdd, 4095, true},
+		{rtl.OpAdd, 4096, false},
+		{rtl.OpAdd, -4095, true},
+		{rtl.OpSub, 4095, true},
+		{rtl.OpAnd, 255, true},
+		{rtl.OpAnd, 256, false},
+		{rtl.OpAnd, -1, false},
+		{rtl.OpShl, 31, true},
+		{rtl.OpShl, 32, false},
+		{rtl.OpShl, -1, false},
+		{rtl.OpMul, 2, false}, // no immediate multiply: q's raison d'etre
+		{rtl.OpDiv, 2, false},
+		{rtl.OpCmp, 4095, true},
+	}
+	for _, c := range cases {
+		if got := d.LegalImm(c.op, c.imm); got != c.want {
+			t.Errorf("LegalImm(%v, %d) = %v, want %v", c.op, c.imm, got, c.want)
+		}
+	}
+	if d.LegalImm(rtl.OpMov, -2147483648) {
+		t.Error("MinInt32 must not be a legal immediate")
+	}
+}
+
+func TestLegalInstructions(t *testing.T) {
+	d := machine.StrongARM()
+	ok := []rtl.Instr{
+		rtl.NewMov(rtl.RegR0, rtl.Imm(42)),
+		rtl.NewALU(rtl.OpAdd, rtl.RegR0, rtl.R(rtl.RegR1), rtl.Imm(100)),
+		rtl.NewLoad(rtl.RegR0, rtl.RegSP, 4092),
+		rtl.NewStore(rtl.RegR0, rtl.RegSP, 8),
+		rtl.NewCmp(rtl.R(rtl.RegR0), rtl.Imm(0)),
+		{Op: rtl.OpMovHi, Dst: rtl.RegR0, Sym: "g"},
+		rtl.NewBranch(rtl.RelLT, 0),
+	}
+	for _, in := range ok {
+		in := in
+		if !d.Legal(&in) {
+			t.Errorf("should be legal: %s", in.String())
+		}
+	}
+	bad := []rtl.Instr{
+		rtl.NewALU(rtl.OpMul, rtl.RegR0, rtl.R(rtl.RegR1), rtl.Imm(3)),
+		rtl.NewALU(rtl.OpAdd, rtl.RegR0, rtl.R(rtl.RegR1), rtl.Imm(100000)),
+		rtl.NewLoad(rtl.RegR0, rtl.RegSP, 5000),
+		rtl.NewALU(rtl.OpAdd, rtl.RegR0, rtl.Imm(1), rtl.Imm(2)), // A must be a register
+	}
+	for _, in := range bad {
+		in := in
+		if d.Legal(&in) {
+			t.Errorf("should be illegal: %s", in.String())
+		}
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	d := machine.StrongARM()
+	mul := rtl.NewALU(rtl.OpMul, rtl.RegR0, rtl.R(rtl.RegR1), rtl.R(rtl.RegR2))
+	div := rtl.NewALU(rtl.OpDiv, rtl.RegR0, rtl.R(rtl.RegR1), rtl.R(rtl.RegR2))
+	add := rtl.NewALU(rtl.OpAdd, rtl.RegR0, rtl.R(rtl.RegR1), rtl.R(rtl.RegR2))
+	shl := rtl.NewALU(rtl.OpShl, rtl.RegR0, rtl.R(rtl.RegR1), rtl.Imm(3))
+	if !(d.Cost(&div) > d.Cost(&mul) && d.Cost(&mul) > d.Cost(&add)) {
+		t.Error("cost model must rank div > mul > add")
+	}
+	if d.Cost(&shl) != d.Cost(&add) {
+		t.Error("shifts should cost like adds")
+	}
+	// A shift+add sequence must beat one multiply, or strength
+	// reduction can never fire.
+	if d.Cost(&shl)+d.Cost(&add) >= d.Cost(&mul)+1 {
+		t.Error("strength reduction can never be profitable under this cost model")
+	}
+}
+
+// TestLegalImmSymmetricForMov: property — legality of Mov immediates
+// depends only on magnitude.
+func TestLegalImmSymmetricForMov(t *testing.T) {
+	d := machine.StrongARM()
+	prop := func(v int32) bool {
+		if v == -2147483648 {
+			return true // unrepresentable magnitude, handled separately
+		}
+		neg := v
+		if neg > 0 {
+			neg = -v
+		} else {
+			neg = v
+			v = -v
+		}
+		return d.LegalImm(rtl.OpMov, v) == d.LegalImm(rtl.OpMov, neg)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

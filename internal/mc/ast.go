@@ -1,0 +1,165 @@
+package mc
+
+// File is a parsed mini-C translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a file-scope int scalar or int array with
+// optional initializer(s).
+type GlobalDecl struct {
+	Name    string
+	Words   int32 // 1 for a scalar, N for int name[N]
+	IsArray bool
+	Init    []int32
+	Tok     Token
+}
+
+// Param is a function parameter: an int or a pointer to int.
+type Param struct {
+	Name string
+	Ptr  bool
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	Returns bool // int f(...) vs void f(...)
+	Body    *BlockStmt
+	Tok     Token
+}
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct{ List []Stmt }
+
+// DeclStmt declares a local: a scalar (Words==1, IsArray=false), an
+// array (int x[N]) or a pointer (int *p), with an optional scalar
+// initializer.
+type DeclStmt struct {
+	Name    string
+	Words   int32
+	IsArray bool
+	Ptr     bool
+	Init    Expr
+	Tok     Token
+}
+
+// AssignStmt assigns to an lvalue. Compound assignments (+=, <<=, ...)
+// and ++/-- are desugared by the parser into plain assignments whose
+// RHS repeats the lvalue.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Tok Token
+}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Tok  Token
+}
+
+// WhileStmt covers both while (Cond) Body and do Body while (Cond).
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+	Tok     Token
+}
+
+// ForStmt is for (Init; Cond; Post) Body; any part may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Tok  Token
+}
+
+// ReturnStmt returns from the function, with a value when the function
+// has an int result.
+type ReturnStmt struct {
+	Value Expr // nil for void functions
+	Tok   Token
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Tok Token }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Tok Token }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Tok Token
+}
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Val int32
+	Tok Token
+}
+
+// Ident names a variable.
+type Ident struct {
+	Name string
+	Tok  Token
+}
+
+// IndexExpr is Base[Index]; Base must name an array or pointer.
+type IndexExpr struct {
+	Base  *Ident
+	Index Expr
+	Tok   Token
+}
+
+// UnaryExpr is -X, ~X, !X, *X (dereference) or &X (address-of).
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Tok Token
+}
+
+// BinaryExpr is X op Y for arithmetic, comparison and logical
+// operators. ANDAND and OROR short-circuit.
+type BinaryExpr struct {
+	Op   Kind
+	X, Y Expr
+	Tok  Token
+}
+
+// CallExpr invokes a named function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Tok  Token
+}
+
+func (*NumberLit) expr()  {}
+func (*Ident) expr()      {}
+func (*IndexExpr) expr()  {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CallExpr) expr()   {}

@@ -1,0 +1,314 @@
+package mc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer splits mini-C source text into tokens. It supports decimal,
+// hexadecimal (0x...) and character ('a') literals, and both comment
+// styles.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine := l.line
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("%d: unterminated block comment", startLine)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		start := l.pos
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+			v, err := strconv.ParseUint(l.src[start+2:l.pos], 16, 32)
+			if err != nil {
+				return tok, fmt.Errorf("%s: bad hex literal %q", tok.Pos(), l.src[start:l.pos])
+			}
+			tok.Kind, tok.Text, tok.Val = NUMBER, l.src[start:l.pos], int32(uint32(v))
+			return tok, nil
+		}
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		v, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+		if err != nil || v > 1<<31 {
+			return tok, fmt.Errorf("%s: bad number %q", tok.Pos(), l.src[start:l.pos])
+		}
+		tok.Kind, tok.Text, tok.Val = NUMBER, l.src[start:l.pos], int32(v)
+		return tok, nil
+
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		if kw, ok := keywords[tok.Text]; ok {
+			tok.Kind = kw
+		} else {
+			tok.Kind = IDENT
+		}
+		return tok, nil
+
+	case c == '\'':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return tok, fmt.Errorf("%s: unterminated character literal", tok.Pos())
+		}
+		var v int32
+		ch := l.advance()
+		if ch == '\\' {
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return tok, fmt.Errorf("%s: unknown escape '\\%c'", tok.Pos(), esc)
+			}
+		} else {
+			v = int32(ch)
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return tok, fmt.Errorf("%s: unterminated character literal", tok.Pos())
+		}
+		tok.Kind, tok.Val = NUMBER, v
+		return tok, nil
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	three := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		l.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	d := l.peek2()
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACKET)
+	case ']':
+		return one(RBRACKET)
+	case ',':
+		return one(COMMA)
+	case ';':
+		return one(SEMI)
+	case '~':
+		return one(TILDE)
+	case '+':
+		if d == '+' {
+			return two(INC)
+		}
+		if d == '=' {
+			return two(PLUSEQ)
+		}
+		return one(PLUS)
+	case '-':
+		if d == '-' {
+			return two(DEC)
+		}
+		if d == '=' {
+			return two(MINUSEQ)
+		}
+		return one(MINUS)
+	case '*':
+		if d == '=' {
+			return two(STAREQ)
+		}
+		return one(STAR)
+	case '/':
+		if d == '=' {
+			return two(SLASHEQ)
+		}
+		return one(SLASH)
+	case '%':
+		if d == '=' {
+			return two(PCTEQ)
+		}
+		return one(PERCENT)
+	case '&':
+		if d == '&' {
+			return two(ANDAND)
+		}
+		if d == '=' {
+			return two(AMPEQ)
+		}
+		return one(AMP)
+	case '|':
+		if d == '|' {
+			return two(OROR)
+		}
+		if d == '=' {
+			return two(PIPEEQ)
+		}
+		return one(PIPE)
+	case '^':
+		if d == '=' {
+			return two(CARETEQ)
+		}
+		return one(CARET)
+	case '!':
+		if d == '=' {
+			return two(NE)
+		}
+		return one(BANG)
+	case '=':
+		if d == '=' {
+			return two(EQ)
+		}
+		return one(ASSIGN)
+	case '<':
+		if d == '<' {
+			if l.pos+2 < len(l.src) && l.src[l.pos+2] == '=' {
+				return three(SHLEQ)
+			}
+			return two(SHL)
+		}
+		if d == '=' {
+			return two(LE)
+		}
+		return one(LT)
+	case '>':
+		if d == '>' {
+			if l.pos+2 < len(l.src) && l.src[l.pos+2] == '=' {
+				return three(SHREQ)
+			}
+			return two(SHR)
+		}
+		if d == '=' {
+			return two(GE)
+		}
+		return one(GT)
+	}
+	return tok, fmt.Errorf("%s: unexpected character %q", tok.Pos(), c)
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize lexes the entire source.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,591 @@
+package mc
+
+import "fmt"
+
+// Parser is a recursive-descent parser for mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return p.cur(), fmt.Errorf("%s: expected %s, found %s %q",
+			p.cur().Pos(), k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for !p.at(EOF) {
+		isVoid := p.at(KwVoid)
+		if !isVoid && !p.at(KwInt) {
+			return nil, fmt.Errorf("%s: expected 'int' or 'void' at top level, found %q",
+				p.cur().Pos(), p.cur().Text)
+		}
+		p.next()
+		// A '*' here means an int* return type is being attempted,
+		// which the language does not support; functions return int or
+		// void only.
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(LPAREN) {
+			fn, err := p.parseFuncRest(name, !isVoid)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if isVoid {
+			return nil, fmt.Errorf("%s: void is only valid as a function return type", name.Pos())
+		}
+		g, err := p.parseGlobalRest(name)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *Parser) parseGlobalRest(name Token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name.Text, Words: 1, Tok: name}
+	if p.accept(LBRACKET) {
+		sz, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Val <= 0 {
+			return nil, fmt.Errorf("%s: array size must be positive", sz.Pos())
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		g.Words, g.IsArray = sz.Val, true
+	}
+	if p.accept(ASSIGN) {
+		if g.IsArray {
+			if _, err := p.expect(LBRACE); err != nil {
+				return nil, err
+			}
+			for !p.at(RBRACE) {
+				v, err := p.parseConstInt()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RBRACE); err != nil {
+				return nil, err
+			}
+			if int32(len(g.Init)) > g.Words {
+				return nil, fmt.Errorf("%s: too many initializers for %s[%d]",
+					name.Pos(), g.Name, g.Words)
+			}
+		} else {
+			v, err := p.parseConstInt()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int32{v}
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseConstInt parses an optionally negated integer literal.
+func (p *Parser) parseConstInt() (int32, error) {
+	neg := p.accept(MINUS)
+	t, err := p.expect(NUMBER)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.Val, nil
+	}
+	return t.Val, nil
+}
+
+func (p *Parser) parseFuncRest(name Token, returns bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Returns: returns, Tok: name}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) && !(p.at(KwVoid) && p.toks[p.pos+1].Kind == RPAREN) {
+		for {
+			if _, err := p.expect(KwInt); err != nil {
+				return nil, err
+			}
+			ptr := p.accept(STAR)
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			// Accept "int a[]" as pointer syntax.
+			if p.accept(LBRACKET) {
+				if _, err := p.expect(RBRACKET); err != nil {
+					return nil, err
+				}
+				ptr = true
+			}
+			fn.Params = append(fn.Params, Param{Name: pn.Text, Ptr: ptr})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+	} else {
+		p.accept(KwVoid)
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.at(RBRACE) {
+		if p.at(EOF) {
+			return nil, fmt.Errorf("%s: unexpected end of file in block", p.cur().Pos())
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	p.next() // RBRACE
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case LBRACE:
+		return p.parseBlock()
+
+	case KwInt:
+		p.next()
+		ptr := p.accept(STAR)
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.Text, Words: 1, Ptr: ptr, Tok: name}
+		if p.accept(LBRACKET) {
+			if ptr {
+				return nil, fmt.Errorf("%s: array of pointers is not supported", name.Pos())
+			}
+			sz, err := p.expect(NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			if sz.Val <= 0 {
+				return nil, fmt.Errorf("%s: array size must be positive", sz.Pos())
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			d.Words, d.IsArray = sz.Val, true
+		}
+		if p.accept(ASSIGN) {
+			if d.IsArray {
+				return nil, fmt.Errorf("%s: local array initializers are not supported", name.Pos())
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return d, nil
+
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Tok: tok}
+		if p.accept(KwElse) {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Tok: tok}, nil
+
+	case KwDo:
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true, Tok: tok}, nil
+
+	case KwFor:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		var init, post Stmt
+		var cond Expr
+		var err error
+		if !p.at(SEMI) {
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		if !p.at(SEMI) {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		if !p.at(RPAREN) {
+			post, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Tok: tok}, nil
+
+	case KwReturn:
+		p.next()
+		st := &ReturnStmt{Tok: tok}
+		if !p.at(SEMI) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Tok: tok}, nil
+
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Tok: tok}, nil
+
+	case SEMI:
+		p.next()
+		return &BlockStmt{}, nil
+	}
+
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment, ++/--, or expression statement
+// (without the trailing semicolon), as used in for-clauses.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	tok := p.cur()
+	// Prefix ++x / --x.
+	if p.at(INC) || p.at(DEC) {
+		op := p.next()
+		lhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return desugarIncDec(lhs, op)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, fmt.Errorf("%s: left side of assignment is not assignable", tok.Pos())
+		}
+		return &AssignStmt{LHS: e, RHS: rhs, Tok: tok}, nil
+	case PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PCTEQ, AMPEQ, PIPEEQ, CARETEQ, SHLEQ, SHREQ:
+		op := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, fmt.Errorf("%s: left side of assignment is not assignable", tok.Pos())
+		}
+		bin := map[Kind]Kind{
+			PLUSEQ: PLUS, MINUSEQ: MINUS, STAREQ: STAR, SLASHEQ: SLASH,
+			PCTEQ: PERCENT, AMPEQ: AMP, PIPEEQ: PIPE, CARETEQ: CARET,
+			SHLEQ: SHL, SHREQ: SHR,
+		}[op.Kind]
+		return &AssignStmt{LHS: e, RHS: &BinaryExpr{Op: bin, X: e, Y: rhs, Tok: op}, Tok: tok}, nil
+	case INC, DEC:
+		op := p.next()
+		return desugarIncDec(e, op)
+	}
+	return &ExprStmt{X: e, Tok: tok}, nil
+}
+
+func desugarIncDec(lhs Expr, op Token) (Stmt, error) {
+	if !isLvalue(lhs) {
+		return nil, fmt.Errorf("%s: operand of %s is not assignable", op.Pos(), op.Kind)
+	}
+	bin := PLUS
+	if op.Kind == DEC {
+		bin = MINUS
+	}
+	return &AssignStmt{
+		LHS: lhs,
+		RHS: &BinaryExpr{Op: bin, X: lhs, Y: &NumberLit{Val: 1, Tok: op}, Tok: op},
+		Tok: op,
+	}, nil
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == STAR
+	}
+	return false
+}
+
+// Precedence climbing. Level 1 binds loosest (||).
+var binPrec = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	PIPE:   3,
+	CARET:  4,
+	AMP:    5,
+	EQ:     6, NE: 6,
+	LT: 7, LE: 7, GT: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, Tok: op}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case MINUS, TILDE, BANG, STAR, AMP:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == AMP {
+			switch x.(type) {
+			case *Ident, *IndexExpr:
+				// ok: &name or &name[index]
+			default:
+				return nil, fmt.Errorf("%s: '&' requires a variable or array element", tok.Pos())
+			}
+		}
+		// Constant-fold negative literals so "-5" is a literal.
+		if tok.Kind == MINUS {
+			if n, ok := x.(*NumberLit); ok {
+				return &NumberLit{Val: -n.Val, Tok: tok}, nil
+			}
+		}
+		return &UnaryExpr{Op: tok.Kind, X: x, Tok: tok}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case NUMBER:
+		p.next()
+		return &NumberLit{Val: tok.Val, Tok: tok}, nil
+	case LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.accept(LPAREN) {
+			call := &CallExpr{Name: tok.Text, Tok: tok}
+			if !p.at(RPAREN) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		id := &Ident{Name: tok.Text, Tok: tok}
+		if p.accept(LBRACKET) {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Base: id, Index: idx, Tok: tok}, nil
+		}
+		return id, nil
+	}
+	return nil, fmt.Errorf("%s: expected expression, found %s %q", tok.Pos(), tok.Kind, tok.Text)
+}

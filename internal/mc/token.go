@@ -1,0 +1,121 @@
+// Package mc implements a small C-like language ("mini-C") and its
+// translation to the RTL intermediate representation. It stands in for
+// the C frontend that feeds the VPO backend in the paper: the phase
+// order study operates entirely on the RTL the frontend produces.
+//
+// The language has 32-bit int scalars, one-dimensional int arrays,
+// pointers to int, the usual C operators (including short-circuit
+// && and ||), if/else, while, for, do-while, break, continue and
+// return. Code generation is deliberately naive — every value passes
+// through a fresh pseudo register and every variable access goes
+// through its stack slot — leaving all improvement to the optimization
+// phases, exactly as a conventional compiler frontend would.
+package mc
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	KwInt
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwVoid
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	BANG     // !
+	SHL      // <<
+	SHR      // >>
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	EQ       // ==
+	NE       // !=
+	ANDAND   // &&
+	OROR     // ||
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+	PCTEQ    // %=
+	AMPEQ    // &=
+	PIPEEQ   // |=
+	CARETEQ  // ^=
+	SHLEQ    // <<=
+	SHREQ    // >>=
+	INC      // ++
+	DEC      // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	KwInt: "'int'", KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'",
+	KwFor: "'for'", KwDo: "'do'", KwReturn: "'return'", KwBreak: "'break'",
+	KwContinue: "'continue'", KwVoid: "'void'",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACKET: "'['", RBRACKET: "']'", COMMA: "','", SEMI: "';'",
+	ASSIGN: "'='", PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'",
+	PERCENT: "'%'", AMP: "'&'", PIPE: "'|'", CARET: "'^'", TILDE: "'~'",
+	BANG: "'!'", SHL: "'<<'", SHR: "'>>'", LT: "'<'", LE: "'<='",
+	GT: "'>'", GE: "'>='", EQ: "'=='", NE: "'!='", ANDAND: "'&&'",
+	OROR: "'||'", PLUSEQ: "'+='", MINUSEQ: "'-='", STAREQ: "'*='",
+	SLASHEQ: "'/='", PCTEQ: "'%='", AMPEQ: "'&='", PIPEEQ: "'|='",
+	CARETEQ: "'^='", SHLEQ: "'<<='", SHREQ: "'>>='", INC: "'++'", DEC: "'--'",
+}
+
+// String returns a human-readable token kind name for diagnostics.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"for": KwFor, "do": KwDo, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "void": KwVoid,
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int32 // value for NUMBER tokens
+	Line int
+	Col  int
+}
+
+// Pos formats the token's position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

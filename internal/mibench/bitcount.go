@@ -1,0 +1,128 @@
+package mibench
+
+// Bitcount is the "auto" category benchmark: it tests processor bit
+// manipulation abilities with seven different bit-counting routines,
+// following the structure of the MiBench bitcnts program (bit_count,
+// bitcount, ntbl_bitcnt, ntbl_bitcount, btbl_bitcnt, bit_shifter and a
+// driver that runs them all over a pseudo-random stream).
+func Bitcount() Program {
+	return Program{
+		Name:        "bitcount",
+		Category:    "auto",
+		Description: "test processor bit manipulation abilities",
+		Driver:      "bitcount_main",
+		DriverArgs:  []int32{64},
+		Source: `
+/* Four-bit population count table, as in MiBench's bitcount. */
+int bits[16] = {0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+
+/* Byte-wide population count table, filled once by btbl_init. */
+int btbl[256];
+int btbl_ready;
+
+int nseed;
+
+/* Kernighan-style counter: clear the lowest set bit until empty. */
+int bit_count(int x) {
+    int n = 0;
+    if (x) {
+        do {
+            n++;
+            x = x & (x - 1);
+        } while (x);
+    }
+    return n;
+}
+
+/* Parallel (tree) counter using mask arithmetic. */
+int bitcount(int i) {
+    i = ((i & 0xAAAAAAAA) >> 1) + (i & 0x55555555);
+    i = ((i & 0xCCCCCCCC) >> 2) + (i & 0x33333333);
+    i = ((i & 0xF0F0F0F0) >> 4) + (i & 0x0F0F0F0F);
+    i = ((i & 0xFF00FF00) >> 8) + (i & 0x00FF00FF);
+    i = ((i & 0xFFFF0000) >> 16) + (i & 0x0000FFFF);
+    return i & 63;
+}
+
+/* Nibble-table counter: recurse over 4-bit groups. */
+int ntbl_bitcnt(int x) {
+    int cnt = bits[x & 0x0F];
+    x = (x >> 4) & 0x0FFFFFFF;
+    if (x != 0) {
+        cnt += ntbl_bitcnt(x);
+    }
+    return cnt;
+}
+
+/* Non-looping nibble-table counter. */
+int ntbl_bitcount(int x) {
+    return bits[x & 0x0F] +
+           bits[(x >> 4) & 0x0F] +
+           bits[(x >> 8) & 0x0F] +
+           bits[(x >> 12) & 0x0F] +
+           bits[(x >> 16) & 0x0F] +
+           bits[(x >> 20) & 0x0F] +
+           bits[(x >> 24) & 0x0F] +
+           bits[(x >> 28) & 0x0F];
+}
+
+void btbl_init(void) {
+    int i;
+    if (btbl_ready) return;
+    for (i = 0; i < 256; i++) btbl[i] = bits[i & 0x0F] + bits[(i >> 4) & 0x0F];
+    btbl_ready = 1;
+}
+
+/* Byte-table counter. */
+int btbl_bitcnt(int x) {
+    btbl_init();
+    return btbl[x & 0xFF] +
+           btbl[(x >> 8) & 0xFF] +
+           btbl[(x >> 16) & 0xFF] +
+           btbl[(x >> 24) & 0xFF];
+}
+
+/* Shift-and-test counter. */
+int bit_shifter(int x) {
+    int i;
+    int n = 0;
+    for (i = 0; x && (i < 32); i++) {
+        n += x & 1;
+        x = (x >> 1) & 0x7FFFFFFF;
+    }
+    return n;
+}
+
+/* Simple linear congruential stream standing in for the random test
+ * inputs of the original driver. */
+int nextrand(void) {
+    nseed = nseed * 1103515245 + 12345;
+    return nseed & 0x7FFFFFFF;
+}
+
+int bitcount_main(int iterations) {
+    int i;
+    int n;
+    int seed;
+    int total[6];
+    for (i = 0; i < 6; i++) total[i] = 0;
+    nseed = 1;
+    for (n = 0; n < iterations; n++) {
+        seed = nextrand();
+        total[0] += bit_count(seed);
+        total[1] += bitcount(seed);
+        total[2] += ntbl_bitcnt(seed);
+        total[3] += ntbl_bitcount(seed);
+        total[4] += btbl_bitcnt(seed);
+        total[5] += bit_shifter(seed);
+    }
+    /* Every counter must agree. */
+    for (i = 1; i < 6; i++) {
+        if (total[i] != total[0]) __trace(-i);
+    }
+    for (i = 0; i < 6; i++) __trace(total[i]);
+    return total[0];
+}
+`,
+	}
+}

@@ -1,0 +1,144 @@
+package mibench
+
+// Dijkstra is the "network" category benchmark: single-source shortest
+// paths over a dense adjacency matrix, following the structure of the
+// MiBench dijkstra program (an adjacency matrix, a work queue with
+// enqueue/dequeue/qcount, and a dijkstra routine driven over several
+// source/destination pairs).
+func Dijkstra() Program {
+	return Program{
+		Name:        "dijkstra",
+		Category:    "network",
+		Description: "Dijkstra's shortest path algorithm",
+		Driver:      "dijkstra_main",
+		DriverArgs:  nil,
+		Source: `
+/* 10-node graph: AdjMatrix[i*10+j] is the edge weight, 0 = no edge. */
+int AdjMatrix[100];
+int gdist[10];
+int gprev[10];
+
+/* FIFO work queue of node/distance pairs. */
+int qnode[128];
+int qdist[128];
+int qhead;
+int qtail;
+
+int NONE;
+
+void enqueue(int node, int dist) {
+    qnode[qtail & 127] = node;
+    qdist[qtail & 127] = dist;
+    qtail++;
+}
+
+int dequeue_node(void) {
+    return qnode[qhead & 127];
+}
+
+int dequeue_dist(void) {
+    return qdist[qhead & 127];
+}
+
+void dequeue(void) {
+    qhead++;
+}
+
+int qcount(void) {
+    return qtail - qhead;
+}
+
+/* Build a deterministic pseudo-random weighted graph. */
+void build_graph(void) {
+    int i;
+    int j;
+    int w = 7;
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            w = (w * 1103515245 + 12345) & 0x7FFFFFFF;
+            if (i == j) {
+                AdjMatrix[i * 10 + j] = 0;
+            } else {
+                AdjMatrix[i * 10 + j] = (w % 9) + 1;
+            }
+        }
+    }
+}
+
+int dijkstra(int src, int dst) {
+    int i;
+    int v;
+    int dist;
+    int w;
+    NONE = 9999;
+    for (i = 0; i < 10; i++) {
+        gdist[i] = NONE;
+        gprev[i] = NONE;
+    }
+    qhead = 0;
+    qtail = 0;
+    gdist[src] = 0;
+    enqueue(src, 0);
+    while (qcount() > 0) {
+        v = dequeue_node();
+        dist = dequeue_dist();
+        dequeue();
+        if (dist > gdist[v]) continue;
+        for (i = 0; i < 10; i++) {
+            w = AdjMatrix[v * 10 + i];
+            if (w != 0) {
+                if (dist + w < gdist[i]) {
+                    gdist[i] = dist + w;
+                    gprev[i] = v;
+                    enqueue(i, dist + w);
+                }
+            }
+        }
+    }
+    return gdist[dst];
+}
+
+/* Walk predecessors to count the hops of the found path. */
+int path_len(int src, int dst) {
+    int hops = 0;
+    int v = dst;
+    while (v != src && hops < 16 && v != 9999) {
+        v = gprev[v];
+        hops++;
+    }
+    return hops;
+}
+
+/* Count nodes reachable from src within maxdist, a small analysis pass
+ * over the dijkstra results. */
+int count_near(int src, int maxdist) {
+    int i;
+    int n = 0;
+    for (i = 0; i < 10; i++) {
+        if (i != src) {
+            if (dijkstra(src, i) <= maxdist) n++;
+        }
+    }
+    return n;
+}
+
+int dijkstra_main(void) {
+    int i;
+    int j;
+    int total = 0;
+    build_graph();
+    __trace(count_near(0, 5));
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            if (i != j) {
+                int d = dijkstra(i, j);
+                total += d;
+                __trace(d * 100 + path_len(i, j));
+            }
+        }
+    }
+    return total;
+}
+`,
+	}
+}

@@ -1,0 +1,167 @@
+package mibench
+
+// FFT is the "telecomm" category benchmark: a radix-2 decimation-in-
+// time fast Fourier transform. The original MiBench fft uses floating
+// point; the mini-C dialect is integer-only, so this version is a Q15
+// fixed-point FFT with a quarter-wave sine table — the standard
+// embedded-systems formulation (DESIGN.md records the substitution).
+// Like the paper's fft_float and main (the two functions whose spaces
+// exceeded the search cap), fft_fixed and fft_main are the largest
+// functions of the suite.
+func FFT() Program {
+	return Program{
+		Name:        "fft",
+		Category:    "telecomm",
+		Description: "fast Fourier transform (Q15 fixed point)",
+		Driver:      "fft_main",
+		DriverArgs:  []int32{5}, // log2(N): 32-point transform
+		Source: `
+/* Real/imaginary signal buffers, up to 64 points. */
+int re[64];
+int im[64];
+
+/* Quarter-wave Q15 sine table, 17 entries covering 0..pi/2 in
+ * pi/32 steps: sin(k*pi/32) * 32768. */
+int sintab[17] = {
+    0, 3212, 6393, 9512, 12539, 15446, 18204, 20787,
+    23170, 25329, 27245, 28898, 30273, 31356, 32137, 32609, 32767
+};
+
+/* Q15 multiply with rounding. */
+int fix_mul(int a, int b) {
+    return (a * b + 16384) >> 15;
+}
+
+/* sin(k*pi/32) in Q15 for any k, via quarter-wave symmetry. */
+int fix_sin(int k) {
+    k = k & 63;
+    if (k < 16) return sintab[k];
+    if (k < 32) return sintab[32 - k];
+    if (k < 48) return -sintab[k - 32];
+    return -sintab[64 - k];
+}
+
+/* cos via phase shift. */
+int fix_cos(int k) {
+    return fix_sin(k + 16);
+}
+
+/* Bit-reverse the low m bits of x. */
+int bit_reverse(int x, int m) {
+    int r = 0;
+    int i;
+    for (i = 0; i < m; i++) {
+        r = (r << 1) | (x & 1);
+        x = x >> 1;
+    }
+    return r;
+}
+
+/* In-place radix-2 DIT FFT over re/im. m = log2(n), inverse != 0 for
+ * the inverse transform (without the 1/n scaling). */
+void fft_fixed(int m, int inverse) {
+    int n = 1 << m;
+    int i;
+    int j;
+    int stage;
+    int half = 1;
+    int step;
+
+    /* Bit-reversal permutation. */
+    for (i = 0; i < n; i++) {
+        j = bit_reverse(i, m);
+        if (j > i) {
+            int tr = re[i];
+            int ti = im[i];
+            re[i] = re[j];
+            im[i] = im[j];
+            re[j] = tr;
+            im[j] = ti;
+        }
+    }
+
+    /* Butterfly stages. */
+    for (stage = 0; stage < m; stage++) {
+        step = 64 >> (stage + 1);   /* table stride for this stage */
+        for (j = 0; j < half; j++) {
+            int wr = fix_cos(j * step);
+            int wi = -fix_sin(j * step);
+            if (inverse) wi = -wi;
+            for (i = j; i < n; i += half * 2) {
+                int k = i + half;
+                int tr = fix_mul(wr, re[k]) - fix_mul(wi, im[k]);
+                int ti = fix_mul(wr, im[k]) + fix_mul(wi, re[k]);
+                re[k] = (re[i] - tr) >> 1;
+                im[k] = (im[i] - ti) >> 1;
+                re[i] = (re[i] + tr) >> 1;
+                im[i] = (im[i] + ti) >> 1;
+            }
+        }
+        half = half * 2;
+    }
+}
+
+/* Fill the buffers with a deterministic two-tone test signal. */
+void fft_fill(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        re[i] = fix_sin(i * 4) / 2 + fix_sin(i * 6) / 4;
+        im[i] = 0;
+    }
+}
+
+/* Alpha-max-plus-beta-min magnitude approximation: |z| without a
+ * square root, the embedded staple. */
+int fix_mag(int re0, int im0) {
+    if (re0 < 0) re0 = -re0;
+    if (im0 < 0) im0 = -im0;
+    if (re0 > im0) return re0 + ((im0 * 3) >> 3);
+    return im0 + ((re0 * 3) >> 3);
+}
+
+/* Index of the strongest bin in the lower half spectrum. */
+int find_peak(int n) {
+    int i;
+    int best = 0;
+    int besti = 0;
+    for (i = 0; i < n / 2; i++) {
+        int m = fix_mag(re[i], im[i]);
+        if (m > best) {
+            best = m;
+            besti = i;
+        }
+    }
+    return besti;
+}
+
+/* Sum of absolute values, the driver's spectrum summary. */
+int fft_energy(int n) {
+    int i;
+    int e = 0;
+    for (i = 0; i < n; i++) {
+        int r = re[i];
+        int v = im[i];
+        if (r < 0) r = -r;
+        if (v < 0) v = -v;
+        e += r + v;
+    }
+    return e;
+}
+
+int fft_main(int m) {
+    int n = 1 << m;
+    int i;
+    fft_fill(n);
+    fft_fixed(m, 0);
+    for (i = 0; i < n; i++) __trace(re[i] * 65536 + (im[i] & 0xFFFF));
+    __trace(fft_energy(n));
+    __trace(find_peak(n));
+    /* Round-trip: inverse transform should approximately restore the
+     * (scaled) signal. */
+    fft_fixed(m, 1);
+    __trace(fft_energy(n));
+    return fft_energy(n);
+}
+`,
+	}
+}

@@ -1,0 +1,357 @@
+package mibench_test
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math/bits"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mibench"
+)
+
+// machineFor compiles a benchmark and returns a machine over it.
+func machineFor(t *testing.T, name string) *interp.Machine {
+	t.Helper()
+	p, err := mibench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return interp.New(prog, interp.Limits{})
+}
+
+// TestSHAMatchesCryptoSHA1 cross-validates the benchmark against Go's
+// crypto/sha1: the driver hashes a 64-byte message (byte i is
+// (i*7+3)&0xFF) with standard padding, so the digests must agree
+// word for word.
+func TestSHAMatchesCryptoSHA1(t *testing.T) {
+	m := machineFor(t, "sha")
+	res, err := m.Run("sha_main", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte((i*7 + 3) & 0xFF)
+	}
+	want := sha1.Sum(msg)
+	if len(res.Trace) != 5 {
+		t.Fatalf("driver traced %d words, want 5", len(res.Trace))
+	}
+	for i := 0; i < 5; i++ {
+		w := binary.BigEndian.Uint32(want[i*4:])
+		if uint32(res.Trace[i]) != w {
+			t.Fatalf("digest word %d = %08x, want %08x", i, uint32(res.Trace[i]), w)
+		}
+	}
+}
+
+// TestBitcountMatchesMathBits cross-validates all six counters against
+// math/bits.OnesCount32 over the same LCG stream the driver uses.
+func TestBitcountMatchesMathBits(t *testing.T) {
+	m := machineFor(t, "bitcount")
+	res, err := m.Run("bitcount_main", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int32(1)
+	want := 0
+	for n := 0; n < 64; n++ {
+		seed = seed*1103515245 + 12345
+		want += bits.OnesCount32(uint32(seed & 0x7FFFFFFF))
+	}
+	if res.Ret != int32(want) {
+		t.Fatalf("bitcount total = %d, want %d", res.Ret, want)
+	}
+	// All six counters agreed (no negative markers in the trace).
+	for _, v := range res.Trace {
+		if v < 0 {
+			t.Fatalf("counters disagreed: trace %v", res.Trace)
+		}
+	}
+}
+
+// TestDijkstraMatchesReference reimplements the same graph and a
+// textbook Dijkstra in Go and compares every pair distance.
+func TestDijkstraMatchesReference(t *testing.T) {
+	// Rebuild the driver's pseudo-random graph.
+	var adj [10][10]int32
+	w := int32(7)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			w = (w*1103515245 + 12345) & 0x7FFFFFFF
+			if i == j {
+				adj[i][j] = 0
+			} else {
+				adj[i][j] = (w % 9) + 1
+			}
+		}
+	}
+	shortest := func(src, dst int) int32 {
+		const inf = int32(1 << 30)
+		dist := [10]int32{}
+		done := [10]bool{}
+		for i := range dist {
+			dist[i] = inf
+		}
+		dist[src] = 0
+		for {
+			u, best := -1, inf
+			for i, d := range dist {
+				if !done[i] && d < best {
+					u, best = i, d
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for v := 0; v < 10; v++ {
+				if adj[u][v] != 0 && dist[u]+adj[u][v] < dist[v] {
+					dist[v] = dist[u] + adj[u][v]
+				}
+			}
+		}
+		return dist[dst]
+	}
+
+	m := machineFor(t, "dijkstra")
+	if _, err := m.Run("build_graph"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i == j {
+				continue
+			}
+			res, err := m.Run("dijkstra", int32(i), int32(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := shortest(i, j); res.Ret != want {
+				t.Fatalf("dijkstra(%d,%d) = %d, want %d", i, j, res.Ret, want)
+			}
+		}
+	}
+}
+
+// TestStringsearchMatchesReference rebuilds the corpus in Go and
+// compares every search result against a straightforward scan.
+func TestStringsearchMatchesReference(t *testing.T) {
+	text := make([]int32, 256)
+	w := int32(11)
+	for i := range text {
+		w = (w*1103515245 + 12345) & 0x7FFFFFFF
+		text[i] = 'a' + (w % 26)
+	}
+	plant := func(at int, s string) {
+		for i, c := range s {
+			text[at+i] = int32(c)
+		}
+	}
+	plant(77, "Found")
+	plant(180, "found")
+
+	find := func(pat []int32, fold bool) int32 {
+		lower := func(c int32) int32 {
+			if fold && c >= 'A' && c <= 'Z' {
+				return c + 32
+			}
+			return c
+		}
+		for i := 0; i+len(pat) <= len(text); i++ {
+			ok := true
+			for j := range pat {
+				if lower(text[i+j]) != lower(pat[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return int32(i)
+			}
+		}
+		return -1
+	}
+
+	pats := map[int][]int32{
+		0: {'f', 'o', 'u', 'n', 'd'},
+		1: {'F', 'o', 'u', 'n', 'd'},
+		2: {'z', 'q', 'z', 'q'},
+	}
+
+	m := machineFor(t, "stringsearch")
+	if _, err := m.Run("build_text"); err != nil {
+		t.Fatal(err)
+	}
+	for which, pat := range pats {
+		if _, err := m.Run("set_pattern", int32(which)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run("bmh_init"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run("bmh_search")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := find(pat, false); res.Ret != want {
+			t.Fatalf("bmh_search(pat %d) = %d, want %d", which, res.Ret, want)
+		}
+		res, err = m.Run("bmha_search")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := find(pat, false); res.Ret != want {
+			t.Fatalf("bmha_search(pat %d) = %d, want %d", which, res.Ret, want)
+		}
+		if _, err := m.Run("bmhi_init"); err != nil {
+			t.Fatal(err)
+		}
+		res, err = m.Run("bmhi_search")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := find(pat, true); res.Ret != want {
+			t.Fatalf("bmhi_search(pat %d) = %d, want %d", which, res.Ret, want)
+		}
+	}
+}
+
+// TestFFTRoundTripRestoresSignal checks that forward + inverse
+// transform reproduces the (per-stage halved) input up to fixed-point
+// rounding: correlating the restored signal with the original must
+// give a strongly positive match.
+func TestFFTRoundTripRestoresSignal(t *testing.T) {
+	m := machineFor(t, "fft")
+	const logN, n = 5, 32
+	if _, err := m.Run("fft_fill", n); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		orig[i] = m.ReadGlobal("re", i)
+	}
+	if _, err := m.Run("fft_fixed", logN, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("fft_fixed", logN, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The forward transform halves at each of logN stages (a 1/n
+	// scale) and the inverse halves again, but the inverse butterflies
+	// also re-sum the n bins, so the net round-trip scale is 1/n.
+	// Correlate the rescaled signal with the original.
+	var dot, norm int64
+	for i := int32(0); i < n; i++ {
+		restored := int64(m.ReadGlobal("re", i)) * int64(n)
+		dot += restored * int64(orig[i])
+		norm += int64(orig[i]) * int64(orig[i])
+	}
+	if norm == 0 {
+		t.Fatal("test signal is empty")
+	}
+	ratio := float64(dot) / float64(norm)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("round trip lost the signal: correlation ratio %.3f", ratio)
+	}
+}
+
+// TestFFTSpectrumPeaks: the two-tone input must put its energy at the
+// tone bins (4 and 6 of 32, plus mirrors).
+func TestFFTSpectrumPeaks(t *testing.T) {
+	m := machineFor(t, "fft")
+	const logN, n = 5, 32
+	if _, err := m.Run("fft_fill", n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("fft_fixed", logN, 0); err != nil {
+		t.Fatal(err)
+	}
+	mag := func(i int32) int64 {
+		re := int64(m.ReadGlobal("re", i))
+		im := int64(m.ReadGlobal("im", i))
+		return re*re + im*im
+	}
+	peak := []int32{2, 3, 29, 30} // bins of sin(i*4*pi/32)=bin2 and sin(i*6*pi/32)=bin3, plus mirrors
+	peakE, totalE := int64(0), int64(0)
+	for i := int32(0); i < n; i++ {
+		e := mag(i)
+		totalE += e
+		for _, p := range peak {
+			if i == p {
+				peakE += e
+			}
+		}
+	}
+	if totalE == 0 {
+		t.Fatal("empty spectrum")
+	}
+	if float64(peakE) < 0.8*float64(totalE) {
+		t.Fatalf("tone bins hold only %.1f%% of the energy", 100*float64(peakE)/float64(totalE))
+	}
+}
+
+// TestJPEGQuantTableMatchesFormula reimplements set_quant_table.
+func TestJPEGQuantTableMatchesFormula(t *testing.T) {
+	std := []int32{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	m := machineFor(t, "jpeg")
+	if _, err := m.Run("set_quant_table", 75); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 64; i++ {
+		want := (std[i]*75 + 50) / 100
+		if want <= 0 {
+			want = 1
+		}
+		if want > 255 {
+			want = 255
+		}
+		if got := m.ReadGlobal("quanttbl", i); got != want {
+			t.Fatalf("quanttbl[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestJPEGZigzagIsPermutation: the zig-zag reorder must visit every
+// coefficient exactly once.
+func TestJPEGZigzagIsPermutation(t *testing.T) {
+	m := machineFor(t, "jpeg")
+	// Fill qblock with identifiable values.
+	addr, ok := m.GlobalAddr("qblock")
+	if !ok {
+		t.Fatal("no qblock global")
+	}
+	for i := uint32(0); i < 64; i++ {
+		m.WriteWord(addr+i*4, int32(1000+i))
+	}
+	if _, err := m.Run("zigzag_block"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for i := int32(0); i < 64; i++ {
+		v := m.ReadGlobal("zz", i)
+		if v < 1000 || v >= 1064 || seen[v] {
+			t.Fatalf("zigzag not a permutation: zz[%d] = %d", i, v)
+		}
+		seen[v] = true
+	}
+	// Spot-check the scan order: zz[1] must be coefficient 1, zz[2]
+	// coefficient 8.
+	if m.ReadGlobal("zz", 1) != 1001 || m.ReadGlobal("zz", 2) != 1008 {
+		t.Fatal("zig-zag order wrong at the start")
+	}
+}

@@ -1,0 +1,359 @@
+package mibench
+
+// JPEG is the "consumer" category benchmark: the computational kernels
+// of a baseline JPEG coder, following the parts of the MiBench
+// jpeg/cjpeg program the paper's Table 3 draws functions from — color
+// conversion (rgb_ycc), the forward DCT (start_input/fdct kernels),
+// quantization table setup (set_quant_table), block quantization,
+// zig-zag reordering, and a table-driven entropy decoder in the style
+// of GetCode/LZWReadByte.
+func JPEG() Program {
+	return Program{
+		Name:        "jpeg",
+		Category:    "consumer",
+		Description: "image compression / decompression kernels",
+		Driver:      "jpeg_main",
+		DriverArgs:  nil,
+		Source: `
+/* One 8x8 sample block and its transform/quantized versions. */
+int sample[64];
+int block[64];
+int qblock[64];
+int quanttbl[64];
+int zz[64];
+
+/* Standard luminance quantization base table (subset pattern). */
+int std_luminance[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+
+/* Zig-zag scan order. */
+int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+
+/* Huffman-style decode tables for get_code. */
+int maxcode[9];
+int valptr[9];
+int huffval[16];
+int bitbuf;
+int bitcnt;
+int instream[32];
+int inpos;
+
+/* --- color conversion ---------------------------------------------- */
+
+/* Scaled integer RGB -> luma, as in jpeg's rgb_ycc_convert. */
+int rgb_ycc(int r, int g, int b) {
+    return (19595 * r + 38470 * g + 7471 * b + 32768) >> 16;
+}
+
+/* --- forward DCT ----------------------------------------------------- */
+
+/* One-dimensional 8-point DCT pass over block[off..off+7*stride],
+ * integer AAN-style butterflies. */
+void fdct_pass(int off, int stride) {
+    int p0 = block[off];
+    int p1 = block[off + stride];
+    int p2 = block[off + 2 * stride];
+    int p3 = block[off + 3 * stride];
+    int p4 = block[off + 4 * stride];
+    int p5 = block[off + 5 * stride];
+    int p6 = block[off + 6 * stride];
+    int p7 = block[off + 7 * stride];
+
+    int s07 = p0 + p7;
+    int d07 = p0 - p7;
+    int s16 = p1 + p6;
+    int d16 = p1 - p6;
+    int s25 = p2 + p5;
+    int d25 = p2 - p5;
+    int s34 = p3 + p4;
+    int d34 = p3 - p4;
+
+    int a0 = s07 + s34;
+    int a1 = s16 + s25;
+    int a2 = s07 - s34;
+    int a3 = s16 - s25;
+
+    block[off] = a0 + a1;
+    block[off + 4 * stride] = a0 - a1;
+    block[off + 2 * stride] = a2 + ((a3 * 92682) >> 17);
+    block[off + 6 * stride] = ((a2 * 92682) >> 17) - a3;
+
+    block[off + stride] = d07 + ((d16 * 3) >> 2);
+    block[off + 3 * stride] = d25 - ((d34 * 3) >> 2);
+    block[off + 5 * stride] = d16 + ((d25 * 5) >> 3);
+    block[off + 7 * stride] = d34 - ((d07 * 5) >> 3);
+}
+
+/* 2-D forward DCT: rows then columns. */
+void forward_dct(void) {
+    int i;
+    for (i = 0; i < 64; i++) block[i] = sample[i] - 128;
+    for (i = 0; i < 8; i++) fdct_pass(i * 8, 1);
+    for (i = 0; i < 8; i++) fdct_pass(i, 8);
+}
+
+/* --- quantization ---------------------------------------------------- */
+
+/* Scale the base table by a quality factor, as set_quant_slots does. */
+void set_quant_table(int scale_factor) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int temp = (std_luminance[i] * scale_factor + 50) / 100;
+        if (temp <= 0) temp = 1;
+        if (temp > 255) temp = 255;
+        quanttbl[i] = temp;
+    }
+}
+
+void quantize_block(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = block[i];
+        int q = quanttbl[i];
+        if (v < 0) {
+            v = -v;
+            v += q >> 1;
+            v = v / q;
+            qblock[i] = -v;
+        } else {
+            v += q >> 1;
+            qblock[i] = v / q;
+        }
+    }
+}
+
+/* Reorder into zig-zag scan order. */
+void zigzag_block(void) {
+    int i;
+    for (i = 0; i < 64; i++) zz[i] = qblock[zigzag[i]];
+}
+
+/* --- entropy decoding (GetCode/LZWReadByte style) -------------------- */
+
+void decode_init(void) {
+    int i;
+    /* A tiny canonical Huffman code: lengths 2..4. */
+    maxcode[0] = -1;
+    maxcode[1] = -1;
+    maxcode[2] = 2;  /* codes 00,01,10 */
+    maxcode[3] = 6;
+    maxcode[4] = 14;
+    for (i = 5; i < 9; i++) maxcode[i] = -1;
+    valptr[2] = 0;
+    valptr[3] = 3;
+    valptr[4] = 5;
+    for (i = 0; i < 16; i++) huffval[i] = i * 3 + 1;
+    bitbuf = 0;
+    bitcnt = 0;
+    inpos = 0;
+}
+
+int get_bit(void) {
+    int b;
+    if (bitcnt == 0) {
+        bitbuf = instream[inpos & 31];
+        inpos++;
+        bitcnt = 8;
+    }
+    b = (bitbuf >> 7) & 1;
+    bitbuf = (bitbuf << 1) & 0xFF;
+    bitcnt--;
+    return b;
+}
+
+/* Table-driven Huffman decode, as jpeg's GetCode. */
+int get_code(void) {
+    int code = get_bit();
+    int len = 1;
+    while (len < 8 && (maxcode[len] < 0 || code > maxcode[len])) {
+        code = (code << 1) | get_bit();
+        len++;
+    }
+    if (len >= 8) return -1;
+    return huffval[valptr[len] + code - (maxcode[len] - (maxcode[len] >> 1))];
+}
+
+int decode_run(int count) {
+    int i;
+    int sum = 0;
+    decode_init();
+    for (i = 0; i < 32; i++) instream[i] = (i * 37 + 11) & 0xFF;
+    for (i = 0; i < count; i++) {
+        int v = get_code();
+        if (v < 0) break;
+        sum += v;
+    }
+    return sum;
+}
+
+/* --- inverse DCT ------------------------------------------------------- */
+
+/* One-dimensional 8-point inverse DCT pass, the decompression-side
+ * mirror of fdct_pass. */
+void idct_pass(int off, int stride) {
+    int p0 = block[off];
+    int p1 = block[off + stride];
+    int p2 = block[off + 2 * stride];
+    int p3 = block[off + 3 * stride];
+    int p4 = block[off + 4 * stride];
+    int p5 = block[off + 5 * stride];
+    int p6 = block[off + 6 * stride];
+    int p7 = block[off + 7 * stride];
+
+    int e0 = p0 + p4;
+    int e1 = p0 - p4;
+    int e2 = p2 + ((p6 * 92682) >> 17);
+    int e3 = ((p2 * 92682) >> 17) - p6;
+
+    int a0 = e0 + e2;
+    int a1 = e1 + e3;
+    int a2 = e1 - e3;
+    int a3 = e0 - e2;
+
+    int o0 = p1 + ((p7 * 3) >> 2);
+    int o1 = p3 - ((p5 * 3) >> 2);
+    int o2 = p5 + ((p3 * 5) >> 3);
+    int o3 = p7 - ((p1 * 5) >> 3);
+
+    block[off] = (a0 + o0) >> 3;
+    block[off + stride] = (a1 + o1) >> 3;
+    block[off + 2 * stride] = (a2 + o2) >> 3;
+    block[off + 3 * stride] = (a3 + o3) >> 3;
+    block[off + 4 * stride] = (a3 - o3) >> 3;
+    block[off + 5 * stride] = (a2 - o2) >> 3;
+    block[off + 6 * stride] = (a1 - o1) >> 3;
+    block[off + 7 * stride] = (a0 - o0) >> 3;
+}
+
+/* 2-D inverse DCT plus level shift, as in jpeg's jpeg_idct_islow. */
+void inverse_dct(void) {
+    int i;
+    for (i = 0; i < 8; i++) idct_pass(i * 8, 1);
+    for (i = 0; i < 8; i++) idct_pass(i, 8);
+    for (i = 0; i < 64; i++) {
+        int v = block[i] + 128;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        sample[i] = v;
+    }
+}
+
+/* --- dequantization ----------------------------------------------------- */
+
+void dequantize_block(void) {
+    int i;
+    for (i = 0; i < 64; i++) block[i] = qblock[i] * quanttbl[i];
+}
+
+/* --- chroma downsampling ------------------------------------------------- */
+
+/* 2:1 horizontal downsample with rounding, as in jpeg's h2v1 path;
+ * reads sample[], writes the first 32 entries of qblock[] (reused as a
+ * scratch row buffer). */
+void downsample_row(int row) {
+    int i;
+    int base = row * 8;
+    for (i = 0; i < 4; i++) {
+        int a = sample[base + i * 2];
+        int b = sample[base + i * 2 + 1];
+        qblock[row * 4 + i] = (a + b + 1) >> 1;
+    }
+}
+
+/* --- run-length encoding -------------------------------------------------- */
+
+int rle_out[128];
+int rle_n;
+
+/* Zero-run-length encode the zig-zag coefficients, the shape of jpeg's
+ * entropy encoder input: (run, value) pairs with a 16-zero cap. */
+void rle_block(void) {
+    int i;
+    int run = 0;
+    rle_n = 0;
+    for (i = 1; i < 64; i++) {
+        int v = zz[i];
+        if (v == 0) {
+            run++;
+            if (run == 16) {
+                rle_out[rle_n * 2] = 15;
+                rle_out[rle_n * 2 + 1] = 0;
+                rle_n++;
+                run = 0;
+            }
+        } else {
+            rle_out[rle_n * 2] = run;
+            rle_out[rle_n * 2 + 1] = v;
+            rle_n++;
+            run = 0;
+        }
+    }
+    if (run > 0) {
+        /* end-of-block marker */
+        rle_out[rle_n * 2] = 0;
+        rle_out[rle_n * 2 + 1] = 0;
+        rle_n++;
+    }
+}
+
+/* --- driver ----------------------------------------------------------- */
+
+int jpeg_main(void) {
+    int i;
+    int total = 0;
+    int w = 5;
+
+    /* Build a deterministic sample block from "RGB" values. */
+    for (i = 0; i < 64; i++) {
+        int r;
+        int g;
+        int b;
+        w = (w * 1103515245 + 12345) & 0x7FFFFFFF;
+        r = w & 0xFF;
+        g = (w >> 8) & 0xFF;
+        b = (w >> 16) & 0xFF;
+        sample[i] = rgb_ycc(r, g, b);
+    }
+
+    set_quant_table(75);
+    forward_dct();
+    quantize_block();
+    zigzag_block();
+    rle_block();
+
+    for (i = 0; i < 64; i++) __trace(zz[i]);
+    for (i = 0; i < 64; i++) total += zz[i] * (i + 1);
+    for (i = 0; i < rle_n; i++) total += rle_out[i * 2] + rle_out[i * 2 + 1];
+    __trace(rle_n);
+
+    /* Decompression path: dequantize, inverse transform, downsample. */
+    dequantize_block();
+    inverse_dct();
+    for (i = 0; i < 8; i++) downsample_row(i);
+    for (i = 0; i < 32; i++) total += qblock[i] * (i + 1);
+    __trace(total);
+
+    total += decode_run(40);
+    __trace(total);
+    return total;
+}
+`,
+	}
+}

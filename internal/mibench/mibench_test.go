@@ -1,0 +1,43 @@
+package mibench_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/mibench"
+	"repro/internal/rtl"
+)
+
+// TestSuiteCompilesAndRuns compiles every benchmark, validates every
+// function, and executes the driver.
+func TestSuiteCompilesAndRuns(t *testing.T) {
+	for _, p := range mibench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, f := range prog.Funcs {
+				if err := rtl.Validate(f); err != nil {
+					t.Errorf("invalid function %s: %v", f.Name, err)
+				}
+			}
+			res, err := interp.Run(prog, p.Driver, p.DriverArgs...)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(res.Trace) == 0 {
+				t.Fatalf("driver produced no trace output")
+			}
+			t.Logf("%s: ret=%d steps=%d trace[:4]=%v funcs=%d", p.Name, res.Ret, res.Steps, res.Trace[:min(4, len(res.Trace))], len(prog.Funcs))
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package mibench
+
+// Stringsearch is the "office" category benchmark: Boyer-Moore-Horspool
+// string searching in the three variants of the MiBench program —
+// case-sensitive (bmh), case-sensitive with a match accelerator (bmha)
+// and case-insensitive (bmhi) — each with an init routine building the
+// skip table and a search routine, plus a driver that scans a corpus of
+// phrases for a set of patterns. Strings are arrays of character
+// codes, one per word, in the integer-only mini-C dialect.
+func Stringsearch() Program {
+	return Program{
+		Name:        "stringsearch",
+		Category:    "office",
+		Description: "searches for given words in phrases (Boyer-Moore-Horspool)",
+		Driver:      "search_main",
+		DriverArgs:  nil,
+		Source: `
+/* Skip tables (ASCII range). */
+int skip[128];
+int skipi[128];
+
+/* The text corpus and patterns, built by the driver. */
+int text[256];
+int textlen;
+int pat[32];
+int patlen;
+
+int tolower_c(int c) {
+    if (c >= 'A' && c <= 'Z') return c + 32;
+    return c;
+}
+
+/* --- case-sensitive BMH ------------------------------------------- */
+
+void bmh_init(void) {
+    int i;
+    for (i = 0; i < 128; i++) skip[i] = patlen;
+    for (i = 0; i < patlen - 1; i++) skip[pat[i] & 127] = patlen - i - 1;
+}
+
+int bmh_search(void) {
+    int i = patlen - 1;
+    while (i < textlen) {
+        int j = patlen - 1;
+        int k = i;
+        while (j >= 0 && text[k] == pat[j]) {
+            j--;
+            k--;
+        }
+        if (j < 0) return k + 1;
+        i += skip[text[i] & 127];
+    }
+    return -1;
+}
+
+/* --- BMH with a first-character match accelerator ------------------ */
+
+void bmha_init(void) {
+    bmh_init();
+}
+
+int bmha_search(void) {
+    int i = patlen - 1;
+    int lastch = pat[patlen - 1];
+    while (i < textlen) {
+        int j;
+        int k;
+        /* Accelerator: hop through the text until a window even ends
+         * with the pattern's final character (the original uses
+         * memchr for this scan). */
+        while (i < textlen && text[i] != lastch) {
+            i += skip[text[i] & 127];
+        }
+        if (i >= textlen) return -1;
+        j = patlen - 1;
+        k = i;
+        while (j >= 0 && text[k] == pat[j]) {
+            j--;
+            k--;
+        }
+        if (j < 0) return k + 1;
+        i += skip[text[i] & 127];
+    }
+    return -1;
+}
+
+/* --- case-insensitive BMH ------------------------------------------ */
+
+void bmhi_init(void) {
+    int i;
+    for (i = 0; i < 128; i++) skipi[i] = patlen;
+    for (i = 0; i < patlen - 1; i++) {
+        int c = tolower_c(pat[i]) & 127;
+        skipi[c] = patlen - i - 1;
+        if (c >= 'a' && c <= 'z') skipi[c - 32] = patlen - i - 1;
+    }
+}
+
+int bmhi_search(void) {
+    int i = patlen - 1;
+    while (i < textlen) {
+        int j = patlen - 1;
+        int k = i;
+        while (j >= 0 && tolower_c(text[k]) == tolower_c(pat[j])) {
+            j--;
+            k--;
+        }
+        if (j < 0) return k + 1;
+        i += skipi[text[i] & 127];
+    }
+    return -1;
+}
+
+/* --- brute force baseline -------------------------------------------- */
+
+/* Straightforward scan, the baseline the BMH variants beat. */
+int brute_search(void) {
+    int i;
+    for (i = 0; i + patlen <= textlen; i++) {
+        int j = 0;
+        while (j < patlen && text[i + j] == pat[j]) j++;
+        if (j == patlen) return i;
+    }
+    return -1;
+}
+
+/* --- driver --------------------------------------------------------- */
+
+/* Deterministic lowercase corpus with planted pattern occurrences. */
+void build_text(void) {
+    int i;
+    int w = 11;
+    for (i = 0; i < 256; i++) {
+        w = (w * 1103515245 + 12345) & 0x7FFFFFFF;
+        text[i] = 'a' + (w % 26);
+    }
+    /* Plant "Found" (mixed case) at 77 and "found" at 180. */
+    text[77] = 'F'; text[78] = 'o'; text[79] = 'u'; text[80] = 'n'; text[81] = 'd';
+    text[180] = 'f'; text[181] = 'o'; text[182] = 'u'; text[183] = 'n'; text[184] = 'd';
+    textlen = 256;
+}
+
+void set_pattern(int which) {
+    if (which == 0) {
+        pat[0] = 'f'; pat[1] = 'o'; pat[2] = 'u'; pat[3] = 'n'; pat[4] = 'd';
+        patlen = 5;
+    } else if (which == 1) {
+        pat[0] = 'F'; pat[1] = 'o'; pat[2] = 'u'; pat[3] = 'n'; pat[4] = 'd';
+        patlen = 5;
+    } else {
+        pat[0] = 'z'; pat[1] = 'q'; pat[2] = 'z'; pat[3] = 'q';
+        patlen = 4;
+    }
+}
+
+int search_main(void) {
+    int which;
+    int total = 0;
+    build_text();
+    for (which = 0; which < 3; which++) {
+        set_pattern(which);
+        bmh_init();
+        __trace(bmh_search());
+        bmha_init();
+        __trace(bmha_search());
+        bmhi_init();
+        __trace(bmhi_search());
+        __trace(brute_search());
+        total += bmh_search() + bmhi_search();
+    }
+    return total;
+}
+`,
+	}
+}

@@ -1,0 +1,65 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+func TestDiffInstrsZeroForIdentical(t *testing.T) {
+	prog, err := mc.Compile(`int f(int x) { return x * 3 + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	if d := opt.DiffInstrs(f, f.Clone()); d != 0 {
+		t.Fatalf("identical functions diff by %d", d)
+	}
+}
+
+func TestDiffInstrsIgnoresRenaming(t *testing.T) {
+	prog, err := mc.Compile(`int f(int x) { return x * 3 + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	g := f.Clone()
+	// Rename one pseudo register consistently: not a real change.
+	old := rtl.FirstPseudo
+	for _, b := range g.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].RenameReg(old, g.NextPseudo+5)
+		}
+	}
+	if d := opt.DiffInstrs(f, g); d != 0 {
+		t.Fatalf("pure renaming counted as %d changes", d)
+	}
+}
+
+func TestAttemptMeasuredCountsChanges(t *testing.T) {
+	prog, err := mc.Compile(`
+int f(int x) {
+    int y = x * 8;
+    return y + x * 8;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	var st opt.State
+	active, changed := opt.AttemptMeasured(f, &st, opt.ByID('s'), machine.StrongARM())
+	if !active {
+		t.Fatal("instruction selection dormant")
+	}
+	if changed <= 0 {
+		t.Fatalf("active phase reported %d changed instructions", changed)
+	}
+	// A dormant phase reports zero.
+	active, changed = opt.AttemptMeasured(f, &st, opt.ByID('d'), machine.StrongARM())
+	if active || changed != 0 {
+		t.Fatalf("dormant phase reported active=%v changed=%d", active, changed)
+	}
+}

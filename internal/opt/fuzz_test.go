@@ -1,0 +1,86 @@
+package opt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/randprog"
+	"repro/internal/rtl"
+)
+
+// TestFuzzRandomPrograms generates random mini-C programs and checks
+// that random phase orderings preserve their behaviour. The
+// unoptimized interpretation is the oracle, so this exercises the
+// whole stack: generator -> frontend -> every phase -> interpreter.
+func TestFuzzRandomPrograms(t *testing.T) {
+	programs := 40
+	if testing.Short() {
+		programs = 8
+	}
+	d := machine.StrongARM()
+	all := opt.All()
+	for seed := int64(0); seed < int64(programs); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p := randprog.New(seed, randprog.Config{})
+			prog, err := mc.Compile(p.Source)
+			if err != nil {
+				t.Fatalf("generated program does not compile: %v\n%s", err, p.Source)
+			}
+			args := make([]int32, p.Params)
+			argRng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+			for i := range args {
+				args[i] = int32(argRng.Intn(200) - 100)
+			}
+			ref := observe(prog, p.Entry, args)
+			if ref.failed != "" {
+				t.Fatalf("reference run failed: %s\n%s", ref.failed, p.Source)
+			}
+
+			seqRng := rand.New(rand.NewSource(seed ^ 0x1234))
+			for trial := 0; trial < 6; trial++ {
+				mod := prog.Clone()
+				f := mod.Func(p.Entry)
+				var st opt.State
+				applied := ""
+				for i := 0; i < 12; i++ {
+					ph := all[seqRng.Intn(len(all))]
+					if opt.Attempt(f, &st, ph, d) {
+						applied += string(ph.ID())
+					}
+					if err := rtl.Validate(f); err != nil {
+						t.Fatalf("invalid RTL after %q: %v\n%s\nsource:\n%s",
+							applied, err, f, p.Source)
+					}
+				}
+				got := observe(mod, p.Entry, args)
+				if !equalObs(ref, got) {
+					t.Fatalf("behaviour diverged after %q on args %v\nref %+v\ngot %+v\nsource:\n%s\nfunction:\n%s",
+						applied, args, ref, got, p.Source, f)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzGeneratedProgramsTerminate double-checks the generator's
+// termination guarantee under the interpreter's step limit.
+func TestFuzzGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		p := randprog.New(seed, randprog.Config{MaxDepth: 4, MaxStmts: 8})
+		prog, err := mc.Compile(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.Source)
+		}
+		m := interp.New(prog, interp.Limits{MaxSteps: 2_000_000})
+		args := make([]int32, p.Params)
+		if _, err := m.Run(p.Entry, args...); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.Source)
+		}
+	}
+}

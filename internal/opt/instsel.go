@@ -1,0 +1,312 @@
+package opt
+
+import (
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// InstructionSelection is phase s: it combines pairs (and, through
+// repeated application, triples) of instructions linked by set/use
+// dependencies, symbolically merging their effects, performing
+// constant folding, and checking that the result is a legal target
+// instruction before committing — exactly the behaviour Table 1
+// describes. Typical combinations: folding an immediate move into its
+// user, collapsing register-to-register moves, and folding an address
+// add into a load/store displacement.
+type InstructionSelection struct{}
+
+// ID returns the paper's designation for the phase.
+func (InstructionSelection) ID() byte { return 's' }
+
+// Name returns the paper's name for the phase.
+func (InstructionSelection) Name() string { return "instruction selection" }
+
+// RequiresRegAssign reports that this dataflow phase runs after the
+// compulsory register assignment.
+func (InstructionSelection) RequiresRegAssign() bool { return true }
+
+// Apply runs the phase.
+func (InstructionSelection) Apply(f *rtl.Func, d *machine.Desc) bool {
+	changed := false
+	for combineOnce(f, d) {
+		changed = true
+	}
+	return changed
+}
+
+// combineOnce finds and applies one combination anywhere in the
+// function, returning whether it did.
+func combineOnce(f *rtl.Func, d *machine.Desc) bool {
+	// Identity moves (r = r) are vacuous combinations: register
+	// assignment frequently maps a value and its final copy onto the
+	// same register, and no other phase may delete the leftover.
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if in.Op == rtl.OpMov && in.A.IsReg(in.Dst) {
+				b.Remove(i)
+				return true
+			}
+		}
+	}
+	g := rtl.ComputeCFG(f)
+	lv := rtl.ComputeLiveness(g)
+	var buf [8]rtl.Reg
+	for bpos, b := range f.Blocks {
+		for j := 1; j < len(b.Instrs); j++ {
+			for _, u := range b.Instrs[j].Uses(buf[:0]) {
+				if u == rtl.RegSP || u == rtl.RegIC {
+					continue
+				}
+				i := lastDefBefore(b, j, u)
+				if i < 0 {
+					continue
+				}
+				if !soleUseThenDead(b, i, j, u, lv.Out[bpos]) {
+					continue
+				}
+				if tryCombine(f, d, b, i, j, u) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// lastDefBefore returns the index of the nearest instruction before j
+// that defines u, or -1.
+func lastDefBefore(b *rtl.Block, j int, u rtl.Reg) int {
+	for i := j - 1; i >= 0; i-- {
+		if b.Instrs[i].DefsReg(u) {
+			return i
+		}
+	}
+	return -1
+}
+
+// soleUseThenDead reports whether the only use of u after its
+// definition at i is at j, with u dead afterwards (redefined before
+// any further use, or not live out of the block). Only then can the
+// definition be folded away.
+func soleUseThenDead(b *rtl.Block, i, j int, u rtl.Reg, liveOut rtl.RegSet) bool {
+	for p := i + 1; p < j; p++ {
+		if b.Instrs[p].UsesReg(u) || b.Instrs[p].DefsReg(u) {
+			return false
+		}
+	}
+	if b.Instrs[j].DefsReg(u) {
+		return true // the user overwrites u, killing the old value
+	}
+	for p := j + 1; p < len(b.Instrs); p++ {
+		if b.Instrs[p].UsesReg(u) {
+			return false
+		}
+		if b.Instrs[p].DefsReg(u) {
+			return true
+		}
+	}
+	return !liveOut.Has(u)
+}
+
+// regsRedefinedBetween reports whether any register read by def is
+// redefined in positions (i, j) of the block.
+func regsRedefinedBetween(b *rtl.Block, i, j int, def *rtl.Instr) bool {
+	var buf [8]rtl.Reg
+	for p := i + 1; p < j; p++ {
+		for _, r := range def.Uses(buf[:0]) {
+			if b.Instrs[p].DefsReg(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// memoryClobberedBetween reports whether a store or call occurs in
+// positions (i, j).
+func memoryClobberedBetween(b *rtl.Block, i, j int) bool {
+	for p := i + 1; p < j; p++ {
+		if op := b.Instrs[p].Op; op == rtl.OpStore || op == rtl.OpCall {
+			return true
+		}
+	}
+	return false
+}
+
+// evalALU computes a constant binary operation with the target's
+// 32-bit wrapping semantics. Division by zero is rejected.
+func evalALU(op rtl.Op, a, b int32) (int32, bool) {
+	switch op {
+	case rtl.OpAdd:
+		return a + b, true
+	case rtl.OpSub:
+		return a - b, true
+	case rtl.OpRsb:
+		return b - a, true
+	case rtl.OpMul:
+		return a * b, true
+	case rtl.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case rtl.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case rtl.OpAnd:
+		return a & b, true
+	case rtl.OpOr:
+		return a | b, true
+	case rtl.OpXor:
+		return a ^ b, true
+	case rtl.OpShl:
+		return a << (uint32(b) & 31), true
+	case rtl.OpShr:
+		return int32(uint32(a) >> (uint32(b) & 31)), true
+	case rtl.OpSar:
+		return a >> (uint32(b) & 31), true
+	}
+	return 0, false
+}
+
+// tryCombine merges the definition of u at index i into its user at
+// index j. On success it replaces instruction j with the combination,
+// deletes instruction i, and returns true.
+func tryCombine(f *rtl.Func, d *machine.Desc, b *rtl.Block, i, j int, u rtl.Reg) bool {
+	def := b.Instrs[i]
+	user := b.Instrs[j] // copies
+
+	commit := func(merged rtl.Instr) bool {
+		if merged.UsesReg(u) {
+			return false // substitution incomplete
+		}
+		if !d.Legal(&merged) {
+			return false
+		}
+		b.Instrs[j] = merged
+		b.Remove(i)
+		return true
+	}
+
+	// Rule 1: the user is a plain move of u — transfer the whole
+	// computation to the move's destination.
+	if user.Op == rtl.OpMov && user.A.IsReg(u) && !def.HasSideEffects() && def.Op != rtl.OpNop {
+		if !regsRedefinedBetween(b, i, j, &def) {
+			if def.Op != rtl.OpLoad || !memoryClobberedBetween(b, i, j) {
+				merged := def
+				merged.Dst = user.Dst
+				return commit(merged)
+			}
+		}
+	}
+
+	switch def.Op {
+	case rtl.OpMov:
+		switch def.A.Kind {
+		case rtl.OperImm:
+			return combineConst(d, b, i, j, u, def.A.Imm, commit)
+		case rtl.OperReg:
+			// Copy collapse: substitute the source for u everywhere.
+			if def.A.Reg == rtl.RegSP {
+				// Substituting SP into address arithmetic is legal and
+				// common (frame address formation).
+			}
+			if regsRedefinedBetween(b, i, j, &def) {
+				return false
+			}
+			merged := user
+			merged.ReplaceUses(u, def.A)
+			return commit(merged)
+		}
+
+	case rtl.OpAdd, rtl.OpSub:
+		// Address-forming add/sub with an immediate folds into
+		// displacements and further adds.
+		if def.A.Kind != rtl.OperReg || def.B.Kind != rtl.OperImm {
+			return false
+		}
+		if regsRedefinedBetween(b, i, j, &def) {
+			return false
+		}
+		c := def.B.Imm
+		if def.Op == rtl.OpSub {
+			c = -c
+		}
+		rs := def.A.Reg
+		merged := user
+		switch {
+		case merged.Op == rtl.OpLoad && merged.A.IsReg(u):
+			merged.A = rtl.R(rs)
+			merged.Disp += c
+			return commit(merged)
+		case merged.Op == rtl.OpStore && merged.B.IsReg(u) && !merged.A.IsReg(u):
+			merged.B = rtl.R(rs)
+			merged.Disp += c
+			return commit(merged)
+		case merged.Op == rtl.OpAdd && merged.A.IsReg(u) && merged.B.Kind == rtl.OperImm:
+			merged.A = rtl.R(rs)
+			merged.B = rtl.Imm(merged.B.Imm + c)
+			return commit(merged)
+		case merged.Op == rtl.OpSub && merged.A.IsReg(u) && merged.B.Kind == rtl.OperImm:
+			// (rs + c) - c2  ==  rs + (c - c2)
+			merged.Op = rtl.OpAdd
+			merged.A = rtl.R(rs)
+			merged.B = rtl.Imm(c - merged.B.Imm)
+			return commit(merged)
+		}
+	}
+	return false
+}
+
+// combineConst folds the constant c (the value of u) into the user
+// instruction at index j.
+func combineConst(d *machine.Desc, b *rtl.Block, i, j int, u rtl.Reg, c int32, commit func(rtl.Instr) bool) bool {
+	user := b.Instrs[j]
+	merged := user
+	switch {
+	case merged.Op == rtl.OpMov && merged.A.IsReg(u):
+		merged.A = rtl.Imm(c)
+		return commit(merged)
+
+	case merged.Op == rtl.OpNeg && merged.A.IsReg(u):
+		return commit(rtl.NewMov(merged.Dst, rtl.Imm(-c)))
+
+	case merged.Op == rtl.OpNot && merged.A.IsReg(u):
+		return commit(rtl.NewMov(merged.Dst, rtl.Imm(^c)))
+
+	case merged.Op == rtl.OpCmp && merged.B.IsReg(u) && !merged.A.IsReg(u):
+		merged.B = rtl.Imm(c)
+		return commit(merged)
+
+	case merged.Op.IsALU():
+		if merged.B.IsReg(u) {
+			merged.B = rtl.Imm(c)
+		}
+		if merged.A.IsReg(u) {
+			if merged.B.Kind == rtl.OperImm {
+				// Fully constant: fold to a move.
+				if res, ok := evalALU(merged.Op, c, merged.B.Imm); ok {
+					return commit(rtl.NewMov(merged.Dst, rtl.Imm(res)))
+				}
+				return false
+			}
+			switch {
+			case merged.Op.Commutative():
+				merged.A = merged.B
+				merged.B = rtl.Imm(c)
+			case merged.Op == rtl.OpSub:
+				// c - r  ==  rsb r, #c
+				merged.Op = rtl.OpRsb
+				merged.A = merged.B
+				merged.B = rtl.Imm(c)
+			default:
+				return false
+			}
+		}
+		return commit(merged)
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// TestPhaseRegistryMatchesPaper checks the catalog against Table 1:
+// the fifteen phase designations and names, in order.
+func TestPhaseRegistryMatchesPaper(t *testing.T) {
+	want := []struct {
+		id   byte
+		name string
+	}{
+		{'b', "branch chaining"},
+		{'c', "common subexpression elimination"},
+		{'d', "remove unreachable code"},
+		{'g', "loop unrolling"},
+		{'h', "dead assignment elimination"},
+		{'i', "block reordering"},
+		{'j', "minimize loop jumps"},
+		{'k', "register allocation"},
+		{'l', "loop transformations"},
+		{'n', "code abstraction"},
+		{'o', "evaluation order determination"},
+		{'q', "strength reduction"},
+		{'r', "reverse branches"},
+		{'s', "instruction selection"},
+		{'u', "remove useless jumps"},
+	}
+	all := opt.All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d phases, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		if all[i].ID() != w.id {
+			t.Errorf("phase %d: ID %c, want %c", i, all[i].ID(), w.id)
+		}
+		if all[i].Name() != w.name {
+			t.Errorf("phase %c: name %q, want %q", w.id, all[i].Name(), w.name)
+		}
+	}
+}
+
+// TestPhaseOrderingRestrictions verifies the Section 3 legality rules.
+func TestPhaseOrderingRestrictions(t *testing.T) {
+	var st opt.State
+	if !opt.Enabled(opt.ByID('o'), st) {
+		t.Error("o must be legal before register assignment")
+	}
+	if opt.Enabled(opt.ByID('k'), st) {
+		t.Error("k must be illegal before instruction selection")
+	}
+	if opt.Enabled(opt.ByID('g'), st) || opt.Enabled(opt.ByID('l'), st) {
+		t.Error("g and l must be illegal before register allocation")
+	}
+	st.RegAssigned = true
+	if opt.Enabled(opt.ByID('o'), st) {
+		t.Error("o must be illegal after register assignment")
+	}
+	st.SApplied = true
+	if !opt.Enabled(opt.ByID('k'), st) {
+		t.Error("k must be legal after instruction selection")
+	}
+	st.KApplied = true
+	if !opt.Enabled(opt.ByID('g'), st) || !opt.Enabled(opt.ByID('l'), st) {
+		t.Error("g and l must be legal after register allocation")
+	}
+}
+
+// fig3Func builds the paper's Figure 3 kernel:
+//
+//	r[2]=1;
+//	r[3]=r[4]+r[2];
+//
+// with r[2] dead afterwards and r[3] the function result.
+func fig3Func() *rtl.Func {
+	f := rtl.NewFunc("fig3", 0, false)
+	f.RegAssigned = true
+	f.AddSlot("out", 4, false)
+	b := f.Entry()
+	b.Instrs = append(b.Instrs,
+		rtl.NewMov(rtl.RegR2, rtl.Imm(1)),
+		rtl.NewALU(rtl.OpAdd, rtl.RegR3, rtl.R(rtl.RegR4), rtl.R(rtl.RegR2)),
+		rtl.NewStore(rtl.RegR3, rtl.RegSP, 0),
+		rtl.Instr{Op: rtl.OpRet},
+	)
+	return f
+}
+
+// TestFig3EquivalentTransforms reproduces Figure 3: instruction
+// selection alone produces the same code as constant propagation
+// (part of c) followed by dead assignment elimination.
+func TestFig3EquivalentTransforms(t *testing.T) {
+	d := machine.StrongARM()
+
+	viaS := fig3Func()
+	if !(opt.InstructionSelection{}).Apply(viaS, d) {
+		t.Fatal("instruction selection dormant on the Figure 3 kernel")
+	}
+
+	viaCH := fig3Func()
+	if !(opt.CommonSubexprElim{}).Apply(viaCH, d) {
+		t.Fatal("constant propagation dormant on the Figure 3 kernel")
+	}
+	// After propagation the move to r[2] is dead.
+	if !(opt.DeadAssignElim{}).Apply(viaCH, d) {
+		t.Fatal("dead assignment elimination dormant after constant propagation")
+	}
+
+	sKey := fingerprint.KeyOf(viaS)
+	chKey := fingerprint.KeyOf(viaCH)
+	if sKey != chKey {
+		t.Fatalf("the two transformation routes differ:\nvia s:\n%s\nvia c,h:\n%s", viaS, viaCH)
+	}
+	// And both must contain the folded instruction r[3]=r[4]+1.
+	if !strings.Contains(viaS.String(), "r[3]=r[4]+1;") {
+		t.Fatalf("missing folded instruction:\n%s", viaS)
+	}
+}
+
+// TestDormantPhaseReattemptIsDormant checks the Section 4.1 invariant
+// the search's pruning depends on: a phase that was just active is
+// dormant when immediately reapplied.
+func TestDormantPhaseReattemptIsDormant(t *testing.T) {
+	d := machine.StrongARM()
+	for _, tc := range diffCorpus {
+		prog := mustCompile(t, tc.src)
+		f := prog.Func(tc.fn)
+		for _, p := range opt.All() {
+			g := f.Clone()
+			var st opt.State
+			if !opt.Attempt(g, &st, p, d) {
+				continue
+			}
+			if opt.Attempt(g, &st, p, d) {
+				t.Errorf("%s: phase %c active twice consecutively", tc.name, p.ID())
+			}
+		}
+	}
+}
+
+// TestStrengthReductionExpandsMultiply checks q's headline rewrite: a
+// multiply by a power-of-two constant becomes a shift.
+func TestStrengthReductionExpandsMultiply(t *testing.T) {
+	d := machine.StrongARM()
+	f := rtl.NewFunc("mul8", 1, true)
+	f.RegAssigned = true
+	b := f.Entry()
+	b.Instrs = append(b.Instrs,
+		rtl.NewMov(rtl.RegR1, rtl.Imm(8)),
+		rtl.NewALU(rtl.OpMul, rtl.RegR0, rtl.R(rtl.RegR0), rtl.R(rtl.RegR1)),
+		rtl.Instr{Op: rtl.OpRet, A: rtl.R(rtl.RegR0)},
+	)
+	if !(opt.StrengthReduction{}).Apply(f, d) {
+		t.Fatalf("strength reduction dormant:\n%s", f)
+	}
+	s := f.String()
+	if !strings.Contains(s, "<<") {
+		t.Fatalf("no shift in reduced code:\n%s", s)
+	}
+	if strings.Contains(s, "*") {
+		t.Fatalf("multiply survived:\n%s", s)
+	}
+}
+
+func mustCompile(t *testing.T, src string) *rtl.Program {
+	t.Helper()
+	prog, err := compileSrc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}

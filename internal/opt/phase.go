@@ -1,0 +1,135 @@
+// Package opt implements the fifteen candidate code-improving phases
+// of Table 1, the compulsory register assignment pass, and the
+// compulsory entry/exit fixup. Each phase analyzes and transforms the
+// RTL representation in place and reports whether it was active
+// (changed the program representation) or dormant (found no
+// opportunity), the distinction that drives the exhaustive search's
+// first pruning technique.
+//
+// Phase ordering restrictions (Section 3 of the paper):
+//
+//   - evaluation order determination (o) may only run before the
+//     compulsory register assignment;
+//   - register allocation (k) may only run after instruction
+//     selection (s), so candidate loads and stores carry the addresses
+//     of arguments and local scalars;
+//   - loop unrolling (g) and the loop transformations (l) may only run
+//     after register allocation (k);
+//   - register assignment is performed implicitly before the first
+//     phase that requires it.
+package opt
+
+import (
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// Phase is a single candidate code-improving phase.
+type Phase interface {
+	// ID is the paper's one-letter designation (Table 1).
+	ID() byte
+	// Name is the paper's phase name.
+	Name() string
+	// RequiresRegAssign reports whether the compulsory register
+	// assignment must have been performed before this phase runs.
+	// Control-flow phases operate on any form; dataflow phases need
+	// values in hardware registers.
+	RequiresRegAssign() bool
+	// Apply runs the phase on f, returning whether it was active.
+	// Implementations must leave f semantically unchanged and
+	// structurally valid.
+	Apply(f *rtl.Func, d *machine.Desc) bool
+}
+
+// State tracks the sequence-history facts that gate phase legality at
+// a point in an optimization sequence.
+type State struct {
+	// RegAssigned mirrors Func.RegAssigned for the node's code.
+	RegAssigned bool
+	// KApplied records that register allocation has been active.
+	KApplied bool
+	// SApplied records that instruction selection has been active.
+	SApplied bool
+}
+
+// Enabled reports whether phase p may legally be attempted in state st.
+func Enabled(p Phase, st State) bool {
+	switch p.ID() {
+	case 'o':
+		return !st.RegAssigned
+	case 'k':
+		return st.SApplied
+	case 'g', 'l':
+		return st.KApplied
+	}
+	return true
+}
+
+// Attempt applies phase p to f, handling the implicit register
+// assignment. It returns whether the phase was active. When the phase
+// is dormant, f may nevertheless have been mutated by the implicit
+// register assignment; callers exploring the search space should
+// attempt phases on a clone and discard it when dormant. When the
+// phase is active, st is updated.
+func Attempt(f *rtl.Func, st *State, p Phase, d *machine.Desc) bool {
+	if !Enabled(p, *st) {
+		return false
+	}
+	if p.RequiresRegAssign() && !f.RegAssigned {
+		RegAssign(f)
+	}
+	active := p.Apply(f, d)
+	if active {
+		rtl.Cleanup(f)
+		st.RegAssigned = f.RegAssigned
+		switch p.ID() {
+		case 'k':
+			st.KApplied = true
+		case 's':
+			st.SApplied = true
+		}
+	}
+	return active
+}
+
+// All returns the fifteen candidate phases in the paper's Table 1
+// order: b, c, d, g, h, i, j, k, l, n, o, q, r, s, u.
+func All() []Phase {
+	return []Phase{
+		BranchChaining{},
+		CommonSubexprElim{},
+		RemoveUnreachable{},
+		LoopUnrolling{},
+		DeadAssignElim{},
+		BlockReordering{},
+		MinimizeLoopJumps{},
+		RegisterAllocation{},
+		LoopTransformations{},
+		CodeAbstraction{},
+		EvalOrderDetermination{},
+		StrengthReduction{},
+		ReverseBranches{},
+		InstructionSelection{},
+		UselessJumpRemoval{},
+	}
+}
+
+// ByID returns the phase with the given one-letter designation, or nil.
+func ByID(id byte) Phase {
+	for _, p := range All() {
+		if p.ID() == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// IDString returns the concatenated IDs of a phase sequence, e.g.
+// "sckbh".
+func IDString(seq []Phase) string {
+	b := make([]byte, len(seq))
+	for i, p := range seq {
+		b[i] = p.ID()
+	}
+	return string(b)
+}

@@ -1,0 +1,66 @@
+package randprog_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/randprog"
+)
+
+// TestGeneratorDeterministic: the same seed yields the same program.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := randprog.New(42, randprog.Config{})
+	b := randprog.New(42, randprog.Config{})
+	if a.Source != b.Source {
+		t.Fatal("generator not deterministic")
+	}
+	c := randprog.New(43, randprog.Config{})
+	if a.Source == c.Source {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsCompile: a spread of seeds and configs all
+// produce valid mini-C.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := randprog.New(seed, randprog.Config{
+			MaxDepth: int(seed%4) + 1,
+			MaxStmts: int(seed%7) + 2,
+			Params:   int(seed%4) + 1,
+		})
+		if p.Entry != "fuzz" || p.Params < 1 || p.Params > 4 {
+			t.Fatalf("seed %d: bad metadata %+v", seed, p)
+		}
+		if _, err := mc.Compile(p.Source); err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, p.Source)
+		}
+	}
+}
+
+// TestGeneratedProgramsAreInteresting: the sources exercise the
+// constructs the phases care about.
+func TestGeneratedProgramsAreInteresting(t *testing.T) {
+	var loops, ifs, calls, arrays int
+	for seed := int64(0); seed < 30; seed++ {
+		src := randprog.New(seed, randprog.Config{}).Source
+		if strings.Contains(src, "for (") {
+			loops++
+		}
+		if strings.Contains(src, "if (") {
+			ifs++
+		}
+		if strings.Contains(src, "helper(") {
+			calls++
+		}
+		if strings.Contains(src, "garr[") {
+			arrays++
+		}
+	}
+	for name, n := range map[string]int{"loops": loops, "ifs": ifs, "calls": calls, "arrays": arrays} {
+		if n < 10 {
+			t.Errorf("only %d of 30 programs contain %s", n, name)
+		}
+	}
+}

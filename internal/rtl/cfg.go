@@ -1,0 +1,243 @@
+package rtl
+
+// CFG is a control-flow graph snapshot for a function. Nodes are
+// identified by layout position (index into Func.Blocks), which keeps
+// the successor computation trivially in sync with fall-through
+// semantics. A CFG is invalidated by any structural mutation; phases
+// recompute it after changing the block list.
+//
+// The edge lists share two backing arrays (successor counts are at
+// most two, predecessor lists are laid out CSR-style): the exhaustive
+// search recomputes CFGs millions of times, so the representation is
+// kept to a handful of allocations.
+type CFG struct {
+	F     *Func
+	Succs [][]int // layout position -> successor positions
+	Preds [][]int
+
+	index []int // block ID -> layout position, -1 when absent
+}
+
+// Pos returns the layout position of the block with the given ID and
+// whether it exists.
+func (g *CFG) Pos(id int) (int, bool) {
+	if id < 0 || id >= len(g.index) || g.index[id] < 0 {
+		return -1, false
+	}
+	return g.index[id], true
+}
+
+// MustPos returns the layout position of an existing block ID.
+func (g *CFG) MustPos(id int) int {
+	p, ok := g.Pos(id)
+	if !ok {
+		panic("rtl: unknown block id in CFG")
+	}
+	return p
+}
+
+// ComputeCFG builds the control-flow graph for f.
+func ComputeCFG(f *Func) *CFG {
+	n := len(f.Blocks)
+	g := &CFG{
+		F:     f,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+		index: make([]int, f.NextBlockID),
+	}
+	for i := range g.index {
+		g.index[i] = -1
+	}
+	for i, b := range f.Blocks {
+		g.index[b.ID] = i
+	}
+	succBack := make([]int, 0, 2*n)
+	predCount := make([]int, n)
+	for i, b := range f.Blocks {
+		start := len(succBack)
+		last := b.Last()
+		switch {
+		case last == nil:
+			if i+1 < n {
+				succBack = append(succBack, i+1)
+			}
+		case last.Op == OpJmp:
+			succBack = append(succBack, g.index[last.Target])
+		case last.Op == OpRet:
+			// no successors
+		case last.Op == OpBranch:
+			t := g.index[last.Target]
+			succBack = append(succBack, t)
+			if i+1 < n && t != i+1 {
+				succBack = append(succBack, i+1)
+			}
+		default:
+			if i+1 < n {
+				succBack = append(succBack, i+1)
+			}
+		}
+		g.Succs[i] = succBack[start:len(succBack):len(succBack)]
+		for _, s := range g.Succs[i] {
+			predCount[s]++
+		}
+	}
+	predBack := make([]int, 0, len(succBack))
+	for i := 0; i < n; i++ {
+		start := len(predBack)
+		predBack = predBack[:start+predCount[i]]
+		g.Preds[i] = predBack[start : start : start+predCount[i]]
+	}
+	for i := range f.Blocks {
+		for _, s := range g.Succs[i] {
+			g.Preds[s] = append(g.Preds[s], i)
+		}
+	}
+	return g
+}
+
+// Reachable returns the set of layout positions reachable from entry.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Succs))
+	if len(seen) == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// RPO returns the blocks' layout positions in reverse post-order from
+// the entry. Unreachable blocks are appended at the end in layout
+// order so analyses still cover them.
+func (g *CFG) RPO() []int {
+	n := len(g.Succs)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	order := make([]int, 0, n)
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for b := 0; b < n; b++ {
+		if !seen[b] {
+			order = append(order, b)
+		}
+	}
+	return order
+}
+
+// FallsThrough reports whether the block at layout position i continues
+// into block i+1 when executed.
+func (g *CFG) FallsThrough(i int) bool {
+	b := g.F.Blocks[i]
+	last := b.Last()
+	if last == nil {
+		return true
+	}
+	switch last.Op {
+	case OpJmp, OpRet:
+		return false
+	}
+	return true
+}
+
+// RetargetBranches rewrites every branch or jump targeting block oldID
+// to target newID instead. It returns the number of rewritten
+// instructions.
+func RetargetBranches(f *Func, oldID, newID int) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if (in.Op == OpBranch || in.Op == OpJmp) && in.Target == oldID {
+				in.Target = newID
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Cleanup performs the two compulsory control-flow normalizations that
+// VPO applies implicitly after every transformation: eliminating empty
+// basic blocks and merging a block into its fall-through predecessor
+// when that predecessor is its only predecessor. Neither changes the
+// generated instructions — only the internal block structure — which is
+// why the paper excludes them from the candidate phase set.
+//
+// Cleanup never deletes jumps or moves code; those effects belong to
+// the explicit phases (useless jump removal, block reordering, ...).
+func Cleanup(f *Func) {
+	for {
+		changed := false
+		// Eliminate empty blocks: redirect references to the block's
+		// fall-through successor, then remove the block. The final
+		// block cannot be empty in a well-formed function unless it is
+		// unreferenced.
+		for i := 0; i < len(f.Blocks); i++ {
+			b := f.Blocks[i]
+			if len(b.Instrs) != 0 {
+				continue
+			}
+			if i+1 < len(f.Blocks) {
+				RetargetBranches(f, b.ID, f.Blocks[i+1].ID)
+				f.RemoveBlockAt(i)
+				changed = true
+				i--
+				continue
+			}
+			// Trailing empty block: removable only when nothing
+			// references it and nothing falls into it.
+			g := ComputeCFG(f)
+			if len(g.Preds[i]) == 0 {
+				f.RemoveBlockAt(i)
+				changed = true
+			}
+		}
+		// Merge fall-through pairs with a unique predecessor.
+		g := ComputeCFG(f)
+		for i := 0; i+1 < len(f.Blocks); i++ {
+			b := f.Blocks[i]
+			if b.EndsInControl() {
+				continue
+			}
+			next := i + 1
+			if len(g.Preds[next]) != 1 || g.Preds[next][0] != i {
+				continue
+			}
+			// Fold block next into b. Branches cannot target next
+			// (it has a single fall-through predecessor), so no
+			// retargeting is needed.
+			b.Instrs = append(b.Instrs, f.Blocks[next].Instrs...)
+			f.RemoveBlockAt(next)
+			changed = true
+			g = ComputeCFG(f)
+			i--
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package rtl
+
+// Op enumerates RTL instruction opcodes. The set is deliberately small
+// and RISC-like: three-address ALU operations, loads and stores with a
+// base register plus immediate displacement, HI/LO global address
+// formation exactly as the paper prints it (r[12]=HI[a];
+// r[12]=r[12]+LO[a]), compares that set the condition-code register and
+// branches that consume it.
+type Op uint8
+
+const (
+	// OpNop is an empty instruction; it never survives cleanup passes.
+	OpNop Op = iota
+
+	// OpMov copies a register or immediate into a register:
+	//   r[d] = r[s]   or   r[d] = imm
+	OpMov
+
+	// OpMovHi loads the high part of a global symbol's address:
+	//   r[d] = HI[sym]
+	OpMovHi
+
+	// OpAddLo adds the low part of a global symbol's address:
+	//   r[d] = r[s] + LO[sym]
+	OpAddLo
+
+	// Three-address ALU operations: r[d] = r[a] op r[b] (B may be an
+	// immediate when the machine description allows it).
+	OpAdd
+	OpSub
+	OpRsb // reverse subtract: r[d] = B - r[a]
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // logical shift left
+	OpShr // logical shift right
+	OpSar // arithmetic shift right
+
+	// Unary operations: r[d] = op r[a].
+	OpNeg
+	OpNot
+
+	// OpLoad reads a word from memory: r[d] = M[r[a] + disp].
+	OpLoad
+
+	// OpStore writes a word to memory: M[r[a] + disp] = r[s].
+	// The value register travels in A, the base register in B.
+	OpStore
+
+	// OpCmp sets the condition codes: IC = r[a] ? B.
+	OpCmp
+
+	// OpBranch is a conditional branch reading the condition codes:
+	//   PC = IC rel 0, L
+	OpBranch
+
+	// OpJmp is an unconditional jump: PC = L.
+	OpJmp
+
+	// OpCall invokes a function by name. Arguments are in r0-r3; the
+	// result, if any, is returned in r0. Calls clobber the caller-save
+	// registers.
+	OpCall
+
+	// OpRet returns from the function; the return value, if any, is in
+	// r0 (marked by the instruction's A operand so liveness sees it).
+	OpRet
+
+	numOps // sentinel
+)
+
+var opNames = [numOps]string{
+	OpNop:    "nop",
+	OpMov:    "mov",
+	OpMovHi:  "movhi",
+	OpAddLo:  "addlo",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpRsb:    "rsb",
+	OpMul:    "mul",
+	OpDiv:    "div",
+	OpRem:    "rem",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpShl:    "shl",
+	OpShr:    "shr",
+	OpSar:    "sar",
+	OpNeg:    "neg",
+	OpNot:    "not",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpCmp:    "cmp",
+	OpBranch: "branch",
+	OpJmp:    "jmp",
+	OpCall:   "call",
+	OpRet:    "ret",
+}
+
+// String returns the mnemonic name of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsALU reports whether the opcode is a binary ALU operation.
+func (o Op) IsALU() bool { return o >= OpAdd && o <= OpSar }
+
+// IsUnary reports whether the opcode is a unary ALU operation.
+func (o Op) IsUnary() bool { return o == OpNeg || o == OpNot }
+
+// IsControl reports whether the opcode transfers control. Control
+// instructions may appear only as the final instruction of a block.
+func (o Op) IsControl() bool {
+	return o == OpBranch || o == OpJmp || o == OpRet
+}
+
+// Commutative reports whether the binary operation commutes, which the
+// common subexpression and instruction selection phases use to
+// canonicalize expressions.
+func (o Op) Commutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// symbol used by the paper-style printer for each ALU op.
+var opSymbols = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>u", OpSar: ">>",
+}
+
+// Rel is a comparison relation used by conditional branches.
+type Rel uint8
+
+const (
+	RelEQ Rel = iota
+	RelNE
+	RelLT
+	RelLE
+	RelGT
+	RelGE
+	// Unsigned relations, used by pointer and unsigned comparisons.
+	RelULT
+	RelULE
+	RelUGT
+	RelUGE
+
+	numRels
+)
+
+var relNames = [numRels]string{"==", "!=", "<", "<=", ">", ">=", "<u", "<=u", ">u", ">=u"}
+
+// String renders the relation as it appears in the paper's RTL
+// notation, e.g. "PC=IC<0,L3".
+func (r Rel) String() string {
+	if int(r) < len(relNames) {
+		return relNames[r]
+	}
+	return "?"
+}
+
+// Negate returns the complementary relation, used by the reverse
+// branches phase to flip a conditional branch over an unconditional
+// jump.
+func (r Rel) Negate() Rel {
+	switch r {
+	case RelEQ:
+		return RelNE
+	case RelNE:
+		return RelEQ
+	case RelLT:
+		return RelGE
+	case RelLE:
+		return RelGT
+	case RelGT:
+		return RelLE
+	case RelGE:
+		return RelLT
+	case RelULT:
+		return RelUGE
+	case RelULE:
+		return RelUGT
+	case RelUGT:
+		return RelULE
+	case RelUGE:
+		return RelULT
+	}
+	return r
+}
+
+// Swap returns the relation that holds when the comparison operands are
+// exchanged (a R b  ==  b Swap(R) a).
+func (r Rel) Swap() Rel {
+	switch r {
+	case RelLT:
+		return RelGT
+	case RelLE:
+		return RelGE
+	case RelGT:
+		return RelLT
+	case RelGE:
+		return RelLE
+	case RelULT:
+		return RelUGT
+	case RelULE:
+		return RelUGE
+	case RelUGT:
+		return RelULT
+	case RelUGE:
+		return RelULE
+	}
+	return r // EQ and NE are symmetric
+}
+
+// Eval applies the relation to two values, treating them as signed or
+// unsigned 32-bit integers as appropriate.
+func (r Rel) Eval(a, b int32) bool {
+	switch r {
+	case RelEQ:
+		return a == b
+	case RelNE:
+		return a != b
+	case RelLT:
+		return a < b
+	case RelLE:
+		return a <= b
+	case RelGT:
+		return a > b
+	case RelGE:
+		return a >= b
+	case RelULT:
+		return uint32(a) < uint32(b)
+	case RelULE:
+		return uint32(a) <= uint32(b)
+	case RelUGT:
+		return uint32(a) > uint32(b)
+	case RelUGE:
+		return uint32(a) >= uint32(b)
+	}
+	return false
+}

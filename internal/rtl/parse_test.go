@@ -1,0 +1,105 @@
+package rtl_test
+
+import (
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// TestParseRoundTrip: print → parse → print is the identity on real
+// compiled functions, both before and after register assignment.
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+int a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int f(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 4) s += a[i] * 3;
+        else s -= a[i] / 2;
+    }
+    return s ^ (n << 2);
+}`
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	check := func(g *rtl.Func) {
+		t.Helper()
+		text := g.String()
+		parsed, err := rtl.ParseFunc(text)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, text)
+		}
+		if got := parsed.String(); got != text {
+			t.Fatalf("round trip changed the function:\n--- printed\n%s--- reparsed\n%s", text, got)
+		}
+		if parsed.NArgs != g.NArgs || parsed.Returns != g.Returns {
+			t.Fatalf("metadata lost: %d/%v vs %d/%v",
+				parsed.NArgs, parsed.Returns, g.NArgs, g.Returns)
+		}
+	}
+	check(f)
+	opt.RegAssign(f)
+	check(f)
+}
+
+// TestParsePaperFigure parses the notation exactly as the paper prints
+// it (Figure 5(b)).
+func TestParsePaperFigure(t *testing.T) {
+	text := `fig5(0):
+L0:
+	r[10]=0;
+	r[12]=HI[a];
+	r[12]=r[12]+LO[a];
+	r[1]=r[12];
+	r[9]=4000+r[12];
+L3:
+	r[8]=M[r[1]];
+	r[10]=r[10]+r[8];
+	r[1]=r[1]+4;
+	IC=r[1]?r[9];
+	PC=IC<0,L3;
+L4:
+	RET;
+`
+	f, err := rtl.ParseFunc(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("parsed %d blocks, want 3", len(f.Blocks))
+	}
+	if err := rtl.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	// r[9]=4000+r[12] must have parsed as an immediate-first add.
+	add := f.Blocks[0].Instrs[4]
+	if add.Op != rtl.OpAdd || add.A.Kind != rtl.OperImm {
+		t.Fatalf("parsed %q as %+v", "r[9]=4000+r[12]", add)
+	}
+	if !f.RegAssigned {
+		t.Fatal("all-hardware function not marked register-assigned")
+	}
+}
+
+// TestParseErrors rejects malformed input.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"noheader\nL0:\n\tRET;\n",
+		"f(0):\n\tr[1]=2;\n", // instruction before label
+		"f(0):\nL0:\n\tbogus;\n",
+		"f(0):\nL0:\nL0:\n\tRET;\n", // duplicate label
+		"f(x):\nL0:\n\tRET;\n",      // bad arity
+		"f(0):\nL0:\n\tr[1]=r[2]@r[3];\n",
+	}
+	for _, text := range cases {
+		if _, err := rtl.ParseFunc(text); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}

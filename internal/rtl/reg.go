@@ -1,0 +1,100 @@
+// Package rtl defines the register transfer list (RTL) intermediate
+// representation used throughout this repository. It mirrors the
+// representation of the VPO compiler backend described in the paper
+// "Exhaustive Optimization Phase Order Space Exploration" (CGO 2006):
+// a function is a list of basic blocks, each holding a sequence of RTL
+// instructions over an ARM-like register file, with condition codes set
+// by comparison instructions (IC=a?b) and consumed by conditional
+// branches (PC=IC<0,L).
+//
+// All optimization phases operate on this single representation, which
+// is what allows them to be applied repeatedly and in arbitrary order.
+package rtl
+
+import "fmt"
+
+// Reg names a machine or pseudo register. Hardware registers occupy
+// 0..15 following the ARM convention; the condition-code register IC is
+// modeled as register 16 so that liveness analysis can treat it
+// uniformly; pseudo registers (unlimited, present before the compulsory
+// register assignment pass) start at FirstPseudo.
+type Reg uint16
+
+// Hardware register conventions (ARM-like, StrongARM SA-1xx):
+// r0-r3 hold arguments and the return value and are caller-save,
+// r4-r11 are callee-save, r12 is a scratch register, r13 is the stack
+// pointer, r14 the link register and r15 the program counter.
+const (
+	RegR0 Reg = iota
+	RegR1
+	RegR2
+	RegR3
+	RegR4
+	RegR5
+	RegR6
+	RegR7
+	RegR8
+	RegR9
+	RegR10
+	RegR11
+	RegR12
+	RegSP // r13
+	RegLR // r14
+	RegPC // r15
+
+	// RegIC is the condition-code (flags) register. It is written by
+	// Cmp instructions and read by conditional branches. Giving it a
+	// register number lets the dataflow analyses treat condition codes
+	// like any other value.
+	RegIC Reg = 16
+
+	// RegNone marks the absence of a register operand.
+	RegNone Reg = 0xFFFF
+
+	// FirstPseudo is the first pseudo-register number. The code
+	// generator and optimization phases allocate pseudo registers
+	// freely; the compulsory register assignment pass later maps them
+	// onto hardware registers.
+	FirstPseudo Reg = 32
+)
+
+// NumHardRegs is the number of addressable hardware registers (r0-r15).
+const NumHardRegs = 16
+
+// AllocatableHardRegs lists the hardware registers available to the
+// register assignment pass, in preference order: caller-save scratch
+// registers first (no save/restore cost), then callee-save.
+var AllocatableHardRegs = []Reg{
+	RegR0, RegR1, RegR2, RegR3, RegR12,
+	RegR4, RegR5, RegR6, RegR7, RegR8, RegR9, RegR10, RegR11,
+}
+
+// CallerSave lists registers clobbered by a call.
+var CallerSave = []Reg{RegR0, RegR1, RegR2, RegR3, RegR12, RegLR, RegIC}
+
+// IsPseudo reports whether r is a pseudo register.
+func (r Reg) IsPseudo() bool { return r >= FirstPseudo && r != RegNone }
+
+// IsHard reports whether r is a hardware register (including SP/LR/PC).
+func (r Reg) IsHard() bool { return r < RegIC }
+
+// IsCalleeSave reports whether a hardware register must be preserved
+// across calls by the callee.
+func (r Reg) IsCalleeSave() bool { return r >= RegR4 && r <= RegR11 }
+
+// String renders the register in the paper's textual RTL notation.
+func (r Reg) String() string {
+	switch r {
+	case RegNone:
+		return "r[?]"
+	case RegIC:
+		return "IC"
+	case RegSP:
+		return "r[sp]"
+	case RegLR:
+		return "r[lr]"
+	case RegPC:
+		return "PC"
+	}
+	return fmt.Sprintf("r[%d]", uint16(r))
+}

@@ -1,0 +1,71 @@
+package rtl
+
+import "fmt"
+
+// Validate checks the structural invariants every phase must preserve:
+//
+//   - control instructions appear only at the end of a block;
+//   - every branch/jump target names an existing block;
+//   - the final block does not fall off the end of the function;
+//   - block IDs are unique and below NextBlockID;
+//   - after register assignment no pseudo registers remain.
+//
+// It returns the first violation found, or nil.
+func Validate(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	ids := make(map[int]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if ids[b.ID] {
+			return fmt.Errorf("%s: duplicate block id L%d", f.Name, b.ID)
+		}
+		if b.ID >= f.NextBlockID {
+			return fmt.Errorf("%s: block id L%d >= NextBlockID %d", f.Name, b.ID, f.NextBlockID)
+		}
+		ids[b.ID] = true
+	}
+	var buf [8]Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsControl() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("%s: L%d instr %d: control instruction %q not at block end",
+					f.Name, b.ID, i, in.String())
+			}
+			if in.Op == OpBranch || in.Op == OpJmp {
+				if !ids[in.Target] {
+					return fmt.Errorf("%s: L%d instr %d: target L%d does not exist",
+						f.Name, b.ID, i, in.Target)
+				}
+			}
+			if f.RegAssigned {
+				for _, r := range in.Defs(buf[:0]) {
+					if r.IsPseudo() {
+						return fmt.Errorf("%s: L%d instr %d: pseudo register %s after register assignment",
+							f.Name, b.ID, i, r)
+					}
+				}
+				for _, r := range in.Uses(buf[:0]) {
+					if r.IsPseudo() {
+						return fmt.Errorf("%s: L%d instr %d: pseudo register %s after register assignment",
+							f.Name, b.ID, i, r)
+					}
+				}
+			}
+		}
+	}
+	last := f.Blocks[len(f.Blocks)-1]
+	if lastIn := last.Last(); lastIn == nil || (lastIn.Op != OpRet && lastIn.Op != OpJmp) {
+		return fmt.Errorf("%s: final block L%d falls off the end of the function", f.Name, last.ID)
+	}
+	return nil
+}
+
+// MustValidate panics when f violates a structural invariant; it is a
+// convenience for tests and for the enumeration engine's paranoid mode.
+func MustValidate(f *Func) {
+	if err := Validate(f); err != nil {
+		panic(err)
+	}
+}

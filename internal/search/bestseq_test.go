@@ -1,0 +1,57 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/search"
+)
+
+// TestBatchNeverBeatsExhaustiveOptimum: the batch compiler's result is
+// one path through the space, so the exhaustive optimum must be at
+// least as good — on every function whose space fits the test budget.
+// A batch result better than the "exhaustive" optimum would prove the
+// enumeration incomplete.
+func TestBatchNeverBeatsExhaustiveOptimum(t *testing.T) {
+	d := machine.StrongARM()
+	for _, tc := range []struct{ src, fn string }{
+		{sumSrc, "sum"},
+		{smallSrc, "clamp"},
+	} {
+		_, f := compileFunc(t, tc.src, tc.fn)
+		r := search.Run(f, search.Options{MaxNodes: 50000})
+		if r.Aborted {
+			continue
+		}
+		batch := f.Clone()
+		driver.Optimize(batch, d) // no entry/exit fixup: spaces are pre-fixup
+		opt := r.OptimalCodeSize().NumInstrs
+		if batch.NumInstrs() < opt {
+			t.Errorf("%s: batch (%d instrs) beats the exhaustive optimum (%d): enumeration incomplete",
+				tc.fn, batch.NumInstrs(), opt)
+		}
+	}
+}
+
+// TestBatchResultInsideSpace: the batch compiler's final instance must
+// appear in the enumerated DAG (its active sequence is one of the
+// orderings the space covers).
+func TestBatchResultInsideSpace(t *testing.T) {
+	d := machine.StrongARM()
+	_, f := compileFunc(t, smallSrc, "clamp")
+	r := search.Run(f, search.Options{KeepFuncs: true})
+	batch := f.Clone()
+	driver.Optimize(batch, d)
+
+	found := false
+	for _, n := range r.Nodes {
+		if n.NumInstrs == batch.NumInstrs() && r.Instance(n).String() == batch.String() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("batch result not found in the enumerated space:\n%s", batch)
+	}
+}

@@ -1,0 +1,97 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/fingerprint"
+	"repro/internal/interp"
+	"repro/internal/rtl"
+)
+
+// DynamicEstimate is the inferred execution cost of one instance.
+type DynamicEstimate struct {
+	Node *Node
+	// Instrs is the estimated dynamic instruction count contributed by
+	// this function during the program run.
+	Instrs int64
+	// Measured reports whether this instance was actually executed
+	// (the representative of its control-flow class) rather than
+	// inferred.
+	Measured bool
+}
+
+// EstimateDynamicCounts implements the paper's Section 7 proposal for
+// finding the best-performing instance without executing every one:
+// instances with the same control flow share block execution
+// frequencies, so the harness executes one representative per distinct
+// control flow (column CF of Table 3) and infers the dynamic
+// instruction count of every other instance in the class as
+//
+//	sum over blocks b of freq(b) * size(b).
+//
+// prog is the whole program containing the enumerated function; entry
+// and args drive the run. The function returns one estimate per node
+// given, plus the number of actual executions performed.
+func (r *Result) EstimateDynamicCounts(prog *rtl.Program, entry string, args []int32, nodes []*Node) ([]DynamicEstimate, int, error) {
+	type classInfo struct {
+		freqs []int64 // per layout-position block execution counts
+	}
+	classes := make(map[fingerprint.Key]*classInfo)
+	estimates := make([]DynamicEstimate, 0, len(nodes))
+	executions := 0
+
+	for _, n := range nodes {
+		inst := r.Instance(n)
+		ci := classes[n.CFKey]
+		measured := false
+		if ci == nil {
+			// Execute the representative with block profiling.
+			mod := prog.Clone()
+			replaced := false
+			for i := range mod.Funcs {
+				if mod.Funcs[i].Name == inst.Name {
+					mod.Funcs[i] = inst
+					replaced = true
+				}
+			}
+			if !replaced {
+				return nil, 0, fmt.Errorf("search: program has no function %q", inst.Name)
+			}
+			m := interp.New(mod, interp.Limits{})
+			m.Profile(inst.Name)
+			if _, err := m.Run(entry, args...); err != nil {
+				return nil, 0, fmt.Errorf("search: executing representative of class: %w", err)
+			}
+			ci = &classInfo{freqs: m.BlockCounts()}
+			classes[n.CFKey] = ci
+			executions++
+			measured = true
+		}
+		if len(ci.freqs) != len(inst.Blocks) {
+			return nil, 0, fmt.Errorf("search: control-flow class mismatch for node %d", n.ID)
+		}
+		var total int64
+		for i, b := range inst.Blocks {
+			total += ci.freqs[i] * int64(len(b.Instrs))
+		}
+		estimates = append(estimates, DynamicEstimate{Node: n, Instrs: total, Measured: measured})
+	}
+	return estimates, executions, nil
+}
+
+// BestDynamicCount returns the leaf with the lowest estimated dynamic
+// instruction count, together with all estimates and the number of
+// executions the control-flow classes saved.
+func (r *Result) BestDynamicCount(prog *rtl.Program, entry string, args []int32) (best DynamicEstimate, all []DynamicEstimate, executions int, err error) {
+	leaves := r.Leaves()
+	all, executions, err = r.EstimateDynamicCounts(prog, entry, args, leaves)
+	if err != nil {
+		return DynamicEstimate{}, nil, 0, err
+	}
+	for _, e := range all {
+		if best.Node == nil || e.Instrs < best.Instrs {
+			best = e
+		}
+	}
+	return best, all, executions, nil
+}

@@ -1,0 +1,94 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/rtl"
+	"repro/internal/search"
+)
+
+// TestDynamicEstimatesMatchDirectMeasurement validates the Section 7
+// inference: for every leaf of an enumerated space, the count inferred
+// from its control-flow class representative must equal the count
+// measured by actually executing that leaf.
+func TestDynamicEstimatesMatchDirectMeasurement(t *testing.T) {
+	prog, f := compileFunc(t, sumSrc, "sum")
+	r := search.Run(f, search.Options{MaxNodes: 5000})
+	if r.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+	args := []int32{13}
+
+	_, all, executions, err := r.BestDynamicCount(prog, "sum", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions >= len(all) && len(all) > 1 {
+		t.Errorf("control-flow classes saved nothing: %d executions for %d leaves",
+			executions, len(all))
+	}
+
+	measure := func(inst *rtl.Func) int64 {
+		mod := prog.Clone()
+		for i := range mod.Funcs {
+			if mod.Funcs[i].Name == inst.Name {
+				mod.Funcs[i] = inst
+			}
+		}
+		m := interp.New(mod, interp.Limits{})
+		m.Profile(inst.Name)
+		if _, err := m.Run("sum", args...); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i, c := range m.BlockCounts() {
+			total += c * int64(len(mod.Func(inst.Name).Blocks[i].Instrs))
+		}
+		return total
+	}
+
+	for _, e := range all {
+		direct := measure(r.Instance(e.Node))
+		if direct != e.Instrs {
+			t.Fatalf("node %d (seq %q): inferred %d, measured %d",
+				e.Node.ID, e.Node.Seq, e.Instrs, direct)
+		}
+	}
+	t.Logf("%d leaves, %d executions (%.1fx saved)",
+		len(all), executions, float64(len(all))/float64(executions))
+}
+
+// TestBestDynamicCountBeatsWorst sanity-checks that the space contains
+// real performance differences and Best picks the minimum.
+func TestBestDynamicCountBeatsWorst(t *testing.T) {
+	prog, f := compileFunc(t, sumSrc, "sum")
+	r := search.Run(f, search.Options{MaxNodes: 5000})
+	if r.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+	best, all, _, err := r.BestDynamicCount(prog, "sum", []int32{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst int64
+	for _, e := range all {
+		if e.Instrs < best.Instrs {
+			t.Fatalf("best is not minimal")
+		}
+		if e.Instrs > worst {
+			worst = e.Instrs
+		}
+	}
+	if worst <= best.Instrs {
+		t.Skip("no performance spread in this space")
+	}
+	// The unoptimized root must not beat the best leaf.
+	rootEst, _, err := r.EstimateDynamicCounts(prog, "sum", []int32{16}, []*search.Node{r.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootEst[0].Instrs < best.Instrs {
+		t.Fatalf("unoptimized code (%d) beats the best leaf (%d)", rootEst[0].Instrs, best.Instrs)
+	}
+}

@@ -1,0 +1,185 @@
+package search
+
+import (
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// IndependencePrior supplies the probability that two phases are
+// independent (produce identical code in either order), as mined by
+// the analysis package from previously enumerated spaces. Implemented
+// by analysis.Interactions via its Independence matrix; the indirection
+// keeps the package dependency one-way.
+type IndependencePrior interface {
+	// Independent reports the observed independence probability of the
+	// two phases, or -1 when never observed.
+	Independent(x, y byte) float64
+}
+
+// PruneStats reports what independence pruning did.
+type PruneStats struct {
+	// Skipped counts phase evaluations replaced by diamond completion.
+	Skipped int
+	// Fallbacks counts prunable candidates that had to be evaluated
+	// anyway because the diamond's other path was missing.
+	Fallbacks int
+}
+
+// RunWithIndependencePruning enumerates the space like Run, using the
+// Section 7 future-work idea: when phase x is attempted at a node m
+// that was first reached by phase y from node n, and the prior says x
+// and y are always independent, the result of x at m must equal the
+// result of y at n's x-successor — a diamond that can be completed
+// without applying either phase. Every completed diamond saves one
+// full phase evaluation (clone + analysis + transformation).
+//
+// The enumeration is exact when the prior is exact for this function;
+// with a prior mined from *other* functions it is an approximation, and
+// the returned space may (rarely) diverge from Run's. Tests quantify
+// the divergence; the threshold chooses how certain the prior must be
+// (1.0 = only pairs never once observed dependent).
+func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePrior, threshold float64) (*Result, PruneStats) {
+	opts.fill()
+	var ps PruneStats
+	start := time.Now()
+
+	root := f.Clone()
+	rtl.Cleanup(root)
+	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
+	index := make(map[string]int)
+
+	// via[n] records the first-discovery parent and phase of node n.
+	type origin struct {
+		parent int
+		phase  byte
+	}
+	via := make([]origin, 0, 1024)
+
+	add := func(fn *rtl.Func, st opt.State, level int, seq string, parent int, phase byte) (*Node, bool) {
+		key := stateKey(fn, st)
+		if id, ok := index[key]; ok {
+			return res.Nodes[id], false
+		}
+		n := &Node{
+			ID:        len(res.Nodes),
+			Level:     level,
+			Seq:       seq,
+			Key:       key,
+			FP:        fingerprint.Of(fn),
+			State:     st,
+			NumInstrs: fn.NumInstrs(),
+			CFKey:     fingerprint.ControlFlowKey(fn),
+			fn:        fn,
+		}
+		index[key] = n.ID
+		res.Nodes = append(res.Nodes, n)
+		via = append(via, origin{parent: parent, phase: phase})
+		return n, true
+	}
+
+	rootNode, _ := add(root, opt.State{}, 0, "", -1, 0)
+	frontier := []*Node{rootNode}
+
+	edgeTarget := func(n *Node, phase byte) int {
+		for _, e := range n.Edges {
+			if e.Phase == phase {
+				return e.To
+			}
+		}
+		return -1
+	}
+
+	evaluate := func(n *Node, p opt.Phase) (*rtl.Func, opt.State, bool) {
+		child := n.fn.Clone()
+		st := n.State
+		if !opt.Attempt(child, &st, p, opts.Machine) {
+			return nil, st, false
+		}
+		return child, st, true
+	}
+
+	for len(frontier) > 0 {
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			res.Aborted = true
+			res.AbortReason = "timeout"
+			break
+		}
+		var next []*Node
+		type deferredAttempt struct {
+			node  *Node
+			phase opt.Phase
+		}
+		var deferred []deferredAttempt
+
+		process := func(n *Node, p opt.Phase) {
+			res.AttemptedPhases++
+			child, st, active := evaluate(n, p)
+			if !active {
+				return
+			}
+			cn, isNew := add(child, st, n.Level+1, n.Seq+string(p.ID()), n.ID, p.ID())
+			n.Edges = append(n.Edges, Edge{Phase: p.ID(), To: cn.ID})
+			if isNew {
+				next = append(next, cn)
+			}
+		}
+
+		for _, n := range frontier {
+			for _, p := range opts.Phases {
+				if !opt.Enabled(p, n.State) {
+					continue
+				}
+				if len(n.Seq) > 0 && n.Seq[len(n.Seq)-1] == p.ID() {
+					continue
+				}
+				// Prunable? m reached via (parent, y); x=p independent
+				// of y.
+				o := via[n.ID]
+				if o.parent >= 0 && prior != nil {
+					if ind := prior.Independent(p.ID(), o.phase); ind >= threshold {
+						deferred = append(deferred, deferredAttempt{n, p})
+						continue
+					}
+				}
+				process(n, p)
+			}
+		}
+
+		// Resolve deferred diamonds now that this level's direct
+		// evaluations are in place.
+		for _, d := range deferred {
+			o := via[d.node.ID]
+			parent := res.Nodes[o.parent]
+			completed := false
+			if m1 := edgeTarget(parent, d.phase.ID()); m1 >= 0 {
+				if p2 := edgeTarget(res.Nodes[m1], o.phase); p2 >= 0 {
+					// Diamond complete: x after y equals y after x.
+					d.node.Edges = append(d.node.Edges, Edge{Phase: d.phase.ID(), To: p2})
+					ps.Skipped++
+					completed = true
+				}
+			}
+			if !completed {
+				ps.Fallbacks++
+				process(d.node, d.phase)
+			}
+		}
+
+		for _, n := range frontier {
+			if !opts.KeepFuncs {
+				n.fn = nil
+			}
+		}
+		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
+			res.Aborted = true
+			res.AbortReason = "node cap"
+			break
+		}
+		frontier = next
+	}
+	res.Elapsed = time.Since(start)
+	return res, ps
+}

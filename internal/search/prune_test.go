@@ -1,0 +1,81 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/search"
+)
+
+// TestIndependencePruningWithSelfPrior: when the prior is mined from
+// the function's own exhaustive space (so every independence entry of
+// 1.0 is exact), the pruned enumeration must find the same set of
+// instances while skipping evaluations.
+func TestIndependencePruningWithSelfPrior(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	exact := search.Run(f, search.Options{MaxNodes: 50000})
+	if exact.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+	x := analysis.NewInteractions()
+	x.Accumulate(exact)
+
+	pruned, ps := search.RunWithIndependencePruning(f, search.Options{MaxNodes: 50000}, x, 1.0)
+	if pruned.Aborted {
+		t.Fatalf("pruned run aborted: %s", pruned.AbortReason)
+	}
+
+	if ps.Skipped == 0 {
+		t.Error("no evaluations skipped despite fully-independent pairs in the prior")
+	}
+	if pruned.AttemptedPhases >= exact.AttemptedPhases {
+		t.Errorf("pruning saved nothing: %d vs %d attempts",
+			pruned.AttemptedPhases, exact.AttemptedPhases)
+	}
+
+	// Same instances: compare the sets of canonical keys.
+	exactKeys := make(map[string]bool, len(exact.Nodes))
+	for _, n := range exact.Nodes {
+		exactKeys[n.Key] = true
+	}
+	missing := 0
+	for _, n := range pruned.Nodes {
+		if !exactKeys[n.Key] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("pruned space contains %d instances not in the exact space", missing)
+	}
+	lost := len(exact.Nodes) - len(pruned.Nodes)
+	if lost != 0 {
+		// With a self-prior at threshold 1.0 the diamonds are exact:
+		// the space must be identical.
+		t.Errorf("pruning lost %d of %d instances", lost, len(exact.Nodes))
+	}
+	t.Logf("attempts %d -> %d (%d diamonds completed, %d fallbacks)",
+		exact.AttemptedPhases, pruned.AttemptedPhases, ps.Skipped, ps.Fallbacks)
+}
+
+// TestIndependencePruningCrossFunction quantifies the approximation
+// when the prior comes from a different function, as Section 7
+// envisions: most of the space survives, and the attempt count drops.
+func TestIndependencePruningCrossFunction(t *testing.T) {
+	_, train := compileFunc(t, smallSrc, "clamp")
+	trainSpace := search.Run(train, search.Options{})
+	x := analysis.NewInteractions()
+	x.Accumulate(trainSpace)
+
+	_, f := compileFunc(t, sumSrc, "sum")
+	exact := search.Run(f, search.Options{MaxNodes: 50000})
+	if exact.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+	pruned, ps := search.RunWithIndependencePruning(f, search.Options{MaxNodes: 50000}, x, 1.0)
+	coverage := float64(len(pruned.Nodes)) / float64(len(exact.Nodes))
+	t.Logf("cross-function prior: coverage %.1f%%, %d skipped, %d fallbacks, attempts %d -> %d",
+		100*coverage, ps.Skipped, ps.Fallbacks, exact.AttemptedPhases, pruned.AttemptedPhases)
+	if coverage < 0.5 {
+		t.Errorf("cross-function pruning lost more than half the space (%.1f%%)", 100*coverage)
+	}
+}

@@ -1,0 +1,415 @@
+// Package search implements the paper's core contribution: exhaustive
+// enumeration of the optimization phase order space (Section 4). The
+// space of attempted sequences is astronomically large (15^n), but two
+// pruning techniques make the space of distinct *function instances*
+// enumerable:
+//
+//  1. dormant phases produce no new node (Figure 2), and
+//  2. identical function instances — detected after canonical
+//     register/label renumbering — merge, turning the tree into a DAG
+//     (Figure 4).
+//
+// The search proceeds level by level, exactly like Figure 1: level n
+// holds the instances first reachable by an active sequence of length
+// n. A configurable cap on the number of sequences evaluated at one
+// level aborts oversized functions, mirroring the paper's one-million
+// cutoff that marked two of 111 functions "too big".
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// Edge records an active phase application from one node to another.
+type Edge struct {
+	Phase byte
+	To    int
+}
+
+// Node is one distinct function instance in the phase order space DAG.
+type Node struct {
+	ID    int
+	Level int
+	// Seq is the lexicographically first shortest active phase
+	// sequence producing this instance from the unoptimized function.
+	Seq string
+	// Key is the exact canonical encoding plus gating state; nodes
+	// are merged exactly when Keys match.
+	Key string
+	// FP is the paper's three-value fingerprint (count/bytesum/CRC).
+	FP fingerprint.FP
+	// State holds the gating facts for phase legality at this node.
+	State opt.State
+	// NumInstrs is the static code size of the instance.
+	NumInstrs int
+	// CFKey identifies the control-flow shape (Table 3 column CF).
+	CFKey fingerprint.Key
+	// Edges lists the active phases leaving this node, in phase order.
+	Edges []Edge
+	// Weight is the number of distinct active sequences at or below
+	// this node (leaves weigh 1), per Figure 7. Filled by Analyze.
+	Weight float64
+
+	fn *rtl.Func // retained only while unexplored
+}
+
+// IsLeaf reports whether no phase is active at this node.
+func (n *Node) IsLeaf() bool { return len(n.Edges) == 0 }
+
+// Options configure a search.
+type Options struct {
+	// Phases are the candidate phases (default: opt.All()).
+	Phases []opt.Phase
+	// Machine is the target description (default: machine.StrongARM()).
+	Machine *machine.Desc
+	// MaxSeqPerLevel aborts the search when the number of sequences to
+	// evaluate at one level exceeds it (paper: 1,000,000).
+	MaxSeqPerLevel int
+	// MaxNodes aborts the search when the DAG exceeds this many
+	// distinct instances (0 = unlimited).
+	MaxNodes int
+	// Timeout aborts the search after this much wall time
+	// (0 = unlimited).
+	Timeout time.Duration
+	// Verifier, when non-nil, is invoked on every new instance; it
+	// should return an error when the instance misbehaves. Used for
+	// differential testing of the whole space.
+	Verifier func(f *rtl.Func) error
+	// KeepFuncs retains every node's function instance in memory
+	// (needed by callers that walk instances afterwards; the analysis
+	// and statistics do not need it).
+	KeepFuncs bool
+	// Workers sets the evaluation parallelism (default: NumCPU). The
+	// enumeration result is deterministic regardless of the setting.
+	Workers int
+	// NaiveReplay disables the paper's Section 4.3 search
+	// enhancements: every sequence evaluation restarts from the
+	// unoptimized function and replays the whole phase prefix, the
+	// way Figure 6(a) evaluates sequences. The enumerated space is
+	// identical; only the evaluation cost changes (Figure 6 reports
+	// the enhancements win a factor of 5-10).
+	NaiveReplay bool
+}
+
+func (o *Options) fill() {
+	if o.Phases == nil {
+		o.Phases = opt.All()
+	}
+	if o.Machine == nil {
+		o.Machine = machine.StrongARM()
+	}
+	if o.MaxSeqPerLevel == 0 {
+		o.MaxSeqPerLevel = 1_000_000
+	}
+}
+
+// Result is the enumerated phase order space of one function.
+type Result struct {
+	FuncName string
+	Nodes    []*Node
+	// AttemptedPhases counts every phase application evaluated during
+	// the search, active or dormant (Table 3, "Attempt Phases").
+	AttemptedPhases int
+	// Aborted reports that a cap stopped the search ("N/A" rows).
+	Aborted     bool
+	AbortReason string
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+
+	root *rtl.Func
+	opts Options
+}
+
+// Root returns the node of the unoptimized instance.
+func (r *Result) Root() *Node { return r.Nodes[0] }
+
+// Run exhaustively enumerates the phase order space of f. The function
+// is not modified.
+func Run(f *rtl.Func, opts Options) *Result {
+	opts.fill()
+	start := time.Now()
+
+	root := f.Clone()
+	rtl.Cleanup(root)
+
+	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
+	index := make(map[string]int)
+
+	add := func(fn *rtl.Func, st opt.State, level int, seq string) (*Node, bool) {
+		key := stateKey(fn, st)
+		if id, ok := index[key]; ok {
+			return res.Nodes[id], false
+		}
+		n := &Node{
+			ID:        len(res.Nodes),
+			Level:     level,
+			Seq:       seq,
+			Key:       key,
+			FP:        fingerprint.Of(fn),
+			State:     st,
+			NumInstrs: fn.NumInstrs(),
+			CFKey:     fingerprint.ControlFlowKey(fn),
+			fn:        fn,
+		}
+		index[key] = n.ID
+		res.Nodes = append(res.Nodes, n)
+		return n, true
+	}
+
+	rootNode, _ := add(root, opt.State{}, 0, "")
+	frontier := []*Node{rootNode}
+
+	for len(frontier) > 0 {
+		// The number of sequences to evaluate at this level is the
+		// number of (node, enabled phase) pairs.
+		pending := 0
+		for _, n := range frontier {
+			for _, p := range opts.Phases {
+				if opt.Enabled(p, n.State) {
+					pending++
+				}
+			}
+		}
+		if pending > opts.MaxSeqPerLevel {
+			res.Aborted = true
+			res.AbortReason = fmt.Sprintf("level %d requires %d sequence evaluations (cap %d)",
+				frontier[0].Level+1, pending, opts.MaxSeqPerLevel)
+			break
+		}
+
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			res.Aborted = true
+			res.AbortReason = "timeout"
+			break
+		}
+
+		// Evaluate every (node, phase) pair of the level. Attempts are
+		// independent, so they run on a worker pool; results merge in
+		// deterministic (node, phase) order so the enumeration is
+		// reproducible regardless of scheduling.
+		type attempt struct {
+			node  *Node
+			phase opt.Phase
+		}
+		type outcome struct {
+			active bool
+			fn     *rtl.Func
+			st     opt.State
+		}
+		var work []attempt
+		for _, n := range frontier {
+			for _, p := range opts.Phases {
+				if !opt.Enabled(p, n.State) {
+					continue
+				}
+				// An active phase is never active twice in a row
+				// (Section 4.1), so re-attempting the phase that
+				// produced this node is pointless.
+				if len(n.Seq) > 0 && n.Seq[len(n.Seq)-1] == p.ID() {
+					continue
+				}
+				work = append(work, attempt{n, p})
+			}
+		}
+		res.AttemptedPhases += len(work)
+
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+
+		// Process in chunks so a very wide level does not hold every
+		// child clone in memory at once.
+		const chunkSize = 4096
+		var next []*Node
+		outcomes := make([]outcome, 0, chunkSize)
+		for lo := 0; lo < len(work); lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > len(work) {
+				hi = len(work)
+			}
+			chunk := work[lo:hi]
+			outcomes = outcomes[:len(chunk)]
+			for i := range outcomes {
+				outcomes[i] = outcome{}
+			}
+			nw := workers
+			if nw > len(chunk) {
+				nw = len(chunk)
+			}
+			var wg sync.WaitGroup
+			var cursor atomic.Int64
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(chunk) {
+							return
+						}
+						a := chunk[i]
+						var child *rtl.Func
+						st := opt.State{}
+						if opts.NaiveReplay {
+							// Figure 6(a): reload the unoptimized
+							// function and re-apply the entire active
+							// prefix.
+							child = replaySeq(res.root, a.node.Seq, opts.Machine, &st)
+						} else {
+							child = a.node.fn.Clone()
+							st = a.node.State
+						}
+						if !opt.Attempt(child, &st, a.phase, opts.Machine) {
+							continue // dormant: branch pruned
+						}
+						if opts.Verifier != nil {
+							if err := opts.Verifier(child); err != nil {
+								panic(fmt.Sprintf("search: instance %q+%c misbehaves: %v",
+									a.node.Seq, a.phase.ID(), err))
+							}
+						}
+						outcomes[i] = outcome{active: true, fn: child, st: st}
+					}
+				}()
+			}
+			wg.Wait()
+			for i, a := range chunk {
+				o := outcomes[i]
+				if !o.active {
+					continue
+				}
+				cn, isNew := add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
+				if isNew {
+					next = append(next, cn)
+				}
+			}
+			if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+				res.Aborted = true
+				res.AbortReason = "timeout"
+				break
+			}
+		}
+		if res.Aborted {
+			break
+		}
+		if !opts.KeepFuncs {
+			for _, n := range frontier {
+				n.fn = nil // instance no longer needed once explored
+			}
+		}
+		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
+			res.Aborted = true
+			res.AbortReason = fmt.Sprintf("more than %d distinct instances", opts.MaxNodes)
+			break
+		}
+		frontier = next
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// stateKey combines the canonical instance encoding with the gating
+// state, so instances that look identical but have different phase
+// legality (e.g. one has had instruction selection applied) stay
+// distinct.
+func stateKey(fn *rtl.Func, st opt.State) string {
+	var flags byte
+	if st.RegAssigned {
+		flags |= 1
+	}
+	if st.KApplied {
+		flags |= 2
+	}
+	if st.SApplied {
+		flags |= 4
+	}
+	return string(flags) + string(fingerprint.Encode(fn))
+}
+
+// replaySeq reconstructs an instance by cloning the unoptimized
+// function and applying an active phase sequence.
+func replaySeq(root *rtl.Func, seq string, d *machine.Desc, st *opt.State) *rtl.Func {
+	f := root.Clone()
+	for i := 0; i < len(seq); i++ {
+		p := opt.ByID(seq[i])
+		if !opt.Attempt(f, st, p, d) {
+			panic(fmt.Sprintf("search: replay of %q: phase %c dormant", seq, seq[i]))
+		}
+	}
+	return f
+}
+
+// Instance reconstructs the function instance of a node by replaying
+// its sequence from the unoptimized root. When the search ran with
+// KeepFuncs the retained instance is returned directly.
+func (r *Result) Instance(n *Node) *rtl.Func {
+	if n.fn != nil {
+		return n.fn.Clone()
+	}
+	f := r.root.Clone()
+	st := opt.State{}
+	for i := 0; i < len(n.Seq); i++ {
+		p := opt.ByID(n.Seq[i])
+		if p == nil {
+			panic(fmt.Sprintf("search: unknown phase %q in sequence", n.Seq[i]))
+		}
+		if !opt.Attempt(f, &st, p, r.opts.Machine) {
+			panic(fmt.Sprintf("search: replay of %q: phase %c dormant", n.Seq, n.Seq[i]))
+		}
+	}
+	return f
+}
+
+// Leaves returns the leaf nodes — instances at which every phase is
+// dormant, where the optimization space DAG converges.
+func (r *Result) Leaves() []*Node {
+	var out []*Node
+	for _, n := range r.Nodes {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BestCodeSize returns the leaf with the fewest instructions,
+// resolving ties toward the shortest sequence. Leaves are where Table
+// 3's code size extremes are measured.
+func (r *Result) BestCodeSize() *Node {
+	var best *Node
+	for _, n := range r.Leaves() {
+		if best == nil || n.NumInstrs < best.NumInstrs ||
+			(n.NumInstrs == best.NumInstrs && len(n.Seq) < len(best.Seq)) {
+			best = n
+		}
+	}
+	return best
+}
+
+// OptimalCodeSize returns the instance with the fewest instructions
+// anywhere in the space — not only at the leaves, since phases like
+// loop unrolling legitimately grow the code, so the global minimum may
+// be an interior node where the compiler would simply stop. The
+// exhaustive space makes this the provably optimal code size reachable
+// by any phase ordering of the compiler (Section 8).
+func (r *Result) OptimalCodeSize() *Node {
+	var best *Node
+	for _, n := range r.Nodes {
+		if best == nil || n.NumInstrs < best.NumInstrs ||
+			(n.NumInstrs == best.NumInstrs && len(n.Seq) < len(best.Seq)) {
+			best = n
+		}
+	}
+	return best
+}

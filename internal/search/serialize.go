@@ -1,0 +1,186 @@
+package search
+
+import (
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// The on-disk format: a gzip-compressed JSON document holding the
+// unoptimized root function and the node table. Binary canonical keys
+// are base64-coded. Saved spaces let the analysis tools run without
+// re-enumerating (the paper's enumerations took hours for the largest
+// functions; persisting them is what makes the Section 5 statistics a
+// separate, fast step).
+
+type fileFormat struct {
+	Version         int           `json:"version"`
+	FuncName        string        `json:"func"`
+	AttemptedPhases int           `json:"attempted_phases"`
+	Aborted         bool          `json:"aborted,omitempty"`
+	AbortReason     string        `json:"abort_reason,omitempty"`
+	ElapsedNS       int64         `json:"elapsed_ns"`
+	Root            *rtl.Func     `json:"root"`
+	Nodes           []fileNode    `json:"nodes"`
+	Machine         *machine.Desc `json:"machine"`
+}
+
+type fileNode struct {
+	Level     int            `json:"level"`
+	Seq       string         `json:"seq"`
+	Key       string         `json:"key"` // base64
+	FP        fingerprint.FP `json:"fp"`
+	State     byte           `json:"state"`
+	NumInstrs int            `json:"num_instrs"`
+	CFKey     string         `json:"cf_key"` // base64
+	Edges     []Edge         `json:"edges,omitempty"`
+}
+
+const formatVersion = 1
+
+func stateBits(st opt.State) byte {
+	var b byte
+	if st.RegAssigned {
+		b |= 1
+	}
+	if st.KApplied {
+		b |= 2
+	}
+	if st.SApplied {
+		b |= 4
+	}
+	return b
+}
+
+func bitsState(b byte) opt.State {
+	return opt.State{
+		RegAssigned: b&1 != 0,
+		KApplied:    b&2 != 0,
+		SApplied:    b&4 != 0,
+	}
+}
+
+// Save writes the enumerated space to w.
+func (r *Result) Save(w io.Writer) error {
+	ff := fileFormat{
+		Version:         formatVersion,
+		FuncName:        r.FuncName,
+		AttemptedPhases: r.AttemptedPhases,
+		Aborted:         r.Aborted,
+		AbortReason:     r.AbortReason,
+		ElapsedNS:       int64(r.Elapsed),
+		Root:            r.root,
+		Machine:         r.opts.Machine,
+	}
+	enc := base64.StdEncoding
+	for _, n := range r.Nodes {
+		ff.Nodes = append(ff.Nodes, fileNode{
+			Level:     n.Level,
+			Seq:       n.Seq,
+			Key:       enc.EncodeToString([]byte(n.Key)),
+			FP:        n.FP,
+			State:     stateBits(n.State),
+			NumInstrs: n.NumInstrs,
+			CFKey:     enc.EncodeToString([]byte(n.CFKey)),
+			Edges:     n.Edges,
+		})
+	}
+	gz := gzip.NewWriter(w)
+	if err := json.NewEncoder(gz).Encode(&ff); err != nil {
+		return fmt.Errorf("search: encoding space: %w", err)
+	}
+	return gz.Close()
+}
+
+// SaveFile writes the space to a file.
+func (r *Result) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a space written by Save. The loaded result supports the
+// same operations as a fresh one, including Instance replay.
+func Load(rd io.Reader) (*Result, error) {
+	gz, err := gzip.NewReader(rd)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading space: %w", err)
+	}
+	defer gz.Close()
+	var ff fileFormat
+	if err := json.NewDecoder(gz).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("search: decoding space: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("search: space format version %d, want %d", ff.Version, formatVersion)
+	}
+	if ff.Root == nil || len(ff.Nodes) == 0 {
+		return nil, fmt.Errorf("search: space file is empty")
+	}
+	res := &Result{
+		FuncName:        ff.FuncName,
+		AttemptedPhases: ff.AttemptedPhases,
+		Aborted:         ff.Aborted,
+		AbortReason:     ff.AbortReason,
+		Elapsed:         time.Duration(ff.ElapsedNS),
+		root:            ff.Root,
+	}
+	res.opts.fill()
+	if ff.Machine != nil {
+		res.opts.Machine = ff.Machine
+	}
+	enc := base64.StdEncoding
+	for i, fn := range ff.Nodes {
+		key, err := enc.DecodeString(fn.Key)
+		if err != nil {
+			return nil, fmt.Errorf("search: node %d key: %w", i, err)
+		}
+		cf, err := enc.DecodeString(fn.CFKey)
+		if err != nil {
+			return nil, fmt.Errorf("search: node %d cf key: %w", i, err)
+		}
+		for _, e := range fn.Edges {
+			if e.To < 0 || e.To >= len(ff.Nodes) {
+				return nil, fmt.Errorf("search: node %d has an edge to %d, outside the %d-node table",
+					i, e.To, len(ff.Nodes))
+			}
+		}
+		res.Nodes = append(res.Nodes, &Node{
+			ID:        i,
+			Level:     fn.Level,
+			Seq:       fn.Seq,
+			Key:       string(key),
+			FP:        fn.FP,
+			State:     bitsState(fn.State),
+			NumInstrs: fn.NumInstrs,
+			CFKey:     fingerprint.Key(cf),
+			Edges:     fn.Edges,
+		})
+	}
+	return res, nil
+}
+
+// LoadFile reads a space file written by SaveFile.
+func LoadFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

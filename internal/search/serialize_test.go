@@ -1,0 +1,94 @@
+package search_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/fingerprint"
+	"repro/internal/search"
+)
+
+func TestSpaceSaveLoadRoundTrip(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	orig := search.Run(f, search.Options{})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.FuncName != orig.FuncName ||
+		loaded.AttemptedPhases != orig.AttemptedPhases ||
+		len(loaded.Nodes) != len(orig.Nodes) {
+		t.Fatalf("header mismatch: %+v vs %+v", loaded, orig)
+	}
+	for i := range orig.Nodes {
+		a, b := orig.Nodes[i], loaded.Nodes[i]
+		if a.Key != b.Key || a.Seq != b.Seq || a.Level != b.Level ||
+			a.NumInstrs != b.NumInstrs || a.FP != b.FP || a.CFKey != b.CFKey ||
+			a.State != b.State || !reflect.DeepEqual(a.Edges, b.Edges) {
+			t.Fatalf("node %d mismatch", i)
+		}
+	}
+
+	// The loaded space must replay instances faithfully.
+	best := loaded.OptimalCodeSize()
+	inst := loaded.Instance(best)
+	if inst.NumInstrs() != best.NumInstrs {
+		t.Fatalf("replay after load: %d instructions, recorded %d",
+			inst.NumInstrs(), best.NumInstrs)
+	}
+	if got := fingerprint.Of(inst); got != best.FP {
+		t.Fatalf("replay fingerprint mismatch")
+	}
+
+	// And the analysis must produce identical statistics.
+	xa, xb := analysis.NewInteractions(), analysis.NewInteractions()
+	xa.Accumulate(orig)
+	xb.Accumulate(loaded)
+	if !reflect.DeepEqual(xa.Enabling(), xb.Enabling()) {
+		t.Fatal("analysis differs after reload")
+	}
+}
+
+func TestSpaceSaveLoadFile(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	orig := search.Run(f, search.Options{})
+	path := filepath.Join(t.TempDir(), "clamp.space.gz")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Nodes) != len(orig.Nodes) {
+		t.Fatalf("node count %d, want %d", len(loaded.Nodes), len(orig.Nodes))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := search.Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("accepted garbage input")
+	}
+	// Valid gzip of invalid JSON.
+	var buf bytes.Buffer
+	func() {
+		gz := newGzip(&buf)
+		defer gz.Close()
+		gz.Write([]byte("{broken"))
+	}()
+	if _, err := search.Load(&buf); err == nil {
+		t.Fatal("accepted broken JSON")
+	}
+}
+
+func newGzip(w *bytes.Buffer) *gzip.Writer { return gzip.NewWriter(w) }

@@ -1,0 +1,103 @@
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/fingerprint"
+	"repro/internal/rtl"
+)
+
+// Stats are the per-function search space statistics of Table 3.
+type Stats struct {
+	Function string
+	// Insts is the number of instructions in the unoptimized function.
+	Insts int
+	// Blocks, Branches and Loops describe the unoptimized function.
+	Blocks   int
+	Branches int
+	Loops    int
+	// FnInstances is the number of distinct function instances.
+	FnInstances int
+	// AttemptedPhases counts phase applications evaluated.
+	AttemptedPhases int
+	// MaxActiveLen is the largest active sequence length (Table 3,
+	// "Len"): the depth of the DAG.
+	MaxActiveLen int
+	// ControlFlows is the number of distinct control flows (CF).
+	ControlFlows int
+	// Leaves is the number of leaf function instances.
+	Leaves int
+	// CodeSizeMax/Min are the extreme static instruction counts over
+	// leaf instances; PctDiff is their relative gap in percent.
+	CodeSizeMax int
+	CodeSizeMin int
+	PctDiff     float64
+	// Aborted marks functions whose space exceeded the search caps
+	// (the paper's "N/A" rows).
+	Aborted bool
+}
+
+// ComputeStats assembles the Table 3 row for a completed search.
+func ComputeStats(r *Result) Stats {
+	st := Stats{
+		Function:        r.FuncName,
+		FnInstances:     len(r.Nodes),
+		AttemptedPhases: r.AttemptedPhases,
+		Aborted:         r.Aborted,
+	}
+	root := r.root
+	st.Insts = root.NumInstrs()
+	st.Blocks = len(root.Blocks)
+	st.Branches = root.NumBranches()
+	st.Loops = rtl.NumLoops(root)
+
+	cf := make(map[fingerprint.Key]bool)
+	for _, n := range r.Nodes {
+		cf[n.CFKey] = true
+		if n.Level > st.MaxActiveLen {
+			st.MaxActiveLen = n.Level
+		}
+	}
+	st.ControlFlows = len(cf)
+
+	for _, n := range r.Leaves() {
+		st.Leaves++
+		if st.CodeSizeMin == 0 || n.NumInstrs < st.CodeSizeMin {
+			st.CodeSizeMin = n.NumInstrs
+		}
+		if n.NumInstrs > st.CodeSizeMax {
+			st.CodeSizeMax = n.NumInstrs
+		}
+	}
+	if st.CodeSizeMin > 0 {
+		st.PctDiff = 100 * float64(st.CodeSizeMax-st.CodeSizeMin) / float64(st.CodeSizeMin)
+	}
+	return st
+}
+
+// TableRow renders the statistics in the layout of Table 3.
+func (s Stats) TableRow() string {
+	if s.Aborted {
+		return fmt.Sprintf("%-16s %6d %5d %5d %5d %10s %12s %5s %5s %6s %6s %6s %7s",
+			clip(s.Function, 16), s.Insts, s.Blocks, s.Branches, s.Loops,
+			"N/A", "N/A", "N/A", "N/A", "N/A", "N/A", "N/A", "N/A")
+	}
+	return fmt.Sprintf("%-16s %6d %5d %5d %5d %10d %12d %5d %5d %6d %6d %6d %6.1f%%",
+		clip(s.Function, 16), s.Insts, s.Blocks, s.Branches, s.Loops,
+		s.FnInstances, s.AttemptedPhases, s.MaxActiveLen, s.ControlFlows,
+		s.Leaves, s.CodeSizeMax, s.CodeSizeMin, s.PctDiff)
+}
+
+// TableHeader is the column header matching TableRow.
+func TableHeader() string {
+	return fmt.Sprintf("%-16s %6s %5s %5s %5s %10s %12s %5s %5s %6s %6s %6s %7s",
+		"Function", "Insts", "Blk", "Brch", "Loop",
+		"FnInst", "Attempted", "Len", "CF", "Leaf", "Max", "Min", "%Diff")
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

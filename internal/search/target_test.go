@@ -1,0 +1,45 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/search"
+)
+
+// TestSpacesDependOnTarget measures the abstract's claim that the best
+// phase order depends on the target architecture: enumerating the same
+// function against two machine descriptions (ARM-like 8/12-bit
+// immediates vs MIPS-like 16-bit immediates) must give different
+// spaces, and may give different optimal code sizes.
+func TestSpacesDependOnTarget(t *testing.T) {
+	src := `
+int f(int x) {
+    int a = x & 4095;
+    int b = x & 65535;
+    return a * 6 + b - 70000;
+}`
+	_, f := compileFunc(t, src, "f")
+
+	arm := search.Run(f, search.Options{Machine: machine.StrongARM(), MaxNodes: 30000})
+	mips := search.Run(f, search.Options{Machine: machine.MIPSLike(), MaxNodes: 30000})
+	if arm.Aborted || mips.Aborted {
+		t.Skip("space exceeds the test budget")
+	}
+
+	armOpt := arm.OptimalCodeSize().NumInstrs
+	mipsOpt := mips.OptimalCodeSize().NumInstrs
+	t.Logf("strongarm: %d instances, optimal %d; mipslike: %d instances, optimal %d",
+		len(arm.Nodes), armOpt, len(mips.Nodes), mipsOpt)
+
+	if len(arm.Nodes) == len(mips.Nodes) && armOpt == mipsOpt {
+		// The wide logical immediates of the MIPS-like target must
+		// let instruction selection fold the 0xFFFF mask that the
+		// ARM-like target cannot encode, so something must differ.
+		t.Fatalf("identical spaces across very different targets")
+	}
+	if mipsOpt > armOpt {
+		t.Errorf("wider immediates should not make the optimal code larger: %d vs %d",
+			mipsOpt, armOpt)
+	}
+}
