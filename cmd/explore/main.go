@@ -12,6 +12,9 @@
 //	-maxnodes n     abort a function beyond n distinct instances
 //	-timeout d      per-function wall-clock budget (0 = none)
 //	-verify         differentially execute every instance (slow)
+//	-check          run the internal/check semantic verifier on every
+//	                instance; failing sequences are reported and the
+//	                exit status is nonzero
 //	-phases         print the Table 1 phase catalog and exit
 //	-list           print the Table 2 benchmark list and exit
 //	-levels         also print instances per level (Figure 4 view)
@@ -41,6 +44,7 @@ func main() {
 		maxNodes  = flag.Int("maxnodes", 0, "abort beyond this many distinct instances (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "per-function time budget (0 = none)")
 		verify    = flag.Bool("verify", false, "differentially execute every enumerated instance")
+		checkAll  = flag.Bool("check", false, "statically verify every enumerated instance (internal/check)")
 		phases    = flag.Bool("phases", false, "print the phase catalog (Table 1) and exit")
 		list      = flag.Bool("list", false, "print the benchmark list (Table 2) and exit")
 		levels    = flag.Bool("levels", false, "print instances per level for each function")
@@ -83,6 +87,7 @@ func main() {
 	totalStart := time.Now()
 	done := 0
 	aborted := 0
+	checkFails := 0
 	for _, tf := range funcs {
 		if *benchName != "" && tf.Bench != *benchName {
 			continue
@@ -94,11 +99,18 @@ func main() {
 			MaxSeqPerLevel: *levelCap,
 			MaxNodes:       *maxNodes,
 			Timeout:        *timeout,
+			Check:          *checkAll,
 		}
 		if *verify {
 			opts.Verifier = makeVerifier(tf)
 		}
 		r := search.Run(tf.Func, opts)
+		if *checkAll {
+			for _, n := range r.CheckFailures() {
+				fmt.Printf("    CHECK FAIL %s seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
+				checkFails++
+			}
+		}
 		st := search.ComputeStats(r)
 		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
 		fmt.Printf("%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
@@ -143,6 +155,13 @@ func main() {
 	fmt.Printf("\n%d of %d functions enumerated completely (%.1f%%) in %s\n",
 		done, done+aborted, 100*float64(done)/float64(done+aborted),
 		time.Since(totalStart).Round(time.Millisecond))
+	if *checkAll {
+		if checkFails > 0 {
+			fmt.Printf("check: %d instances FAILED semantic verification\n", checkFails)
+			os.Exit(1)
+		}
+		fmt.Println("check: every enumerated instance verified clean")
+	}
 }
 
 // makeVerifier returns a function that checks an instance behaves like

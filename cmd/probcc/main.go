@@ -10,7 +10,11 @@
 //
 // Usage:
 //
-//	probcc [-probs file] [-minenodes n] [-minetimeout d]
+//	probcc [-probs file] [-minenodes n] [-minetimeout d] [-check]
+//
+// With -check, both compilers verify the RTL after every active phase
+// with the internal/check semantic verifier; a violation aborts with
+// the function, the active sequence and the offending phase.
 package main
 
 import (
@@ -20,9 +24,11 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/check"
 	"repro/internal/driver"
 	"repro/internal/machine"
 	"repro/internal/mibench"
+	"repro/internal/opt"
 	"repro/internal/search"
 )
 
@@ -31,6 +37,7 @@ func main() {
 		probsPath   = flag.String("probs", "", "probability tables JSON (from phasestats -out)")
 		mineNodes   = flag.Int("minenodes", 10000, "per-function instance cap when mining probabilities")
 		mineTimeout = flag.Duration("minetimeout", 20*time.Second, "per-function search budget when mining")
+		checkOpt    = flag.Bool("check", false, "verify the RTL after every active phase")
 	)
 	flag.Parse()
 
@@ -51,12 +58,29 @@ func main() {
 		}
 		x := analysis.NewInteractions()
 		for _, tf := range funcs {
-			r := search.Run(tf.Func, search.Options{MaxNodes: *mineNodes, Timeout: *mineTimeout})
+			r := search.Run(tf.Func, search.Options{
+				MaxNodes: *mineNodes,
+				Timeout:  *mineTimeout,
+				Check:    *checkOpt,
+			})
+			if fails := r.CheckFailures(); len(fails) > 0 {
+				for _, n := range fails {
+					fmt.Fprintf(os.Stderr, "%s: CHECK FAIL seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
+				}
+				os.Exit(1)
+			}
 			if !r.Aborted {
 				x.Accumulate(r)
 			}
 		}
 		probs = driver.FromInteractions(x)
+	}
+
+	// Installed after mining: the search has its own non-panicking
+	// Check path, while the two batch compilers report violations
+	// through Result.CheckErr (surfaced by CompareProgram).
+	if *checkOpt {
+		opt.PostCheck = check.Err
 	}
 
 	d := machine.StrongARM()

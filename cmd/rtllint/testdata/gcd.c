@@ -1,0 +1,9 @@
+/* Euclid's algorithm: a small mini-C input for rtllint -batch. */
+int gcd(int a, int b) {
+    while (b) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}

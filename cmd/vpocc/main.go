@@ -16,6 +16,10 @@
 //	-time          print per-function compile statistics
 //	-rtl           treat the input as textual RTL (one function in the
 //	               paper's notation) instead of mini-C
+//	-check         verify the RTL after every active phase with the
+//	               internal/check semantic verifier; on a violation the
+//	               offending phase and the sequence leading to it are
+//	               reported and the exit status is nonzero
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/machine"
@@ -42,8 +47,12 @@ func main() {
 		runArgs  = flag.String("args", "", "comma-separated integer arguments for -run")
 		showTime = flag.Bool("time", false, "print per-function compile statistics")
 		rtlIn    = flag.Bool("rtl", false, "input is textual RTL, not mini-C")
+		checkOpt = flag.Bool("check", false, "verify the RTL after every active phase")
 	)
 	flag.Parse()
+	if *checkOpt {
+		opt.PostCheck = check.Err
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vpocc [flags] file.c")
 		os.Exit(2)
@@ -74,19 +83,18 @@ func main() {
 	if !*noOpt {
 		for _, f := range prog.Funcs {
 			if *seq != "" {
-				st := opt.State{}
-				for i := 0; i < len(*seq); i++ {
-					p := opt.ByID((*seq)[i])
-					if p == nil {
-						fmt.Fprintf(os.Stderr, "unknown phase %q (see explore -phases)\n", (*seq)[i])
-						os.Exit(2)
-					}
-					opt.Attempt(f, &st, p, d)
+				if err := applySeq(f, *seq, d); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", f.Name, err)
+					os.Exit(1)
 				}
-				opt.FixEntryExit(f)
 				continue
 			}
 			res := driver.Batch(f, d)
+			if res.CheckErr != nil {
+				fmt.Fprintf(os.Stderr, "%s: after active sequence %q: %v\n",
+					f.Name, res.Seq, res.CheckErr)
+				os.Exit(1)
+			}
 			if *showTime {
 				fmt.Fprintf(os.Stderr, "%s: attempted %d, active %d (%s), %s\n",
 					f.Name, res.Attempted, res.Active, res.Seq, res.Elapsed)
@@ -124,4 +132,42 @@ func main() {
 			fmt.Printf("trace: %d\n", v)
 		}
 	}
+}
+
+// applySeq applies an explicit phase sequence followed by the
+// compulsory entry/exit fixup. When -check installed opt.PostCheck, a
+// violation's panic is recovered here and reported with the sequence
+// prefix that led to the offending phase.
+func applySeq(f *rtl.Func, seq string, d *machine.Desc) (err error) {
+	for i := 0; i < len(seq); i++ {
+		if opt.ByID(seq[i]) == nil {
+			fmt.Fprintf(os.Stderr, "unknown phase %q (see explore -phases)\n", seq[i])
+			os.Exit(2)
+		}
+	}
+	applied := ""
+	defer func() {
+		if r := recover(); r != nil {
+			ce, ok := r.(*opt.CheckError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("after active sequence %q: %w", applied, ce)
+		}
+	}()
+	st := opt.State{}
+	for i := 0; i < len(seq); i++ {
+		p := opt.ByID(seq[i])
+		if opt.Attempt(f, &st, p, d) {
+			applied += string(seq[i])
+		}
+	}
+	opt.FixEntryExit(f)
+	if opt.PostCheck != nil {
+		if e := opt.PostCheck(f, d); e != nil {
+			return fmt.Errorf("after active sequence %q: %w", applied,
+				&opt.CheckError{Phase: '=', Err: e})
+		}
+	}
+	return nil
 }

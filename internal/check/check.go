@@ -1,0 +1,604 @@
+// Package check is the semantic RTL verifier: a dataflow-driven static
+// analysis layer that goes beyond the structural rtl.Validate tier and
+// catches miscompiles at the phase where they happen. The whole result
+// of the reproduced study rests on every candidate phase being
+// semantics-preserving — one silently miscompiling phase corrupts the
+// enumerated DAG and every statistic mined from it — so the verifier is
+// wired in as a post-phase hook (opt.PostCheck), as a per-node recorder
+// in the exhaustive search (search.Options.Check) and as a standalone
+// lint tool (cmd/rtllint).
+//
+// Two tiers of findings:
+//
+//   - errors (SevError) are invariant violations no phase may produce:
+//     a register read before any path assigns it, a conditional branch
+//     with stale or clobbered condition codes, an instruction the
+//     machine cannot encode, misuse of the reserved registers, a frame
+//     access outside the allocated slots, a clobbered callee-save
+//     register after the entry/exit fixup;
+//
+//   - warnings (SevWarn) are CFG hygiene lints: unreachable blocks,
+//     empty blocks, jumps to the fall-through successor and blocks that
+//     loop on themselves with no exit. These states are legal — entire
+//     candidate phases exist to clean them up — so they never fail the
+//     hooks, but cmd/rtllint surfaces them.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/rtl"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+const (
+	// SevError marks a semantic invariant violation: the function is
+	// miscompiled or unencodable.
+	SevError Severity = iota
+	// SevWarn marks a hygiene finding that a cleanup phase could
+	// remove but that does not threaten correctness.
+	SevWarn
+)
+
+// String renders the severity for reports.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Rule identifiers, one per verifier rule, so tooling can aggregate
+// findings and tests can assert that the intended rule fired.
+const (
+	// RuleStructure wraps an rtl.Validate failure; when it fires the
+	// deeper analyses are skipped (they assume a well-formed CFG).
+	RuleStructure = "structure"
+	// RuleUseBeforeDef fires when some path from the entry reaches a
+	// read of a pseudo or hardware register that no instruction on the
+	// path has assigned. The entry seeds the argument registers
+	// r0..r3 (as many as the function takes) and the stack pointer.
+	RuleUseBeforeDef = "use-before-def"
+	// RuleCondCode fires when a conditional branch executes without a
+	// reaching compare on every path: the condition codes are either
+	// never set or clobbered by an intervening call.
+	RuleCondCode = "cond-code"
+	// RuleImmRange fires when the target machine cannot encode an
+	// instruction (immediate range, operand form).
+	RuleImmRange = "imm-range"
+	// RuleReservedReg fires on misuse of the reserved registers:
+	// writing the stack pointer (r13), link register (r14) or program
+	// counter (r15) as an ordinary destination, reading r15 or r14 as
+	// an operand, or touching the condition codes outside a compare.
+	RuleReservedReg = "reserved-reg"
+	// RuleFrameBounds fires when a stack-pointer-relative load or
+	// store falls outside every allocated frame slot.
+	RuleFrameBounds = "frame-bounds"
+	// RuleCalleeSave fires, after the compulsory entry/exit fixup,
+	// when a modified callee-save register is not saved on entry and
+	// restored before every return.
+	RuleCalleeSave = "callee-save"
+	// RuleUnreachable flags blocks unreachable from the entry (the
+	// remove-unreachable phase 'd' deletes them).
+	RuleUnreachable = "cfg-unreachable"
+	// RuleEmptyBlock flags blocks with no instructions (the implicit
+	// cleanup pass normally removes them).
+	RuleEmptyBlock = "cfg-empty-block"
+	// RuleJumpNext flags jumps to the fall-through successor (the
+	// useless-jump-removal phase 'u' deletes them).
+	RuleJumpNext = "cfg-jump-next"
+	// RuleSelfLoop flags blocks whose only successor is themselves —
+	// an inescapable loop.
+	RuleSelfLoop = "cfg-self-loop"
+)
+
+// Diagnostic is one verifier finding, structured so tooling can
+// aggregate findings rather than fail on the first error.
+type Diagnostic struct {
+	// Fn is the function name.
+	Fn string
+	// Block is the block ID (the L-label), or -1 for function-level
+	// findings.
+	Block int
+	// Instr is the instruction index within the block, or -1 for
+	// block-level findings.
+	Instr int
+	// Rule is the Rule* identifier that fired.
+	Rule string
+	// Severity grades the finding.
+	Severity Severity
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+// String renders the diagnostic as "fn: L2[3]: rule: msg (severity)".
+func (d Diagnostic) String() string {
+	loc := d.Fn
+	if d.Block >= 0 {
+		loc += fmt.Sprintf(": L%d", d.Block)
+		if d.Instr >= 0 {
+			loc += fmt.Sprintf("[%d]", d.Instr)
+		}
+	}
+	return fmt.Sprintf("%s: %s: %s (%s)", loc, d.Rule, d.Msg, d.Severity)
+}
+
+// Options configure a verification run.
+type Options struct {
+	// Machine is the target description used for encoding legality
+	// (default: machine.StrongARM()).
+	Machine *machine.Desc
+	// Lints additionally emits the SevWarn CFG hygiene findings.
+	Lints bool
+}
+
+// Run verifies a single function and returns every finding, ordered by
+// block layout position and instruction index. A structurally invalid
+// function yields the single RuleStructure diagnostic.
+func Run(f *rtl.Func, opts Options) []Diagnostic {
+	if opts.Machine == nil {
+		opts.Machine = machine.StrongARM()
+	}
+	if err := rtl.Validate(f); err != nil {
+		return []Diagnostic{{
+			Fn: f.Name, Block: -1, Instr: -1,
+			Rule: RuleStructure, Severity: SevError, Msg: err.Error(),
+		}}
+	}
+	c := &checker{f: f, opts: opts, g: rtl.ComputeCFG(f)}
+	c.reach = c.g.Reachable()
+	c.checkDefBeforeUse()
+	c.checkCondCodes()
+	c.checkMachine()
+	c.checkCalleeSave()
+	if opts.Lints {
+		c.lintCFG()
+	}
+	c.sort()
+	return c.diags
+}
+
+// Program verifies every function of a program, concatenating the
+// findings in function order.
+func Program(p *rtl.Program, opts Options) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Funcs {
+		out = append(out, Run(f, opts)...)
+	}
+	return out
+}
+
+// Errors filters the findings down to the SevError tier.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Err runs the verifier without lints and folds the error-tier findings
+// into a single error, or returns nil when the function is clean. Its
+// signature matches opt.PostCheck, so installing the verifier as the
+// post-phase hook is just "opt.PostCheck = check.Err".
+func Err(f *rtl.Func, d *machine.Desc) error {
+	diags := Errors(Run(f, Options{Machine: d}))
+	if len(diags) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, 3)
+	for i, dg := range diags {
+		if i == 3 {
+			msgs = append(msgs, fmt.Sprintf("... and %d more", len(diags)-3))
+			break
+		}
+		msgs = append(msgs, dg.String())
+	}
+	return fmt.Errorf("%d violation(s): %s", len(diags), strings.Join(msgs, "; "))
+}
+
+// checker carries the per-run analysis state.
+type checker struct {
+	f     *rtl.Func
+	opts  Options
+	g     *rtl.CFG
+	reach []bool
+	diags []Diagnostic
+}
+
+func (c *checker) report(bpos, instr int, rule string, sev Severity, format string, args ...any) {
+	blockID := -1
+	if bpos >= 0 {
+		blockID = c.f.Blocks[bpos].ID
+	}
+	c.diags = append(c.diags, Diagnostic{
+		Fn: c.f.Name, Block: blockID, Instr: instr,
+		Rule: rule, Severity: sev, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) sort() {
+	pos := make(map[int]int, len(c.f.Blocks))
+	for i, b := range c.f.Blocks {
+		pos[b.ID] = i
+	}
+	sort.SliceStable(c.diags, func(i, j int) bool {
+		a, b := c.diags[i], c.diags[j]
+		if pa, pb := pos[a.Block], pos[b.Block]; pa != pb {
+			return pa < pb
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// entrySeed returns the registers holding defined values when the
+// function is entered: the stack pointer and the argument registers
+// r0..r3, as many as the function declares (the call convention caps
+// arguments at four). Once the entry/exit fixup has run, the
+// callee-save registers also count as live-in — the save code reads
+// the caller's values to preserve them. During optimization they are
+// ordinary storage whose incoming value is garbage, so reading one
+// before writing it is a miscompile.
+func (c *checker) entrySeed(maxReg int) rtl.RegSet {
+	seed := rtl.NewRegSet(maxReg)
+	seed.Add(rtl.RegSP)
+	n := c.f.NArgs
+	if n > 4 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		seed.Add(rtl.Reg(i))
+	}
+	if c.f.EntryExitFixed {
+		for r := rtl.RegR4; r <= rtl.RegR11; r++ {
+			seed.Add(r)
+		}
+	}
+	return seed
+}
+
+// checkDefBeforeUse runs a forward must-be-assigned dataflow over the
+// CFG: a block's in-set is the intersection of its predecessors'
+// out-sets (entry seeded by entrySeed), each instruction's reads must
+// be covered, and its writes extend the set. Call instructions count
+// as defining the caller-save registers, matching Instr.Defs. The
+// condition-code register is excluded here — checkCondCodes models it
+// with call-clobber precision — and the program counter is the
+// reserved-register rule's business.
+func (c *checker) checkDefBeforeUse() {
+	f := c.f
+	n := len(f.Blocks)
+	maxReg := int(f.NextPseudo)
+	in := make([]rtl.RegSet, n)
+	out := make([]rtl.RegSet, n)
+	top := make([]bool, n) // out[i] still at the "everything" top value
+	for i := range out {
+		out[i] = rtl.NewRegSet(maxReg)
+		out[i].Fill(maxReg)
+		in[i] = rtl.NewRegSet(maxReg)
+		top[i] = true
+	}
+	order := c.g.RPO()
+	var buf [8]rtl.Reg
+	transfer := func(bpos int, dst *rtl.RegSet) {
+		for j := range f.Blocks[bpos].Instrs {
+			ins := &f.Blocks[bpos].Instrs[j]
+			for _, r := range ins.Defs(buf[:0]) {
+				dst.Add(r)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bpos := range order {
+			if !c.reach[bpos] {
+				continue
+			}
+			newIn := rtl.NewRegSet(maxReg)
+			if bpos == 0 {
+				newIn = c.entrySeed(maxReg)
+			} else {
+				newIn.Fill(maxReg)
+				for _, p := range c.g.Preds[bpos] {
+					if !top[p] {
+						newIn.IntersectWith(out[p])
+					}
+				}
+			}
+			in[bpos] = newIn
+			newOut := newIn.Copy()
+			transfer(bpos, &newOut)
+			if top[bpos] {
+				top[bpos] = false
+				out[bpos] = newOut
+				changed = true
+				continue
+			}
+			if out[bpos].IntersectWith(newOut) {
+				changed = true
+			}
+		}
+	}
+	// Reporting pass: walk each reachable block with its fixed-point
+	// in-set and flag uncovered reads.
+	for bpos, b := range f.Blocks {
+		if !c.reach[bpos] {
+			continue
+		}
+		cur := in[bpos].Copy()
+		for j := range b.Instrs {
+			ins := &b.Instrs[j]
+			for _, r := range ins.Uses(buf[:0]) {
+				if r == rtl.RegIC || r == rtl.RegPC {
+					continue
+				}
+				if !cur.Has(r) {
+					c.report(bpos, j, RuleUseBeforeDef, SevError,
+						"%s read by %q but not assigned on every path from entry", r, ins.String())
+				}
+			}
+			for _, r := range ins.Defs(buf[:0]) {
+				cur.Add(r)
+			}
+		}
+	}
+}
+
+// checkCondCodes enforces the condition-code discipline: every
+// conditional branch must be dominated by a reaching compare with no
+// clobber in between. A compare validates IC, a call clobbers it
+// (calls save no flags), and the meet over paths is conjunction — the
+// codes must be valid on every way to reach the branch.
+func (c *checker) checkCondCodes() {
+	f := c.f
+	n := len(f.Blocks)
+	icIn := make([]bool, n)
+	known := make([]bool, n) // in-value computed at least once
+	transfer := func(bpos int, ic bool) bool {
+		for j := range f.Blocks[bpos].Instrs {
+			ic = transferOne(&f.Blocks[bpos].Instrs[j], ic)
+		}
+		return ic
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bpos := range c.g.RPO() {
+			if !c.reach[bpos] {
+				continue
+			}
+			newIn := true
+			if bpos == 0 {
+				newIn = false
+			} else {
+				any := false
+				for _, p := range c.g.Preds[bpos] {
+					if !known[p] {
+						continue
+					}
+					newIn = newIn && transfer(p, icIn[p])
+					any = true
+				}
+				if !any {
+					continue
+				}
+			}
+			if !known[bpos] || newIn != icIn[bpos] {
+				// Monotone: values only move from the optimistic true
+				// toward false, so this terminates.
+				if !known[bpos] || !newIn {
+					icIn[bpos] = newIn
+					known[bpos] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for bpos, b := range f.Blocks {
+		if !c.reach[bpos] {
+			continue
+		}
+		ic := icIn[bpos]
+		for j := range b.Instrs {
+			ins := &b.Instrs[j]
+			if ins.Op == rtl.OpBranch && !ic {
+				c.report(bpos, j, RuleCondCode, SevError,
+					"branch %q not reached by a compare on every path (condition codes unset or call-clobbered)",
+					ins.String())
+			}
+			ic = transferOne(ins, ic)
+		}
+	}
+}
+
+// transferOne is the single-instruction condition-code transfer
+// function shared by the fixed-point and reporting passes: a compare
+// validates the codes, a call clobbers them, everything else preserves
+// them. (A stray non-compare write of IC counts as setting them — the
+// reserved-register rule reports that misuse separately.)
+func transferOne(ins *rtl.Instr, ic bool) bool {
+	switch ins.Op {
+	case rtl.OpCmp:
+		return true
+	case rtl.OpCall:
+		return false
+	}
+	if hasDst(ins.Op) && ins.Dst == rtl.RegIC {
+		return true
+	}
+	return ic
+}
+
+// checkMachine walks every instruction (reachable or not — an
+// assembler would choke on dead code too) checking target
+// encodability, reserved-register discipline and frame-slot bounds.
+func (c *checker) checkMachine() {
+	f := c.f
+	d := c.opts.Machine
+	hasFrame := f.FrameSize > 0 || len(f.Slots) > 0
+	for bpos, b := range f.Blocks {
+		for j := range b.Instrs {
+			ins := &b.Instrs[j]
+			if err := d.Check(ins); err != nil {
+				c.report(bpos, j, RuleImmRange, SevError, "%v in %q", err, ins.String())
+			}
+			c.checkReserved(bpos, j, ins)
+			// Frame bounds: direct stack-pointer addressing must hit an
+			// allocated slot. (Computed addresses use an ordinary base
+			// register and are outside the static model.) Functions
+			// parsed from textual RTL carry no frame metadata, so the
+			// rule only applies when slots exist.
+			if !hasFrame {
+				continue
+			}
+			var base rtl.Operand
+			switch ins.Op {
+			case rtl.OpLoad:
+				base = ins.A
+			case rtl.OpStore:
+				base = ins.B
+			default:
+				continue
+			}
+			if base.IsReg(rtl.RegSP) && f.SlotAt(ins.Disp) == nil {
+				c.report(bpos, j, RuleFrameBounds, SevError,
+					"%q addresses offset %d outside every frame slot (frame size %d)",
+					ins.String(), ins.Disp, f.FrameSize)
+			}
+		}
+	}
+}
+
+// hasDst reports whether the opcode's Dst field is meaningful (Instr's
+// zero value leaves Dst = r0 on instructions without a destination).
+func hasDst(op rtl.Op) bool {
+	switch op {
+	case rtl.OpStore, rtl.OpBranch, rtl.OpJmp, rtl.OpCall, rtl.OpRet, rtl.OpNop:
+		return false
+	}
+	return true
+}
+
+func (c *checker) checkReserved(bpos, j int, ins *rtl.Instr) {
+	if hasDst(ins.Op) {
+		switch ins.Dst {
+		case rtl.RegSP, rtl.RegLR, rtl.RegPC:
+			c.report(bpos, j, RuleReservedReg, SevError,
+				"%q writes reserved register %s", ins.String(), ins.Dst)
+		case rtl.RegIC:
+			if ins.Op != rtl.OpCmp {
+				c.report(bpos, j, RuleReservedReg, SevError,
+					"%q sets the condition codes outside a compare", ins.String())
+			}
+		}
+		if ins.Op == rtl.OpCmp && ins.Dst != rtl.RegIC {
+			c.report(bpos, j, RuleReservedReg, SevError,
+				"compare %q must target the condition codes, not %s", ins.String(), ins.Dst)
+		}
+	}
+	for _, o := range [2]rtl.Operand{ins.A, ins.B} {
+		if o.Kind != rtl.OperReg {
+			continue
+		}
+		if o.Reg == rtl.RegPC || o.Reg == rtl.RegLR {
+			c.report(bpos, j, RuleReservedReg, SevError,
+				"%q reads reserved register %s", ins.String(), o.Reg)
+		}
+	}
+}
+
+// checkCalleeSave verifies, once the compulsory entry/exit fixup has
+// run, that every callee-save register the function modifies is saved
+// to a frame slot in the entry block before its first write and
+// restored from the same slot before every return.
+func (c *checker) checkCalleeSave() {
+	f := c.f
+	if !f.EntryExitFixed || !f.RegAssigned {
+		return
+	}
+	for r := rtl.RegR4; r <= rtl.RegR11; r++ {
+		modified := false
+		for _, b := range f.Blocks {
+			for j := range b.Instrs {
+				ins := &b.Instrs[j]
+				if hasDst(ins.Op) && ins.Dst == r {
+					modified = true
+				}
+			}
+		}
+		if !modified {
+			continue
+		}
+		// Entry: a store of r to a stack slot before any write of r.
+		saveOff, saved := int32(0), false
+		entry := f.Entry()
+		for j := range entry.Instrs {
+			ins := &entry.Instrs[j]
+			if ins.Op == rtl.OpStore && ins.A.IsReg(r) && ins.B.IsReg(rtl.RegSP) {
+				saveOff, saved = ins.Disp, true
+				break
+			}
+			if hasDst(ins.Op) && ins.Dst == r {
+				break
+			}
+		}
+		if !saved {
+			c.report(0, -1, RuleCalleeSave, SevError,
+				"callee-save %s is modified but never saved on entry", r)
+			continue
+		}
+		// Every return: the last write of r in the returning block must
+		// be a reload from the save slot.
+		for bpos, b := range f.Blocks {
+			last := b.Last()
+			if last == nil || last.Op != rtl.OpRet || !c.reach[bpos] {
+				continue
+			}
+			restored := false
+			for j := len(b.Instrs) - 1; j >= 0; j-- {
+				ins := &b.Instrs[j]
+				if !hasDst(ins.Op) || ins.Dst != r {
+					continue
+				}
+				restored = ins.Op == rtl.OpLoad && ins.A.IsReg(rtl.RegSP) && ins.Disp == saveOff
+				break
+			}
+			if !restored {
+				c.report(bpos, len(b.Instrs)-1, RuleCalleeSave, SevError,
+					"callee-save %s not restored from its save slot (offset %d) before return", r, saveOff)
+			}
+		}
+	}
+}
+
+// lintCFG emits the warning-tier hygiene findings.
+func (c *checker) lintCFG() {
+	f := c.f
+	for bpos, b := range f.Blocks {
+		if !c.reach[bpos] {
+			c.report(bpos, -1, RuleUnreachable, SevWarn, "block unreachable from entry")
+		}
+		if len(b.Instrs) == 0 {
+			c.report(bpos, -1, RuleEmptyBlock, SevWarn, "empty block")
+			continue
+		}
+		last := b.Last()
+		if last.Op == rtl.OpJmp && bpos+1 < len(f.Blocks) && f.Blocks[bpos+1].ID == last.Target {
+			c.report(bpos, len(b.Instrs)-1, RuleJumpNext, SevWarn,
+				"jump to the fall-through successor L%d", last.Target)
+		}
+		if succs := c.g.Succs[bpos]; len(succs) == 1 && succs[0] == bpos {
+			c.report(bpos, len(b.Instrs)-1, RuleSelfLoop, SevWarn,
+				"block's only successor is itself: inescapable loop")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package check_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mibench"
+	"repro/internal/opt"
+)
+
+// failOnErrors reports every error-tier diagnostic through t.
+func failOnErrors(t *testing.T, label string, diags []check.Diagnostic) {
+	t.Helper()
+	for _, d := range check.Errors(diags) {
+		t.Errorf("%s: %s", label, d)
+	}
+}
+
+// TestCorpusUnoptimizedClean verifies the naive code generator emits
+// verifier-clean RTL for the whole benchmark suite.
+func TestCorpusUnoptimizedClean(t *testing.T) {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tf := range funcs {
+		failOnErrors(t, tf.Bench+"/"+tf.Func.Name, check.Run(tf.Func, check.Options{}))
+	}
+}
+
+// TestEveryPhaseEveryFunctionClean applies each of the fifteen phases
+// individually to every mibench function and requires zero error-tier
+// diagnostics afterwards — the per-phase invariant the exhaustive
+// enumeration rests on.
+func TestEveryPhaseEveryFunctionClean(t *testing.T) {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := machine.StrongARM()
+	for _, p := range opt.All() {
+		p := p
+		t.Run(string(p.ID()), func(t *testing.T) {
+			for _, tf := range funcs {
+				f := tf.Func.Clone()
+				st := opt.State{}
+				opt.Attempt(f, &st, p, d)
+				failOnErrors(t, fmt.Sprintf("%s/%s after %c", tf.Bench, tf.Func.Name, p.ID()),
+					check.Run(f, check.Options{Machine: d}))
+			}
+		})
+	}
+}
+
+// TestRandomSequencesClean drives random phase orderings over the
+// corpus, verifying after every step. This is the static mirror of the
+// interpreter-based differential tests.
+func TestRandomSequencesClean(t *testing.T) {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 8
+	if testing.Short() {
+		trials = 2
+	}
+	d := machine.StrongARM()
+	all := opt.All()
+	rng := rand.New(rand.NewSource(0xC6C6))
+	for _, tf := range funcs {
+		for trial := 0; trial < trials; trial++ {
+			f := tf.Func.Clone()
+			st := opt.State{}
+			applied := ""
+			for i := 0; i < 10; i++ {
+				p := all[rng.Intn(len(all))]
+				if opt.Attempt(f, &st, p, d) {
+					applied += string(p.ID())
+				}
+			}
+			failOnErrors(t, fmt.Sprintf("%s/%s after %q", tf.Bench, tf.Func.Name, applied),
+				check.Run(f, check.Options{Machine: d}))
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}
+
+// TestBatchCompileClean runs the full batch compiler — including the
+// compulsory entry/exit fixup — over the corpus and requires the
+// finished functions to verify cleanly, callee-save rule included.
+func TestBatchCompileClean(t *testing.T) {
+	d := machine.StrongARM()
+	for _, p := range mibench.All() {
+		prog, err := p.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range prog.Funcs {
+			driver.Batch(f, d)
+			if !f.EntryExitFixed {
+				t.Fatalf("%s/%s: Batch did not mark EntryExitFixed", p.Name, f.Name)
+			}
+			failOnErrors(t, p.Name+"/"+f.Name, check.Run(f, check.Options{Machine: d}))
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/rtl"
+)
+
+// parse builds a fixture function from the paper's textual notation.
+func parse(t *testing.T, src string) *rtl.Func {
+	t.Helper()
+	f, err := rtl.ParseFunc(src)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v\n%s", err, src)
+	}
+	return f
+}
+
+// requireRule asserts that at least one diagnostic with the given rule
+// and severity fired, and that no *other* error-tier rule fired, so a
+// fixture proves exactly the rule it was written for.
+func requireRule(t *testing.T, diags []check.Diagnostic, rule string, sev check.Severity) {
+	t.Helper()
+	hit := false
+	for _, d := range diags {
+		if d.Rule == rule && d.Severity == sev {
+			hit = true
+		} else if d.Severity == check.SevError && d.Rule != rule {
+			t.Errorf("unexpected extra error %s", d)
+		}
+	}
+	if !hit {
+		t.Fatalf("rule %s (%s) did not fire; got %d diagnostics: %v", rule, sev, len(diags), diags)
+	}
+}
+
+// The deliberately broken fixtures, one per verifier rule.
+
+func TestFixtureUseBeforeDef(t *testing.T) {
+	// r[2] is not an argument register of this 1-argument function and
+	// nothing assigns it before the add reads it.
+	f := parse(t, `
+broken(1):
+L0:
+	r[1]=r[0]+r[2];
+	RET r[1];
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleUseBeforeDef, check.SevError)
+}
+
+func TestFixtureUseBeforeDefOnePath(t *testing.T) {
+	// r[1] is assigned on the fall-through path only; the path that
+	// takes the branch reaches the read uninitialized.
+	f := parse(t, `
+broken(1):
+L0:
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	r[1]=5;
+L2:
+	RET r[1];
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleUseBeforeDef, check.SevError)
+}
+
+func TestFixtureCondCodeUnset(t *testing.T) {
+	// A branch with no compare anywhere.
+	f := parse(t, `
+broken(0):
+L0:
+	PC=IC==0,L1;
+L1:
+	RET;
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleCondCode, check.SevError)
+}
+
+func TestFixtureCondCodeClobberedByCall(t *testing.T) {
+	// The compare reaches the branch, but the intervening call
+	// clobbers the condition codes.
+	f := parse(t, `
+broken(2):
+L0:
+	IC=r[0]?r[1];
+	CALL helper(0);
+	PC=IC<0,L1;
+L1:
+	RET;
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleCondCode, check.SevError)
+}
+
+func TestFixtureCondCodeOnePathClobbered(t *testing.T) {
+	// The codes are valid on the branch-taken path but clobbered on
+	// the fall-through path; the meet over paths must catch it.
+	f := parse(t, `
+broken(1):
+L0:
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	CALL helper(0);
+L2:
+	PC=IC<0,L3;
+L3:
+	RET;
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleCondCode, check.SevError)
+}
+
+func TestFixtureImmRange(t *testing.T) {
+	// StrongARM logical immediates are 8-bit; 4096 is unencodable.
+	f := parse(t, `
+broken(1):
+L0:
+	r[1]=r[0]&4096;
+	RET r[1];
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleImmRange, check.SevError)
+}
+
+func TestFixtureReservedReg(t *testing.T) {
+	// Writing the stack pointer as an ordinary destination.
+	f := parse(t, `
+broken(0):
+L0:
+	r[sp]=1;
+	RET;
+`)
+	requireRule(t, check.Run(f, check.Options{}), check.RuleReservedReg, check.SevError)
+}
+
+func TestFixtureFrameBounds(t *testing.T) {
+	// One 4-byte slot at offset 0; the load addresses offset 8.
+	f := rtl.NewFunc("broken", 0, true)
+	f.AddSlot("x", 4, true)
+	entry := f.Entry()
+	entry.Instrs = append(entry.Instrs,
+		rtl.NewLoad(rtl.RegR0, rtl.RegSP, 8),
+		rtl.Instr{Op: rtl.OpRet, A: rtl.R(rtl.RegR0)},
+	)
+	f.RegAssigned = true
+	requireRule(t, check.Run(f, check.Options{}), check.RuleFrameBounds, check.SevError)
+}
+
+func TestFixtureCalleeSaveNeverSaved(t *testing.T) {
+	f := parse(t, `
+broken(0):
+L0:
+	r[4]=7;
+	r[0]=r[4];
+	RET r[0];
+`)
+	f.EntryExitFixed = true
+	requireRule(t, check.Run(f, check.Options{}), check.RuleCalleeSave, check.SevError)
+}
+
+func TestFixtureCalleeSaveMissingRestore(t *testing.T) {
+	// r4 is saved on entry but the return path never reloads it.
+	f := rtl.NewFunc("broken", 0, true)
+	off := f.AddSlot(".save_r4", 4, false)
+	entry := f.Entry()
+	entry.Instrs = append(entry.Instrs,
+		rtl.NewStore(rtl.RegR4, rtl.RegSP, off),
+		rtl.NewMov(rtl.RegR4, rtl.Imm(7)),
+		rtl.NewMov(rtl.RegR0, rtl.R(rtl.RegR4)),
+		rtl.Instr{Op: rtl.OpRet, A: rtl.R(rtl.RegR0)},
+	)
+	f.RegAssigned = true
+	f.EntryExitFixed = true
+	requireRule(t, check.Run(f, check.Options{}), check.RuleCalleeSave, check.SevError)
+}
+
+func TestFixtureCalleeSaveCorrect(t *testing.T) {
+	// The well-formed counterpart: save on entry, restore before the
+	// return — zero errors.
+	f := rtl.NewFunc("good", 0, true)
+	off := f.AddSlot(".save_r4", 4, false)
+	entry := f.Entry()
+	entry.Instrs = append(entry.Instrs,
+		rtl.NewStore(rtl.RegR4, rtl.RegSP, off),
+		rtl.NewMov(rtl.RegR4, rtl.Imm(7)),
+		rtl.NewMov(rtl.RegR0, rtl.R(rtl.RegR4)),
+		rtl.NewLoad(rtl.RegR4, rtl.RegSP, off),
+		rtl.Instr{Op: rtl.OpRet, A: rtl.R(rtl.RegR0)},
+	)
+	f.RegAssigned = true
+	f.EntryExitFixed = true
+	if errs := check.Errors(check.Run(f, check.Options{})); len(errs) != 0 {
+		t.Fatalf("clean fixture produced errors: %v", errs)
+	}
+}
+
+func TestFixtureStructure(t *testing.T) {
+	// A branch in dead code targeting dead code: rejected by the
+	// extended rtl.Validate tier, surfaced as a structure diagnostic.
+	f := parse(t, `
+broken(0):
+L0:
+	PC=L2;
+L1:
+	PC=L1;
+L2:
+	RET;
+`)
+	if err := rtl.Validate(f); err == nil {
+		t.Fatal("Validate accepted a branch targeting an unreachable block")
+	} else if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("Validate rejected the fixture for the wrong reason: %v", err)
+	}
+	requireRule(t, check.Run(f, check.Options{}), check.RuleStructure, check.SevError)
+}
+
+func TestFixtureLints(t *testing.T) {
+	// L1 is unreachable (but targets live code, so Validate accepts
+	// it); L0 jumps to its fall-through successor.
+	f := parse(t, `
+messy(0):
+L0:
+	PC=L2;
+L1:
+	r[0]=1;
+	PC=L2;
+L2:
+	RET;
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	if errs := check.Errors(diags); len(errs) != 0 {
+		t.Fatalf("lint fixture produced errors: %v", errs)
+	}
+	want := map[string]bool{check.RuleUnreachable: false, check.RuleJumpNext: false}
+	for _, d := range diags {
+		if _, ok := want[d.Rule]; ok {
+			want[d.Rule] = true
+		}
+	}
+	for rule, hit := range want {
+		if !hit {
+			t.Errorf("lint %s did not fire: %v", rule, diags)
+		}
+	}
+}
+
+func TestFixtureSelfLoopLint(t *testing.T) {
+	f := parse(t, `
+spin(0):
+L0:
+	r[0]=0;
+L1:
+	r[0]=r[0]+1;
+	PC=L1;
+L2:
+	RET;
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	found := false
+	for _, d := range diags {
+		if d.Rule == check.RuleSelfLoop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self-loop lint did not fire: %v", diags)
+	}
+}
+
+func TestFixtureEmptyBlockLint(t *testing.T) {
+	f := parse(t, `
+holes(0):
+L0:
+	r[0]=0;
+L1:
+L2:
+	RET r[0];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	found := false
+	for _, d := range diags {
+		if d.Rule == check.RuleEmptyBlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("empty-block lint did not fire: %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the report format tooling greps for.
+func TestDiagnosticString(t *testing.T) {
+	d := check.Diagnostic{
+		Fn: "f", Block: 2, Instr: 3,
+		Rule: check.RuleCondCode, Severity: check.SevError, Msg: "boom",
+	}
+	if got, want := d.String(), "f: L2[3]: cond-code: boom (error)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	fn := check.Diagnostic{Fn: "f", Block: -1, Instr: -1, Rule: check.RuleCalleeSave, Severity: check.SevWarn, Msg: "m"}
+	if got, want := fn.String(), "f: callee-save: m (warning)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

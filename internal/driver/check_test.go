@@ -1,0 +1,81 @@
+package driver_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/driver"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// withPostCheck installs a post-phase hook for the duration of one
+// test. Driver tests run sequentially, so the package variable is safe
+// to swap.
+func withPostCheck(t *testing.T, hook func(*rtl.Func, *machine.Desc) error) {
+	t.Helper()
+	prev := opt.PostCheck
+	opt.PostCheck = hook
+	t.Cleanup(func() { opt.PostCheck = prev })
+}
+
+// TestBatchWithVerifierClean runs both compilers under the real
+// verifier hook: a legitimate compilation must finish with a nil
+// CheckErr and the post-fixup instance must also verify.
+func TestBatchWithVerifierClean(t *testing.T) {
+	withPostCheck(t, check.Err)
+	d := machine.StrongARM()
+
+	prog, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := driver.Batch(prog.Func("sum"), d)
+	if res.CheckErr != nil {
+		t.Fatalf("batch compilation failed verification after %q: %v", res.Seq, res.CheckErr)
+	}
+
+	prog2, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres := driver.Probabilistic(prog2.Func("sum"), d, minedProbs(t))
+	if pres.CheckErr != nil {
+		t.Fatalf("probabilistic compilation failed verification after %q: %v", pres.Seq, pres.CheckErr)
+	}
+}
+
+// TestBatchSurfacesCheckError forces a rejecting hook and asserts the
+// panic out of opt.Attempt is recovered into Result.CheckErr with the
+// offending phase, instead of escaping to the caller.
+func TestBatchSurfacesCheckError(t *testing.T) {
+	boom := errors.New("synthetic rejection")
+	withPostCheck(t, func(*rtl.Func, *machine.Desc) error { return boom })
+
+	prog, err := mc.Compile(testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := driver.Batch(prog.Func("sum"), machine.StrongARM())
+	if res.CheckErr == nil {
+		t.Fatal("rejecting hook produced no CheckErr")
+	}
+	if !errors.Is(res.CheckErr, boom) {
+		t.Fatalf("CheckErr does not wrap the hook's error: %v", res.CheckErr)
+	}
+	if res.CheckErr.Phase == 0 {
+		t.Fatal("CheckErr names no phase")
+	}
+	// The very first active phase is rejected, so no active sequence
+	// accumulates before the violation.
+	if res.Seq != "" {
+		t.Fatalf("Seq = %q, want empty prefix before the offender", res.Seq)
+	}
+	if !strings.Contains(res.CheckErr.Error(), "broke a semantic invariant") {
+		t.Fatalf("unexpected CheckErr message %q", res.CheckErr.Error())
+	}
+}

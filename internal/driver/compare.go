@@ -74,11 +74,19 @@ func CompareProgram(prog *rtl.Program, entry string, args []int32, d *machine.De
 		row := Row{Function: prog.Funcs[i].Name}
 
 		ores := Batch(oldProg.Funcs[i], d)
+		if ores.CheckErr != nil {
+			return cmp, fmt.Errorf("driver: batch compiling %s (after %q): %w",
+				row.Function, ores.Seq, ores.CheckErr)
+		}
 		row.OldAttempted, row.OldActive = ores.Attempted, ores.Active
 		row.OldTime = ores.Elapsed
 		row.OldSize = oldProg.Funcs[i].NumInstrs()
 
 		pres := Probabilistic(probProg.Funcs[i], d, probs)
+		if pres.CheckErr != nil {
+			return cmp, fmt.Errorf("driver: probabilistically compiling %s (after %q): %w",
+				row.Function, pres.Seq, pres.CheckErr)
+		}
 		row.ProbAttempted, row.ProbActive = pres.Attempted, pres.Active
 		row.ProbTime = pres.Elapsed
 		row.ProbSize = probProg.Funcs[i].NumInstrs()

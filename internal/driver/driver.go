@@ -34,6 +34,12 @@ type Result struct {
 	Seq string
 	// Elapsed is the wall-clock optimization time.
 	Elapsed time.Duration
+	// CheckErr is non-nil when opt.PostCheck rejected the code some
+	// phase produced. Seq then holds the active sequence up to but not
+	// including the offending phase, so Seq + CheckErr.Phase is the
+	// exact reproduction recipe. Optimization stops at the violation;
+	// the function is left in the rejected state for inspection.
+	CheckErr *opt.CheckError
 }
 
 // BatchOrder is the fixed order the conventional compiler attempts in
@@ -49,9 +55,36 @@ var BatchOrder = []byte{'o', 'b', 's', 'c', 'k', 'h', 'l', 'q', 'g', 'n', 'i', '
 func Batch(f *rtl.Func, d *machine.Desc) Result {
 	start := time.Now()
 	res := Optimize(f, d)
-	opt.FixEntryExit(f)
+	if res.CheckErr == nil {
+		res.CheckErr = fixEntryExitChecked(f, d)
+	}
 	res.Elapsed = time.Since(start)
 	return res
+}
+
+// fixEntryExitChecked runs the compulsory entry/exit fixup and then
+// the verifier hook. FixEntryExit is not a candidate phase so it has
+// no Table 1 letter; '=' marks it in CheckErr.
+func fixEntryExitChecked(f *rtl.Func, d *machine.Desc) *opt.CheckError {
+	opt.FixEntryExit(f)
+	if opt.PostCheck != nil {
+		if err := opt.PostCheck(f, d); err != nil {
+			return &opt.CheckError{Phase: '=', Err: err}
+		}
+	}
+	return nil
+}
+
+// recoverCheck converts an opt.CheckError panic out of opt.Attempt
+// into res.CheckErr; any other panic is re-raised.
+func recoverCheck(res *Result) {
+	if r := recover(); r != nil {
+		ce, ok := r.(*opt.CheckError)
+		if !ok {
+			panic(r)
+		}
+		res.CheckErr = ce
+	}
 }
 
 // Optimize runs the batch loop without the final entry/exit fixup,
@@ -60,25 +93,28 @@ func Batch(f *rtl.Func, d *machine.Desc) Result {
 func Optimize(f *rtl.Func, d *machine.Desc) Result {
 	start := time.Now()
 	var res Result
-	st := opt.State{}
-	for {
-		activeThisPass := 0
-		for _, id := range BatchOrder {
-			p := opt.ByID(id)
-			if !opt.Enabled(p, st) {
-				continue
+	func() {
+		defer recoverCheck(&res)
+		st := opt.State{}
+		for {
+			activeThisPass := 0
+			for _, id := range BatchOrder {
+				p := opt.ByID(id)
+				if !opt.Enabled(p, st) {
+					continue
+				}
+				res.Attempted++
+				if opt.Attempt(f, &st, p, d) {
+					res.Active++
+					activeThisPass++
+					res.Seq += string(id)
+				}
 			}
-			res.Attempted++
-			if opt.Attempt(f, &st, p, d) {
-				res.Active++
-				activeThisPass++
-				res.Seq += string(id)
+			if activeThisPass == 0 {
+				break
 			}
 		}
-		if activeThisPass == 0 {
-			break
-		}
-	}
+	}()
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -136,46 +172,51 @@ const maxProbabilisticSteps = 512
 func Probabilistic(f *rtl.Func, d *machine.Desc, probs *Probabilities) Result {
 	start := time.Now()
 	var res Result
-	st := opt.State{}
-	n := len(analysis.PhaseIDs)
-	p := make([]float64, n)
-	copy(p, probs.Start)
+	func() {
+		defer recoverCheck(&res)
+		st := opt.State{}
+		n := len(analysis.PhaseIDs)
+		p := make([]float64, n)
+		copy(p, probs.Start)
 
-	for step := 0; step < maxProbabilisticSteps; step++ {
-		j := -1
-		for i := 0; i < n; i++ {
-			if p[i] > activeThreshold && (j < 0 || p[i] > p[j]) {
-				j = i
-			}
-		}
-		if j < 0 {
-			break
-		}
-		phase := opt.ByID(analysis.PhaseIDs[j])
-		if !opt.Enabled(phase, st) {
-			p[j] = 0
-			continue
-		}
-		res.Attempted++
-		if opt.Attempt(f, &st, phase, d) {
-			res.Active++
-			res.Seq += string(analysis.PhaseIDs[j])
+		for step := 0; step < maxProbabilisticSteps; step++ {
+			j := -1
 			for i := 0; i < n; i++ {
-				if i == j {
-					continue
-				}
-				p[i] += (1-p[i])*probs.Enable[i][j] - p[i]*probs.Disable[i][j]
-				if p[i] < 0 {
-					p[i] = 0
-				}
-				if p[i] > 1 {
-					p[i] = 1
+				if p[i] > activeThreshold && (j < 0 || p[i] > p[j]) {
+					j = i
 				}
 			}
+			if j < 0 {
+				break
+			}
+			phase := opt.ByID(analysis.PhaseIDs[j])
+			if !opt.Enabled(phase, st) {
+				p[j] = 0
+				continue
+			}
+			res.Attempted++
+			if opt.Attempt(f, &st, phase, d) {
+				res.Active++
+				res.Seq += string(analysis.PhaseIDs[j])
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					p[i] += (1-p[i])*probs.Enable[i][j] - p[i]*probs.Disable[i][j]
+					if p[i] < 0 {
+						p[i] = 0
+					}
+					if p[i] > 1 {
+						p[i] = 1
+					}
+				}
+			}
+			p[j] = 0
 		}
-		p[j] = 0
+	}()
+	if res.CheckErr == nil {
+		res.CheckErr = fixEntryExitChecked(f, d)
 	}
-	opt.FixEntryExit(f)
 	res.Elapsed = time.Since(start)
 	return res
 }

@@ -7,7 +7,11 @@
 // legal before committing to it, exactly as VPO does.
 package machine
 
-import "repro/internal/rtl"
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+)
 
 // Desc is a target machine description.
 type Desc struct {
@@ -98,39 +102,57 @@ func (d *Desc) LegalDisp(disp int32) bool {
 // target. The instruction selection phase calls this after each
 // symbolic combination ("checks if the resulting effect is a legal
 // instruction before committing to the transformation", Table 1).
-func (d *Desc) Legal(in *rtl.Instr) bool {
+func (d *Desc) Legal(in *rtl.Instr) bool { return d.Check(in) == nil }
+
+// Check explains why an instruction is not encodable on the target, or
+// returns nil for a legal instruction. Legal is the boolean view used
+// on the hot instruction selection path; the verifier in internal/check
+// uses Check so its diagnostics can name the violated encoding limit.
+func (d *Desc) Check(in *rtl.Instr) error {
 	switch in.Op {
 	case rtl.OpNop, rtl.OpMovHi, rtl.OpAddLo, rtl.OpBranch, rtl.OpJmp,
 		rtl.OpCall, rtl.OpRet, rtl.OpNeg, rtl.OpNot:
-		return true
+		return nil
 	case rtl.OpMov:
-		if in.A.Kind == rtl.OperImm {
-			return d.LegalImm(rtl.OpMov, in.A.Imm)
+		if in.A.Kind == rtl.OperImm && !d.LegalImm(rtl.OpMov, in.A.Imm) {
+			return fmt.Errorf("%s: move immediate %d exceeds ±%d", d.Name, in.A.Imm, d.MaxMovImm)
 		}
-		return true
+		return nil
 	case rtl.OpLoad:
-		return in.A.Kind == rtl.OperReg && d.LegalDisp(in.Disp)
+		if in.A.Kind != rtl.OperReg {
+			return fmt.Errorf("%s: load base must be a register", d.Name)
+		}
+		if !d.LegalDisp(in.Disp) {
+			return fmt.Errorf("%s: load displacement %d exceeds ±%d", d.Name, in.Disp, d.MaxDisp)
+		}
+		return nil
 	case rtl.OpStore:
-		return in.A.Kind == rtl.OperReg && in.B.Kind == rtl.OperReg && d.LegalDisp(in.Disp)
+		if in.A.Kind != rtl.OperReg || in.B.Kind != rtl.OperReg {
+			return fmt.Errorf("%s: store value and base must be registers", d.Name)
+		}
+		if !d.LegalDisp(in.Disp) {
+			return fmt.Errorf("%s: store displacement %d exceeds ±%d", d.Name, in.Disp, d.MaxDisp)
+		}
+		return nil
 	case rtl.OpCmp:
 		if in.A.Kind != rtl.OperReg {
-			return false
+			return fmt.Errorf("%s: first comparand must be a register", d.Name)
 		}
-		if in.B.Kind == rtl.OperImm {
-			return d.LegalImm(rtl.OpCmp, in.B.Imm)
+		if in.B.Kind == rtl.OperImm && !d.LegalImm(rtl.OpCmp, in.B.Imm) {
+			return fmt.Errorf("%s: compare immediate %d exceeds ±%d", d.Name, in.B.Imm, d.MaxALUImm)
 		}
-		return true
+		return nil
 	}
 	if in.Op.IsALU() {
 		if in.A.Kind != rtl.OperReg {
-			return false
+			return fmt.Errorf("%s: %s operand A must be a register", d.Name, in.Op)
 		}
-		if in.B.Kind == rtl.OperImm {
-			return d.LegalImm(in.Op, in.B.Imm)
+		if in.B.Kind == rtl.OperImm && !d.LegalImm(in.Op, in.B.Imm) {
+			return fmt.Errorf("%s: %s has no encoding for immediate %d", d.Name, in.Op, in.B.Imm)
 		}
-		return true
+		return nil
 	}
-	return false
+	return fmt.Errorf("%s: unknown opcode %s", d.Name, in.Op)
 }
 
 // Cost returns the latency of an instruction in cycles on the modeled

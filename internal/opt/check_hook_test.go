@@ -1,0 +1,141 @@
+package opt_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+)
+
+// TestMain turns the semantic verifier on for every test in this
+// package: each active phase application anywhere in these tests runs
+// the full internal/check rule set through opt.PostCheck, panicking
+// with the offending phase on a violation. The cmd tools opt into the
+// same hook with -check; in the test suite it is on by default.
+func TestMain(m *testing.M) {
+	opt.PostCheck = check.Err
+	os.Exit(m.Run())
+}
+
+// snapshot captures everything about a function a phase could mutate;
+// two snapshots are equal exactly when the function is untouched.
+func snapshot(f *rtl.Func) string {
+	return fmt.Sprintf("%s|ra=%v eef=%v frame=%d slots=%d pseudo=%d block=%d",
+		f.String(), f.RegAssigned, f.EntryExitFixed,
+		f.FrameSize, len(f.Slots), f.NextPseudo, f.NextBlockID)
+}
+
+// TestDormantAttemptDoesNotLeakIntoParent pins down the documented
+// opt.Attempt hazard: a dormant attempt may still mutate its argument
+// through the implicit register assignment, so search code must
+// attempt phases on a clone and discard it when dormant. This test
+// asserts the clone protocol is airtight — the parent is bit-for-bit
+// unchanged by any attempt on a clone, from the unoptimized state and
+// from a mid-sequence state — and that a dormant clone still verifies
+// clean (the implicit register assignment alone must not break
+// invariants).
+func TestDormantAttemptDoesNotLeakIntoParent(t *testing.T) {
+	d := machine.StrongARM()
+	for _, tc := range diffCorpus {
+		prog, err := mc.Compile(tc.src)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		parent := prog.Func(tc.fn)
+
+		// A mid-sequence parent: instruction selection then register
+		// allocation, the state most phases are attempted from.
+		mid := parent.Clone()
+		midSt := opt.State{}
+		for _, id := range []byte{'s', 'c', 'k'} {
+			opt.Attempt(mid, &midSt, opt.ByID(id), d)
+		}
+
+		states := []struct {
+			label string
+			f     *rtl.Func
+			st    opt.State
+		}{
+			{"unoptimized", parent, opt.State{}},
+			{"after-sck", mid, midSt},
+		}
+		for _, s := range states {
+			before := snapshot(s.f)
+			for _, p := range opt.All() {
+				if !opt.Enabled(p, s.st) {
+					continue
+				}
+				clone := s.f.Clone()
+				st := s.st
+				active := opt.Attempt(clone, &st, p, d)
+				if got := snapshot(s.f); got != before {
+					t.Fatalf("%s/%s: attempting %c on a clone mutated the parent\nbefore:\n%s\nafter:\n%s",
+						tc.name, s.label, p.ID(), before, got)
+				}
+				if !active {
+					// The dormant clone may have been register-assigned;
+					// that alone must leave it verifier-clean.
+					if err := check.Err(clone, d); err != nil {
+						t.Errorf("%s/%s: dormant %c left the clone unverifiable: %v",
+							tc.name, s.label, p.ID(), err)
+					}
+					if st.KApplied != s.st.KApplied || st.SApplied != s.st.SApplied {
+						t.Errorf("%s/%s: dormant %c changed the gating state", tc.name, s.label, p.ID())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPostCheckReportsOffendingPhase asserts the hook's contract: when
+// a phase produces bad code, Attempt panics with a CheckError naming
+// that phase, which is what lets the drivers print the exact
+// reproduction recipe (prefix sequence + offender).
+func TestPostCheckReportsOffendingPhase(t *testing.T) {
+	f, err := rtl.ParseFunc(`
+victim(1):
+L0:
+	r[1]=r[0]+1;
+	RET r[1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Attempt did not panic on a verifier violation")
+		}
+		ce, ok := r.(*opt.CheckError)
+		if !ok {
+			t.Fatalf("panic payload is %T, want *opt.CheckError", r)
+		}
+		if ce.Phase != (evilPhase{}).ID() {
+			t.Fatalf("CheckError.Phase = %c, want %c", ce.Phase, (evilPhase{}).ID())
+		}
+		if ce.Err == nil || ce.Unwrap() == nil {
+			t.Fatal("CheckError carries no cause")
+		}
+	}()
+	st := opt.State{}
+	opt.Attempt(f, &st, evilPhase{}, machine.StrongARM())
+}
+
+// evilPhase is a deliberately miscompiling phase: it rewrites the
+// first instruction to read a register that is never defined.
+type evilPhase struct{}
+
+func (evilPhase) ID() byte                { return 'Z' }
+func (evilPhase) Name() string            { return "deliberate miscompile" }
+func (evilPhase) RequiresRegAssign() bool { return false }
+func (evilPhase) Apply(f *rtl.Func, _ *machine.Desc) bool {
+	in := &f.Entry().Instrs[0]
+	in.A = rtl.R(rtl.RegR9)
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/interp"
 	"repro/internal/machine"
 	"repro/internal/mc"
@@ -302,6 +303,9 @@ func applyAndCheck(t *testing.T, tc diffCase, seq []opt.Phase) {
 		}
 		if err := rtl.Validate(f); err != nil {
 			t.Fatalf("after %q (+%c): invalid RTL: %v\n%s", applied, p.ID(), err, f)
+		}
+		if err := check.Err(f, d); err != nil {
+			t.Fatalf("after %q (+%c): semantic check: %v\n%s", applied, p.ID(), err, f)
 		}
 		if !active {
 			continue

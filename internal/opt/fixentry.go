@@ -17,6 +17,7 @@ func FixEntryExit(f *rtl.Func) {
 	if !f.RegAssigned {
 		RegAssign(f)
 	}
+	f.EntryExitFixed = true
 	var saved []rtl.Reg
 	used := f.UsedRegs()
 	for r := rtl.RegR4; r <= rtl.RegR11; r++ {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/interp"
 	"repro/internal/machine"
 	"repro/internal/mc"
@@ -55,6 +56,10 @@ func TestFuzzRandomPrograms(t *testing.T) {
 					}
 					if err := rtl.Validate(f); err != nil {
 						t.Fatalf("invalid RTL after %q: %v\n%s\nsource:\n%s",
+							applied, err, f, p.Source)
+					}
+					if err := check.Err(f, d); err != nil {
+						t.Fatalf("semantic check failed after %q: %v\n%s\nsource:\n%s",
 							applied, err, f, p.Source)
 					}
 				}

@@ -20,9 +20,39 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/machine"
 	"repro/internal/rtl"
 )
+
+// PostCheck, when non-nil, is invoked after every active phase
+// application (and after FixEntryExit) with the transformed function
+// and the machine description. A non-nil return means the phase just
+// applied broke a semantic invariant; Attempt panics with a
+// *CheckError naming the offending phase so harnesses can recover it
+// alongside the sequence that led there. The check package's Err has
+// the matching signature: opt.PostCheck = check.Err.
+//
+// The hook is intentionally a package variable rather than a State
+// field: the verifier is a cross-cutting debug facility, and keeping
+// it out of State keeps the search's per-node key and clone costs
+// untouched when checking is off.
+var PostCheck func(f *rtl.Func, d *machine.Desc) error
+
+// CheckError is the panic payload raised by Attempt when PostCheck
+// rejects the code a phase produced. Phase is the one-letter
+// designation of the offending phase ('=' for the entry/exit fixup).
+type CheckError struct {
+	Phase byte
+	Err   error
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("phase %c broke a semantic invariant: %v", e.Phase, e.Err)
+}
+
+func (e *CheckError) Unwrap() error { return e.Err }
 
 // Phase is a single candidate code-improving phase.
 type Phase interface {
@@ -87,6 +117,11 @@ func Attempt(f *rtl.Func, st *State, p Phase, d *machine.Desc) bool {
 			st.KApplied = true
 		case 's':
 			st.SApplied = true
+		}
+		if PostCheck != nil {
+			if err := PostCheck(f, d); err != nil {
+				panic(&CheckError{Phase: p.ID(), Err: err})
+			}
 		}
 	}
 	return active

@@ -91,6 +91,12 @@ type Func struct {
 	// has run: all pseudo registers have been mapped onto hardware
 	// registers.
 	RegAssigned bool
+
+	// EntryExitFixed records that the compulsory entry/exit fixup has
+	// inserted the callee-save save/restore code. Before that point the
+	// callee-save registers are ordinary storage, so the verifier's
+	// callee-save preservation rule only applies once this is set.
+	EntryExitFixed bool
 }
 
 // NewFunc returns an empty function with a single entry block.
@@ -215,15 +221,16 @@ func (f *Func) NumBranches() int {
 // clones aggressively, so this is kept allocation-lean.
 func (f *Func) Clone() *Func {
 	nf := &Func{
-		Name:        f.Name,
-		NArgs:       f.NArgs,
-		Returns:     f.Returns,
-		Blocks:      make([]*Block, len(f.Blocks)),
-		Slots:       make([]Slot, len(f.Slots)),
-		FrameSize:   f.FrameSize,
-		NextPseudo:  f.NextPseudo,
-		NextBlockID: f.NextBlockID,
-		RegAssigned: f.RegAssigned,
+		Name:           f.Name,
+		NArgs:          f.NArgs,
+		Returns:        f.Returns,
+		Blocks:         make([]*Block, len(f.Blocks)),
+		Slots:          make([]Slot, len(f.Slots)),
+		FrameSize:      f.FrameSize,
+		NextPseudo:     f.NextPseudo,
+		NextBlockID:    f.NextBlockID,
+		RegAssigned:    f.RegAssigned,
+		EntryExitFixed: f.EntryExitFixed,
 	}
 	total := 0
 	for _, b := range f.Blocks {

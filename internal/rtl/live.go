@@ -52,6 +52,31 @@ func (s *RegSet) UnionWith(t RegSet) bool {
 	return changed
 }
 
+// IntersectWith removes from s every element absent from t and reports
+// whether s changed. It is the meet operator of the forward
+// must-be-assigned analysis in internal/check.
+func (s *RegSet) IntersectWith(t RegSet) bool {
+	changed := false
+	for i := range s.words {
+		var w uint64
+		if i < len(t.words) {
+			w = t.words[i]
+		}
+		if nw := s.words[i] & w; nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Fill adds every register in [0, n) to the set.
+func (s *RegSet) Fill(n int) {
+	for r := 0; r < n; r++ {
+		s.Add(Reg(r))
+	}
+}
+
 // Copy returns an independent copy of the set.
 func (s RegSet) Copy() RegSet {
 	return RegSet{words: append([]uint64(nil), s.words...)}

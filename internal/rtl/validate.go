@@ -6,9 +6,18 @@ import "fmt"
 //
 //   - control instructions appear only at the end of a block;
 //   - every branch/jump target names an existing block;
+//   - every branch/jump target names a block reachable from entry
+//     (an edge out of live code can only lead to live code, so a
+//     dangling target marks dead control flow that the dataflow
+//     analyses cannot reason about);
 //   - the final block does not fall off the end of the function;
 //   - block IDs are unique and below NextBlockID;
 //   - after register assignment no pseudo registers remain.
+//
+// Validate is the cheap structural tier: the deeper semantic rules
+// (def-before-use, condition-code discipline, machine legality,
+// callee-save preservation) live in internal/check, which assumes a
+// function that already passes Validate.
 //
 // It returns the first violation found, or nil.
 func Validate(f *Func) error {
@@ -58,6 +67,22 @@ func Validate(f *Func) error {
 	last := f.Blocks[len(f.Blocks)-1]
 	if lastIn := last.Last(); lastIn == nil || (lastIn.Op != OpRet && lastIn.Op != OpJmp) {
 		return fmt.Errorf("%s: final block L%d falls off the end of the function", f.Name, last.ID)
+	}
+	// With the per-block structure sound, the CFG is computable; reject
+	// branches whose targets sit in code unreachable from the entry.
+	g := ComputeCFG(f)
+	reach := g.Reachable()
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != OpBranch && in.Op != OpJmp {
+				continue
+			}
+			if pos := g.MustPos(in.Target); !reach[pos] {
+				return fmt.Errorf("%s: L%d instr %d: target L%d is unreachable from entry",
+					f.Name, b.ID, i, in.Target)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,79 @@
+package search_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestCheckedEnumerationClean enumerates a full space with the
+// semantic verifier on and requires every distinct instance — root
+// included — to verify clean.
+func TestCheckedEnumerationClean(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	r := search.Run(f, search.Options{Check: true})
+	if r.Aborted {
+		t.Fatalf("aborted: %s", r.AbortReason)
+	}
+	if fails := r.CheckFailures(); len(fails) != 0 {
+		for _, n := range fails {
+			t.Errorf("node %d (seq %q): %s", n.ID, n.Seq, n.CheckErr)
+		}
+	}
+}
+
+// TestCheckedEnumerationMatchesUnchecked verifies checking is purely
+// observational: the enumerated space is node-for-node identical with
+// and without it.
+func TestCheckedEnumerationMatchesUnchecked(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	plain := search.Run(f, search.Options{})
+	checked := search.Run(f, search.Options{Check: true})
+	if len(plain.Nodes) != len(checked.Nodes) {
+		t.Fatalf("space size changed under -check: %d vs %d", len(plain.Nodes), len(checked.Nodes))
+	}
+	for i := range plain.Nodes {
+		if plain.Nodes[i].Key != checked.Nodes[i].Key || plain.Nodes[i].Seq != checked.Nodes[i].Seq {
+			t.Fatalf("node %d diverged under -check", i)
+		}
+	}
+}
+
+// TestSerializeCheckErr confirms a node's verifier finding survives
+// the save/load round trip, so persisted spaces keep their violation
+// records for later analysis.
+func TestSerializeCheckErr(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	r := search.Run(f, search.Options{Check: true})
+	if len(r.Nodes) < 2 {
+		t.Fatal("space too small for the test")
+	}
+	// No real phase miscompiles, so plant a finding to serialize.
+	r.Nodes[1].CheckErr = "synthetic: planted for round-trip"
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := search.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes[1].CheckErr != r.Nodes[1].CheckErr {
+		t.Fatalf("CheckErr lost in round trip: %q", got.Nodes[1].CheckErr)
+	}
+	fails := got.CheckFailures()
+	if len(fails) != 1 || fails[0].ID != 1 {
+		t.Fatalf("CheckFailures after load = %v", fails)
+	}
+	if !strings.Contains(fails[0].CheckErr, "planted") {
+		t.Fatalf("unexpected CheckErr %q", fails[0].CheckErr)
+	}
+	for i, n := range got.Nodes {
+		if i != 1 && n.CheckErr != "" {
+			t.Fatalf("node %d acquired a CheckErr: %q", i, n.CheckErr)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/fingerprint"
 	"repro/internal/machine"
 	"repro/internal/opt"
@@ -55,6 +56,11 @@ type Node struct {
 	CFKey fingerprint.Key
 	// Edges lists the active phases leaving this node, in phase order.
 	Edges []Edge
+	// CheckErr, when Options.Check is set, records the semantic
+	// verifier's complaint about this instance ("" = verified clean).
+	// Seq then reproduces the violation: the last phase of Seq is the
+	// offending one, the prefix is the setup.
+	CheckErr string
 	// Weight is the number of distinct active sequences at or below
 	// this node (leaves weigh 1), per Figure 7. Filled by Analyze.
 	Weight float64
@@ -84,6 +90,12 @@ type Options struct {
 	// should return an error when the instance misbehaves. Used for
 	// differential testing of the whole space.
 	Verifier func(f *rtl.Func) error
+	// Check runs the internal/check semantic verifier on every
+	// distinct instance (root included). Unlike Verifier, a finding
+	// does not abort the search: it is recorded in Node.CheckErr so a
+	// whole space's violations can be harvested in one enumeration
+	// (see Result.CheckFailures).
+	Check bool
 	// KeepFuncs retains every node's function instance in memory
 	// (needed by callers that walk instances afterwards; the analysis
 	// and statistics do not need it).
@@ -166,6 +178,11 @@ func Run(f *rtl.Func, opts Options) *Result {
 	}
 
 	rootNode, _ := add(root, opt.State{}, 0, "")
+	if opts.Check {
+		if err := check.Err(root, opts.Machine); err != nil {
+			rootNode.CheckErr = err.Error()
+		}
+	}
 	frontier := []*Node{rootNode}
 
 	for len(frontier) > 0 {
@@ -201,9 +218,10 @@ func Run(f *rtl.Func, opts Options) *Result {
 			phase opt.Phase
 		}
 		type outcome struct {
-			active bool
-			fn     *rtl.Func
-			st     opt.State
+			active   bool
+			fn       *rtl.Func
+			st       opt.State
+			checkErr string
 		}
 		var work []attempt
 		for _, n := range frontier {
@@ -278,7 +296,13 @@ func Run(f *rtl.Func, opts Options) *Result {
 									a.node.Seq, a.phase.ID(), err))
 							}
 						}
-						outcomes[i] = outcome{active: true, fn: child, st: st}
+						o := outcome{active: true, fn: child, st: st}
+						if opts.Check {
+							if err := check.Err(child, opts.Machine); err != nil {
+								o.checkErr = err.Error()
+							}
+						}
+						outcomes[i] = o
 					}
 				}()
 			}
@@ -291,6 +315,7 @@ func Run(f *rtl.Func, opts Options) *Result {
 				cn, isNew := add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
 				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
 				if isNew {
+					cn.CheckErr = o.checkErr
 					next = append(next, cn)
 				}
 			}
@@ -369,6 +394,19 @@ func (r *Result) Instance(n *Node) *rtl.Func {
 		}
 	}
 	return f
+}
+
+// CheckFailures returns the nodes whose instances the semantic
+// verifier rejected, in discovery order. Empty when the search ran
+// without Options.Check or when every instance verified clean.
+func (r *Result) CheckFailures() []*Node {
+	var out []*Node
+	for _, n := range r.Nodes {
+		if n.CheckErr != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Leaves returns the leaf nodes — instances at which every phase is

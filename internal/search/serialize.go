@@ -43,6 +43,7 @@ type fileNode struct {
 	NumInstrs int            `json:"num_instrs"`
 	CFKey     string         `json:"cf_key"` // base64
 	Edges     []Edge         `json:"edges,omitempty"`
+	CheckErr  string         `json:"check_err,omitempty"`
 }
 
 const formatVersion = 1
@@ -92,6 +93,7 @@ func (r *Result) Save(w io.Writer) error {
 			NumInstrs: n.NumInstrs,
 			CFKey:     enc.EncodeToString([]byte(n.CFKey)),
 			Edges:     n.Edges,
+			CheckErr:  n.CheckErr,
 		})
 	}
 	gz := gzip.NewWriter(w)
@@ -170,6 +172,7 @@ func Load(rd io.Reader) (*Result, error) {
 			NumInstrs: fn.NumInstrs,
 			CFKey:     fingerprint.Key(cf),
 			Edges:     fn.Edges,
+			CheckErr:  fn.CheckErr,
 		})
 	}
 	return res, nil
