@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint-fixtures
+.PHONY: check fmt vet build test race lint-fixtures bench-smoke
 
 check: fmt vet build test race lint-fixtures
 
@@ -25,7 +25,7 @@ test:
 # The enumerator and the compilers are the concurrent subsystems; run
 # their suites under the race detector.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/
 
 # The rtllint fixtures double as an executable smoke test: the clean
 # inputs must lint clean, the broken ones must fail.
@@ -36,3 +36,13 @@ lint-fixtures:
 		echo "use_before_def.rtl unexpectedly linted clean"; exit 1; fi
 	@if $(GO) run ./cmd/rtllint cmd/rtllint/testdata/clobbered_ic.rtl >/dev/null; then \
 		echo "clobbered_ic.rtl unexpectedly linted clean"; exit 1; fi
+
+# Telemetry smoke test: instrument a tiny enumeration, then make
+# phasestats re-read the snapshot and assert the core counters are
+# nonzero. Catches metric-name drift and snapshot format breakage.
+bench-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/explore -bench stringsearch -func tolower_c -check \
+		-metrics "$$tmp/smoke.metrics.json" -trace "$$tmp/smoke.trace.json" && \
+	$(GO) run ./cmd/phasestats -from-metrics "$$tmp/smoke.metrics.json" \
+		-require search.nodes,search.attempts,check.verify.calls

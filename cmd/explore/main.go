@@ -20,23 +20,47 @@
 //	-levels         also print instances per level (Figure 4 view)
 //	-speed          best-performing leaf via CF-class inference (Sec. 7)
 //	-save dir       persist each space for phasestats -load / spacedot
+//
+// Observability (see DESIGN.md §Observability):
+//
+//	-metrics file   write a metrics snapshot (per-phase attempt counts
+//	                and durations, prune counters) as JSON on exit;
+//	                aggregate with "phasestats -from-metrics"
+//	-trace file     write Chrome trace_event JSON; load in
+//	                chrome://tracing or https://ui.perfetto.dev
+//	-progress       tick one-line status updates to stderr
+//	-pprof addr     serve net/http/pprof and /debug/vars
+//
+// An interrupt (Ctrl-C) cancels the running search cooperatively and
+// still flushes the -metrics and -trace files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/interp"
 	"repro/internal/mibench"
 	"repro/internal/opt"
 	"repro/internal/rtl"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with deferred cleanup: the telemetry session must flush
+// its files even on early returns and interrupts, which os.Exit in
+// main would skip.
+func run() int {
 	var (
 		benchName = flag.String("bench", "", "restrict to one benchmark")
 		funcName  = flag.String("func", "", "restrict to one function")
@@ -50,7 +74,9 @@ func main() {
 		levels    = flag.Bool("levels", false, "print instances per level for each function")
 		speed     = flag.Bool("speed", false, "find the best-performing leaf instance via control-flow-class inference (Section 7)")
 		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
+		tflags    telemetry.Flags
 	)
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *phases {
@@ -67,20 +93,33 @@ func main() {
 			}
 			fmt.Printf("  %c  %-34s (%s)\n", p.ID(), p.Name(), req)
 		}
-		return
+		return 0
 	}
 	if *list {
 		fmt.Println("Benchmarks (Table 2):")
 		for _, p := range mibench.All() {
 			fmt.Printf("  %-10s %-12s %s\n", p.Category, p.Name, p.Description)
 		}
-		return
+		return 0
 	}
+
+	session, err := tflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer session.Close()
+	if session.Registry != nil {
+		opt.Metrics = opt.NewPhaseMetrics(session.Registry)
+		check.Metrics = check.NewVerifyMetrics(session.Registry)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	funcs, err := mibench.AllFunctions()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Println(search.TableHeader())
@@ -88,6 +127,8 @@ func main() {
 	done := 0
 	aborted := 0
 	checkFails := 0
+	totalNodes, totalEdges := 0, 0
+	var totalElapsed time.Duration
 	for _, tf := range funcs {
 		if *benchName != "" && tf.Bench != *benchName {
 			continue
@@ -100,6 +141,12 @@ func main() {
 			MaxNodes:       *maxNodes,
 			Timeout:        *timeout,
 			Check:          *checkAll,
+			Ctx:            ctx,
+			Metrics:        session.Registry,
+			Tracer:         session.Tracer,
+		}
+		if session.Progress {
+			opts.ProgressInterval = 2 * time.Second
 		}
 		if *verify {
 			opts.Verifier = makeVerifier(tf)
@@ -114,11 +161,14 @@ func main() {
 		st := search.ComputeStats(r)
 		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
 		fmt.Printf("%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
+		totalNodes += len(r.Nodes)
+		totalEdges += r.Stats.Edges
+		totalElapsed += r.Elapsed
 		if *saveDir != "" && !r.Aborted {
 			path := filepath.Join(*saveDir, fmt.Sprintf("%s.%s.space.gz", tf.Bench, tf.Func.Name))
 			if err := r.SaveFile(path); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if r.Aborted {
@@ -133,7 +183,7 @@ func main() {
 			p, err := mibench.ByName(tf.Bench)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			best, all, executions, err := r.BestDynamicCount(tf.Prog, p.Driver, p.DriverArgs)
 			if err != nil {
@@ -151,17 +201,30 @@ func main() {
 				100*float64(worst-best.Instrs)/float64(max64(best.Instrs, 1)),
 				len(all), executions)
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "explore: interrupted; flushing telemetry")
+			break
+		}
 	}
-	fmt.Printf("\n%d of %d functions enumerated completely (%.1f%%) in %s\n",
+	if done+aborted == 0 {
+		fmt.Printf("\nno functions matched (bench %q, func %q)\n", *benchName, *funcName)
+		return 1
+	}
+	fmt.Printf("\n%d of %d functions enumerated completely (%.1f%%): %d distinct instances, %d edges; enumeration %s, wall %s\n",
 		done, done+aborted, 100*float64(done)/float64(done+aborted),
-		time.Since(totalStart).Round(time.Millisecond))
+		totalNodes, totalEdges,
+		totalElapsed.Round(time.Millisecond), time.Since(totalStart).Round(time.Millisecond))
 	if *checkAll {
 		if checkFails > 0 {
 			fmt.Printf("check: %d instances FAILED semantic verification\n", checkFails)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("check: every enumerated instance verified clean")
 	}
+	if ctx.Err() != nil {
+		return 130
+	}
+	return 0
 }
 
 // makeVerifier returns a function that checks an instance behaves like

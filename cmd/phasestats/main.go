@@ -5,9 +5,17 @@
 // (Table 6). With -out it also writes the probability tables to a JSON
 // file that cmd/probcc feeds to the probabilistic batch compiler.
 //
+// With -from-metrics, phasestats instead aggregates metric snapshot
+// files written by the -metrics flag of explore/vpocc/probcc into a
+// per-phase cost table (attempts, active rate, total and mean time per
+// phase — the cost side of the paper's Table 3/7 analysis) plus the
+// search and verifier totals. Snapshots merge associatively, so any
+// number of per-run files combine into one table.
+//
 // Usage:
 //
 //	phasestats [-maxnodes n] [-timeout d] [-enable] [-disable] [-indep] [-out file]
+//	phasestats -from-metrics m1.json,m2.json [-require counter,...]
 package main
 
 import (
@@ -25,15 +33,25 @@ import (
 
 func main() {
 	var (
-		maxNodes = flag.Int("maxnodes", 20000, "per-function instance cap for the mining searches")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-function search budget")
-		enable   = flag.Bool("enable", false, "print only the enabling table")
-		disable  = flag.Bool("disable", false, "print only the disabling table")
-		indep    = flag.Bool("indep", false, "print only the independence table")
-		out      = flag.String("out", "", "write probability tables to this JSON file")
-		loadDir  = flag.String("load", "", "analyze saved spaces from this directory (explore -save) instead of re-enumerating")
+		maxNodes    = flag.Int("maxnodes", 20000, "per-function instance cap for the mining searches")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-function search budget")
+		enable      = flag.Bool("enable", false, "print only the enabling table")
+		disable     = flag.Bool("disable", false, "print only the disabling table")
+		indep       = flag.Bool("indep", false, "print only the independence table")
+		out         = flag.String("out", "", "write probability tables to this JSON file")
+		loadDir     = flag.String("load", "", "analyze saved spaces from this directory (explore -save) instead of re-enumerating")
+		fromMetrics = flag.String("from-metrics", "", "aggregate per-phase costs from these metrics snapshots (comma-separated paths or globs) instead of enumerating")
+		require     = flag.String("require", "", "with -from-metrics: comma-separated counters that must be nonzero (exit 1 otherwise)")
 	)
 	flag.Parse()
+
+	if *fromMetrics != "" {
+		os.Exit(runFromMetrics(*fromMetrics, *require))
+	}
+	if *require != "" {
+		fmt.Fprintln(os.Stderr, "-require only applies with -from-metrics")
+		os.Exit(2)
+	}
 	all := !*enable && !*disable && !*indep
 
 	x := analysis.NewInteractions()

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/telemetry"
+)
+
+// runFromMetrics implements the -from-metrics mode: merge the named
+// snapshot files and render the per-phase cost table that the metric
+// names opt.attempt.<id>.{active,dormant} and
+// opt.phase.<id>.duration_ns encode, followed by the search and
+// verifier totals. requireList names counters that must be nonzero,
+// the hook "make bench-smoke" uses to assert an instrumented run
+// actually measured something.
+func runFromMetrics(patterns, requireList string) int {
+	var paths []string
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad pattern %q: %v\n", pat, err)
+			return 2
+		}
+		if len(matches) == 0 {
+			fmt.Fprintf(os.Stderr, "no metrics files match %q\n", pat)
+			return 1
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "-from-metrics needs at least one file")
+		return 2
+	}
+
+	var merged telemetry.Snapshot
+	for i, p := range paths {
+		s, err := telemetry.ReadSnapshotFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if i == 0 {
+			merged = s
+		} else {
+			merged = merged.Merge(s)
+		}
+	}
+
+	printPhaseCosts(merged, len(paths))
+	printSearchTotals(merged)
+
+	if requireList != "" {
+		missing := 0
+		for _, name := range strings.Split(requireList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if merged.Counters[name] <= 0 {
+				fmt.Fprintf(os.Stderr, "require: counter %q is zero or absent\n", name)
+				missing++
+			}
+		}
+		if missing > 0 {
+			return 1
+		}
+		fmt.Printf("require: all of [%s] nonzero\n", requireList)
+	}
+	return 0
+}
+
+// printPhaseCosts renders the per-phase attempt/cost table aggregated
+// across every snapshot: the compile-time side of Table 3's "Attempted
+// Phases" column and Table 7's cost comparison.
+func printPhaseCosts(s telemetry.Snapshot, files int) {
+	fmt.Printf("Per-phase cost, aggregated over %d metric snapshot(s):\n\n", files)
+	fmt.Printf("%-3s %-28s %10s %9s %9s %8s %10s %10s\n",
+		"ph", "name", "attempted", "active", "dormant", "act%", "total", "mean")
+	var totAtt, totAct int64
+	var totNS int64
+	for _, p := range opt.All() {
+		id := p.ID()
+		active := s.Counters[fmt.Sprintf("opt.attempt.%c.active", id)]
+		dormant := s.Counters[fmt.Sprintf("opt.attempt.%c.dormant", id)]
+		attempted := active + dormant
+		h := s.Histograms[fmt.Sprintf("opt.phase.%c.duration_ns", id)]
+		totAtt += attempted
+		totAct += active
+		totNS += h.Sum
+		actPct := 0.0
+		if attempted > 0 {
+			actPct = 100 * float64(active) / float64(attempted)
+		}
+		fmt.Printf("%-3c %-28s %10d %9d %9d %7.1f%% %10s %10s\n",
+			id, clipName(p.Name(), 28), attempted, active, dormant, actPct,
+			time.Duration(h.Sum).Round(time.Microsecond),
+			time.Duration(int64(h.Mean())).Round(time.Nanosecond))
+	}
+	actPct := 0.0
+	if totAtt > 0 {
+		actPct = 100 * float64(totAct) / float64(totAtt)
+	}
+	fmt.Printf("%-3s %-28s %10d %9d %9d %7.1f%% %10s\n\n",
+		"Σ", "all phases", totAtt, totAct, totAtt-totAct, actPct,
+		time.Duration(totNS).Round(time.Microsecond))
+}
+
+func clipName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// printSearchTotals renders the enumeration and verification counters
+// when present (they are absent from plain vpocc compiles).
+func printSearchTotals(s telemetry.Snapshot) {
+	nodes := s.Counters["search.nodes"]
+	attempts := s.Counters["search.attempts"]
+	if nodes > 0 || attempts > 0 {
+		fmt.Printf("search: %d nodes (%d merged dups), %d edges, %d attempts (%d dormant)\n",
+			nodes, s.Counters["search.merged"], s.Counters["search.edges"],
+			attempts, s.Counters["search.dormant"])
+		if h, ok := s.Histograms["search.expand.duration_ns"]; ok && h.Count > 0 {
+			fmt.Printf("search: expand mean %s over %d evaluations; state-key mean %s\n",
+				time.Duration(int64(h.Mean())).Round(time.Nanosecond), h.Count,
+				time.Duration(int64(s.Histograms["search.statekey.duration_ns"].Mean())).Round(time.Nanosecond))
+		}
+	}
+	if calls := s.Counters["check.verify.calls"]; calls > 0 {
+		var findings int64
+		for name, v := range s.Counters {
+			if strings.HasPrefix(name, "check.finding.") {
+				findings += v
+			}
+		}
+		h := s.Histograms["check.verify.duration_ns"]
+		fmt.Printf("check:  %d verifications, %d findings, mean %s\n",
+			calls, findings, time.Duration(int64(h.Mean())).Round(time.Nanosecond))
+	}
+	for _, compiler := range []string{"batch", "prob"} {
+		if n := s.Counters["driver."+compiler+".compiles"]; n > 0 {
+			h := s.Histograms["driver."+compiler+".duration_ns"]
+			fmt.Printf("driver: %-5s %d compiles, %.1f attempted / %.1f active phases per function, mean %s\n",
+				compiler, n,
+				float64(s.Counters["driver."+compiler+".attempted"])/float64(n),
+				float64(s.Counters["driver."+compiler+".active"])/float64(n),
+				time.Duration(int64(h.Mean())).Round(time.Microsecond))
+		}
+	}
+}

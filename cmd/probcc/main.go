@@ -15,12 +15,21 @@
 // With -check, both compilers verify the RTL after every active phase
 // with the internal/check semantic verifier; a violation aborts with
 // the function, the active sequence and the offending phase.
+//
+// Observability: -metrics, -trace, -progress and -pprof behave as in
+// cmd/explore. The mining searches and both compilers record into the
+// same registry, so one -metrics file captures the full mine + compile
+// pipeline (driver.batch.* next to driver.prob.* gives the Table 7
+// cost comparison directly); an interrupt during mining still flushes
+// the files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/analysis"
@@ -30,23 +39,45 @@ import (
 	"repro/internal/mibench"
 	"repro/internal/opt"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		probsPath   = flag.String("probs", "", "probability tables JSON (from phasestats -out)")
 		mineNodes   = flag.Int("minenodes", 10000, "per-function instance cap when mining probabilities")
 		mineTimeout = flag.Duration("minetimeout", 20*time.Second, "per-function search budget when mining")
 		checkOpt    = flag.Bool("check", false, "verify the RTL after every active phase")
+		tflags      telemetry.Flags
 	)
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	session, err := tflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer session.Close()
+	if session.Registry != nil {
+		opt.Metrics = opt.NewPhaseMetrics(session.Registry)
+		check.Metrics = check.NewVerifyMetrics(session.Registry)
+		driver.Metrics = session.Registry
+	}
+	driver.Trace = session.Tracer
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var probs *driver.Probabilities
 	if *probsPath != "" {
 		p, err := driver.LoadProbabilities(*probsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		probs = p
 	} else {
@@ -54,20 +85,31 @@ func main() {
 		funcs, err := mibench.AllFunctions()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		x := analysis.NewInteractions()
 		for _, tf := range funcs {
-			r := search.Run(tf.Func, search.Options{
+			opts := search.Options{
 				MaxNodes: *mineNodes,
 				Timeout:  *mineTimeout,
 				Check:    *checkOpt,
-			})
+				Ctx:      ctx,
+				Metrics:  session.Registry,
+				Tracer:   session.Tracer,
+			}
+			if session.Progress {
+				opts.ProgressInterval = 2 * time.Second
+			}
+			r := search.Run(tf.Func, opts)
 			if fails := r.CheckFailures(); len(fails) > 0 {
 				for _, n := range fails {
 					fmt.Fprintf(os.Stderr, "%s: CHECK FAIL seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
 				}
-				os.Exit(1)
+				return 1
+			}
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "probcc: interrupted while mining; flushing telemetry")
+				return 130
 			}
 			if !r.Aborted {
 				x.Accumulate(r)
@@ -96,12 +138,12 @@ func main() {
 		prog, err := p.Compile()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		cmp, err := driver.CompareProgram(prog, p.Driver, p.DriverArgs, d, probs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, r := range cmp.Rows {
 			r.Function = fmt.Sprintf("%s(%s)", r.Function, p.Name[:1])
@@ -129,6 +171,7 @@ func main() {
 		sumOldTime.Round(time.Microsecond), sumProbTime.Round(time.Microsecond),
 		float64(sumProbTime)/float64(sumOldTime))
 	fmt.Printf("  code size ratio (prob/old): %.3f\n", float64(sumProbSize)/float64(sumOldSize))
+	return 0
 }
 
 func avg(total, n int) float64 {

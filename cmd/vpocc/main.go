@@ -20,6 +20,11 @@
 //	               internal/check semantic verifier; on a violation the
 //	               offending phase and the sequence leading to it are
 //	               reported and the exit status is nonzero
+//
+// Observability: -metrics, -trace, -progress and -pprof behave as in
+// cmd/explore; a compile's metrics include the per-phase attempt
+// counters and the driver.batch.* series, and the trace shows one
+// driver.batch span per function.
 package main
 
 import (
@@ -36,9 +41,14 @@ import (
 	"repro/internal/mc"
 	"repro/internal/opt"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		seq      = flag.String("seq", "", "explicit phase sequence (Table 1 IDs)")
 		noOpt    = flag.Bool("O0", false, "print unoptimized RTL")
@@ -48,33 +58,48 @@ func main() {
 		showTime = flag.Bool("time", false, "print per-function compile statistics")
 		rtlIn    = flag.Bool("rtl", false, "input is textual RTL, not mini-C")
 		checkOpt = flag.Bool("check", false, "verify the RTL after every active phase")
+		tflags   telemetry.Flags
 	)
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *checkOpt {
 		opt.PostCheck = check.Err
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vpocc [flags] file.c")
-		os.Exit(2)
+		return 2
 	}
+	session, err := tflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer session.Close()
+	if session.Registry != nil {
+		opt.Metrics = opt.NewPhaseMetrics(session.Registry)
+		check.Metrics = check.NewVerifyMetrics(session.Registry)
+		driver.Metrics = session.Registry
+	}
+	driver.Trace = session.Tracer
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var prog *rtl.Program
 	if *rtlIn {
 		f, err := rtl.ParseFunc(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		prog = &rtl.Program{Funcs: []*rtl.Func{f}}
 	} else {
 		p, err := mc.Compile(string(src))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		prog = p
 	}
@@ -85,7 +110,7 @@ func main() {
 			if *seq != "" {
 				if err := applySeq(f, *seq, d); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", f.Name, err)
-					os.Exit(1)
+					return 1
 				}
 				continue
 			}
@@ -93,7 +118,7 @@ func main() {
 			if res.CheckErr != nil {
 				fmt.Fprintf(os.Stderr, "%s: after active sequence %q: %v\n",
 					f.Name, res.Seq, res.CheckErr)
-				os.Exit(1)
+				return 1
 			}
 			if *showTime {
 				fmt.Fprintf(os.Stderr, "%s: attempted %d, active %d (%s), %s\n",
@@ -117,7 +142,7 @@ func main() {
 				v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
-					os.Exit(2)
+					return 2
 				}
 				args = append(args, int32(v))
 			}
@@ -125,13 +150,14 @@ func main() {
 		res, err := interp.Run(prog, *runEntry, args...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s(%v) = %d   [%d instructions executed]\n", *runEntry, args, res.Ret, res.Steps)
 		for _, v := range res.Trace {
 			fmt.Printf("trace: %d\n", v)
 		}
 	}
+	return 0
 }
 
 // applySeq applies an explicit phase sequence followed by the
@@ -141,8 +167,7 @@ func main() {
 func applySeq(f *rtl.Func, seq string, d *machine.Desc) (err error) {
 	for i := 0; i < len(seq); i++ {
 		if opt.ByID(seq[i]) == nil {
-			fmt.Fprintf(os.Stderr, "unknown phase %q (see explore -phases)\n", seq[i])
-			os.Exit(2)
+			return fmt.Errorf("unknown phase %q (see explore -phases)", seq[i])
 		}
 	}
 	applied := ""

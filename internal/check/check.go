@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 // Severity grades a diagnostic.
@@ -128,6 +130,40 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s (%s)", loc, d.Rule, d.Msg, d.Severity)
 }
 
+// Metrics, when non-nil, tags every verification: a check.verify.calls
+// counter, a check.verify.duration_ns histogram, and one
+// check.finding.<rule> counter per diagnostic rule that fires. Install
+// before concurrent use (the search calls Run from its worker pool).
+var Metrics *VerifyMetrics
+
+// VerifyMetrics is the verifier's instrument bundle.
+type VerifyMetrics struct {
+	reg   *telemetry.Registry
+	calls *telemetry.Counter
+	dur   *telemetry.Histogram
+}
+
+// NewVerifyMetrics registers the verifier instruments on reg.
+func NewVerifyMetrics(reg *telemetry.Registry) *VerifyMetrics {
+	return &VerifyMetrics{
+		reg:   reg,
+		calls: reg.Counter("check.verify.calls"),
+		dur:   reg.Histogram("check.verify.duration_ns"),
+	}
+}
+
+// observe records one verification and its findings. Rule counters go
+// through the registry (a mutexed map lookup) because the rule set is
+// open-ended; findings are rare enough that this never shows up next
+// to the dataflow analyses themselves.
+func (m *VerifyMetrics) observe(began time.Time, diags []Diagnostic) {
+	m.calls.Inc()
+	m.dur.ObserveSince(began)
+	for _, d := range diags {
+		m.reg.Counter("check.finding." + d.Rule).Inc()
+	}
+}
+
 // Options configure a verification run.
 type Options struct {
 	// Machine is the target description used for encoding legality
@@ -141,6 +177,17 @@ type Options struct {
 // block layout position and instruction index. A structurally invalid
 // function yields the single RuleStructure diagnostic.
 func Run(f *rtl.Func, opts Options) []Diagnostic {
+	m := Metrics
+	if m == nil {
+		return run(f, opts)
+	}
+	began := time.Now()
+	diags := run(f, opts)
+	m.observe(began, diags)
+	return diags
+}
+
+func run(f *rtl.Func, opts Options) []Diagnostic {
 	if opts.Machine == nil {
 		opts.Machine = machine.StrongARM()
 	}

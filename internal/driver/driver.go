@@ -22,7 +22,34 @@ import (
 	"repro/internal/machine"
 	"repro/internal/opt"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
+
+// Metrics, when non-nil, tags every compilation: per-compiler counters
+// (driver.batch.compiles, driver.prob.compiles, their attempted/active
+// phase totals) and duration histograms. Trace, when non-nil, records
+// one span per compiled function on lane 0, under which opt-layer
+// spans would nest if the search is also tracing.
+var (
+	Metrics *telemetry.Registry
+	Trace   *telemetry.Tracer
+)
+
+// observe tags one finished compilation under the given compiler name
+// ("batch" or "prob").
+func observe(compiler string, res *Result) {
+	reg := Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("driver." + compiler + ".compiles").Inc()
+	reg.Counter("driver." + compiler + ".attempted").Add(int64(res.Attempted))
+	reg.Counter("driver." + compiler + ".active").Add(int64(res.Active))
+	reg.Histogram("driver." + compiler + ".duration_ns").Observe(int64(res.Elapsed))
+	if res.CheckErr != nil {
+		reg.Counter("driver." + compiler + ".check_failures").Inc()
+	}
+}
 
 // Result describes one compilation of a function.
 type Result struct {
@@ -54,11 +81,14 @@ var BatchOrder = []byte{'o', 'b', 's', 'c', 'k', 'h', 'l', 'q', 'g', 'n', 'i', '
 // produces no change, then the compulsory entry/exit code is inserted.
 func Batch(f *rtl.Func, d *machine.Desc) Result {
 	start := time.Now()
+	span := Trace.Begin("driver.batch", "driver", 0)
 	res := Optimize(f, d)
 	if res.CheckErr == nil {
 		res.CheckErr = fixEntryExitChecked(f, d)
 	}
 	res.Elapsed = time.Since(start)
+	span.End(map[string]any{"fn": f.Name, "seq": res.Seq})
+	observe("batch", &res)
 	return res
 }
 
@@ -171,6 +201,7 @@ const maxProbabilisticSteps = 512
 //	    p[j] = 0
 func Probabilistic(f *rtl.Func, d *machine.Desc, probs *Probabilities) Result {
 	start := time.Now()
+	span := Trace.Begin("driver.prob", "driver", 0)
 	var res Result
 	func() {
 		defer recoverCheck(&res)
@@ -218,5 +249,7 @@ func Probabilistic(f *rtl.Func, d *machine.Desc, probs *Probabilities) Result {
 		res.CheckErr = fixEntryExitChecked(f, d)
 	}
 	res.Elapsed = time.Since(start)
+	span.End(map[string]any{"fn": f.Name, "seq": res.Seq})
+	observe("prob", &res)
 	return res
 }

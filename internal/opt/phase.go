@@ -21,9 +21,11 @@ package opt
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 // PostCheck, when non-nil, is invoked after every active phase
@@ -39,6 +41,47 @@ import (
 // it out of State keeps the search's per-node key and clone costs
 // untouched when checking is off.
 var PostCheck func(f *rtl.Func, d *machine.Desc) error
+
+// Metrics, when non-nil, receives the outcome of every Attempt:
+// per-phase active/dormant counts and per-phase durations (covering
+// the implicit register assignment, the phase proper and the cleanup).
+// Like PostCheck it is a package variable rather than a State field so
+// the search's per-node key and clone costs stay untouched; install it
+// before any concurrent use and leave it in place for the run.
+var Metrics *PhaseMetrics
+
+// PhaseMetrics is the per-phase instrument bundle, pre-resolved at
+// construction so the Attempt hot path performs no registry lookups.
+type PhaseMetrics struct {
+	active  [256]*telemetry.Counter
+	dormant [256]*telemetry.Counter
+	dur     [256]*telemetry.Histogram
+}
+
+// NewPhaseMetrics registers the per-phase instruments of every Table 1
+// phase on reg: counters opt.attempt.<id>.active and
+// opt.attempt.<id>.dormant plus histogram opt.phase.<id>.duration_ns.
+func NewPhaseMetrics(reg *telemetry.Registry) *PhaseMetrics {
+	m := &PhaseMetrics{}
+	for _, p := range All() {
+		id := p.ID()
+		m.active[id] = reg.Counter(fmt.Sprintf("opt.attempt.%c.active", id))
+		m.dormant[id] = reg.Counter(fmt.Sprintf("opt.attempt.%c.dormant", id))
+		m.dur[id] = reg.Histogram(fmt.Sprintf("opt.phase.%c.duration_ns", id))
+	}
+	return m
+}
+
+// observe records one Attempt outcome. The nil checks let unknown
+// phase IDs (tests register synthetic phases) pass through silently.
+func (m *PhaseMetrics) observe(id byte, active bool, d time.Duration) {
+	if active {
+		m.active[id].Inc()
+	} else {
+		m.dormant[id].Inc()
+	}
+	m.dur[id].Observe(int64(d))
+}
 
 // CheckError is the panic payload raised by Attempt when PostCheck
 // rejects the code a phase produced. Phase is the one-letter
@@ -105,6 +148,11 @@ func Attempt(f *rtl.Func, st *State, p Phase, d *machine.Desc) bool {
 	if !Enabled(p, *st) {
 		return false
 	}
+	m := Metrics
+	var began time.Time
+	if m != nil {
+		began = time.Now()
+	}
 	if p.RequiresRegAssign() && !f.RegAssigned {
 		RegAssign(f)
 	}
@@ -118,10 +166,15 @@ func Attempt(f *rtl.Func, st *State, p Phase, d *machine.Desc) bool {
 		case 's':
 			st.SApplied = true
 		}
-		if PostCheck != nil {
-			if err := PostCheck(f, d); err != nil {
-				panic(&CheckError{Phase: p.ID(), Err: err})
-			}
+	}
+	// Observed before the PostCheck hook so phase durations measure
+	// the transformation alone; the verifier keeps its own clock.
+	if m != nil {
+		m.observe(p.ID(), active, time.Since(began))
+	}
+	if active && PostCheck != nil {
+		if err := PostCheck(f, d); err != nil {
+			panic(&CheckError{Phase: p.ID(), Err: err})
 		}
 	}
 	return active

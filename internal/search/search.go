@@ -17,7 +17,10 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/opt"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 // Edge records an active phase application from one node to another.
@@ -110,6 +114,26 @@ type Options struct {
 	// identical; only the evaluation cost changes (Figure 6 reports
 	// the enhancements win a factor of 5-10).
 	NaiveReplay bool
+	// Ctx, when non-nil, cancels the search cooperatively: workers
+	// stop picking up attempts and the level loop aborts the result
+	// with a "canceled" reason. Because Run returns normally, deferred
+	// metric/trace writers still flush on interruption.
+	Ctx context.Context
+	// Metrics, when non-nil, receives the search counters, gauges and
+	// duration histograms (search.nodes, search.dormant,
+	// search.statekey.duration_ns, ...). Nil keeps the hot paths free
+	// of timing calls.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records search.expand → opt.attempt:<p> →
+	// check.verify spans, one trace lane per worker, plus a
+	// search.level span per frontier level on lane 0.
+	Tracer *telemetry.Tracer
+	// ProgressInterval > 0 ticks one-line status updates (nodes,
+	// frontier, prune rates, level ETA) to ProgressWriter while the
+	// search runs.
+	ProgressInterval time.Duration
+	// ProgressWriter is the progress destination (default os.Stderr).
+	ProgressWriter io.Writer
 }
 
 func (o *Options) fill() {
@@ -136,6 +160,10 @@ type Result struct {
 	AbortReason string
 	// Elapsed is the wall-clock search time.
 	Elapsed time.Duration
+	// Stats summarizes where the search spent its effort (prune
+	// counts, merge counts, per-operation timing); it is persisted by
+	// the space serializer alongside the node table.
+	Stats RunStats
 
 	root *rtl.Func
 	opts Options
@@ -149,6 +177,14 @@ func (r *Result) Root() *Node { return r.Nodes[0] }
 func Run(f *rtl.Func, opts Options) *Result {
 	opts.fill()
 	start := time.Now()
+	ins := newInstruments(&opts, f.Name, start)
+	if opts.ProgressInterval > 0 {
+		w := opts.ProgressWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		defer telemetry.NewProgress(w, opts.ProgressInterval, ins.progressLine).Start().Stop()
+	}
 
 	root := f.Clone()
 	rtl.Cleanup(root)
@@ -157,7 +193,14 @@ func Run(f *rtl.Func, opts Options) *Result {
 	index := make(map[string]int)
 
 	add := func(fn *rtl.Func, st opt.State, level int, seq string) (*Node, bool) {
+		var keyBegan time.Time
+		if ins.timed {
+			keyBegan = time.Now()
+		}
 		key := stateKey(fn, st)
+		if ins.timed {
+			ins.observeStateKey(keyBegan)
+		}
 		if id, ok := index[key]; ok {
 			return res.Nodes[id], false
 		}
@@ -178,6 +221,8 @@ func Run(f *rtl.Func, opts Options) *Result {
 	}
 
 	rootNode, _ := add(root, opt.State{}, 0, "")
+	ins.nodes.Add(1)
+	ins.mNodes.Inc()
 	if opts.Check {
 		if err := check.Err(root, opts.Machine); err != nil {
 			rootNode.CheckErr = err.Error()
@@ -185,7 +230,31 @@ func Run(f *rtl.Func, opts Options) *Result {
 	}
 	frontier := []*Node{rootNode}
 
+	// canceled polls Options.Ctx without blocking; done hands workers
+	// the raw channel so each expansion can bail out early.
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	abortCanceled := func() {
+		res.Aborted = true
+		res.AbortReason = fmt.Sprintf("canceled: %v", context.Cause(opts.Ctx))
+		ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": res.AbortReason})
+	}
+
 	for len(frontier) > 0 {
+		if canceled() {
+			abortCanceled()
+			break
+		}
 		// The number of sequences to evaluate at this level is the
 		// number of (node, enabled phase) pairs.
 		pending := 0
@@ -213,16 +282,6 @@ func Run(f *rtl.Func, opts Options) *Result {
 		// independent, so they run on a worker pool; results merge in
 		// deterministic (node, phase) order so the enumeration is
 		// reproducible regardless of scheduling.
-		type attempt struct {
-			node  *Node
-			phase opt.Phase
-		}
-		type outcome struct {
-			active   bool
-			fn       *rtl.Func
-			st       opt.State
-			checkErr string
-		}
 		var work []attempt
 		for _, n := range frontier {
 			for _, p := range opts.Phases {
@@ -239,6 +298,9 @@ func Run(f *rtl.Func, opts Options) *Result {
 			}
 		}
 		res.AttemptedPhases += len(work)
+		level := frontier[0].Level
+		ins.beginLevel(level, len(frontier), len(work))
+		levelSpan := ins.tracer.Begin("search.level", "search", 0)
 
 		workers := opts.Workers
 		if workers <= 0 {
@@ -268,51 +330,57 @@ func Run(f *rtl.Func, opts Options) *Result {
 			var cursor atomic.Int64
 			for w := 0; w < nw; w++ {
 				wg.Add(1)
-				go func() {
+				// Lane w+1 keeps each worker's spans in their own
+				// trace row; lane 0 is the serial control lane.
+				go func(lane int) {
 					defer wg.Done()
 					for {
 						i := int(cursor.Add(1)) - 1
 						if i >= len(chunk) {
 							return
 						}
+						// Checked per expansion so cancellation stops
+						// the run within one attempt's latency.
+						select {
+						case <-done:
+							return
+						default:
+						}
 						a := chunk[i]
-						var child *rtl.Func
-						st := opt.State{}
-						if opts.NaiveReplay {
-							// Figure 6(a): reload the unoptimized
-							// function and re-apply the entire active
-							// prefix.
-							child = replaySeq(res.root, a.node.Seq, opts.Machine, &st)
+						var began time.Time
+						if ins.timed {
+							began = time.Now()
+						}
+						expandSpan := ins.tracer.Begin("search.expand", "search", lane)
+						outcomes[i] = evalAttempt(res.root, a, &opts, ins, lane)
+						expandSpan.End(map[string]any{
+							"seq":    a.node.Seq,
+							"phase":  string(a.phase.ID()),
+							"active": outcomes[i].active,
+						})
+						if ins.timed {
+							ins.observeExpand(began)
 						} else {
-							child = a.node.fn.Clone()
-							st = a.node.State
+							ins.levelDone.Add(1)
 						}
-						if !opt.Attempt(child, &st, a.phase, opts.Machine) {
-							continue // dormant: branch pruned
-						}
-						if opts.Verifier != nil {
-							if err := opts.Verifier(child); err != nil {
-								panic(fmt.Sprintf("search: instance %q+%c misbehaves: %v",
-									a.node.Seq, a.phase.ID(), err))
-							}
-						}
-						o := outcome{active: true, fn: child, st: st}
-						if opts.Check {
-							if err := check.Err(child, opts.Machine); err != nil {
-								o.checkErr = err.Error()
-							}
-						}
-						outcomes[i] = o
 					}
-				}()
+				}(w + 1)
 			}
 			wg.Wait()
+			if canceled() {
+				// Discard the chunk: partially evaluated outcomes
+				// would skew the merge and the prune statistics.
+				abortCanceled()
+				break
+			}
 			for i, a := range chunk {
 				o := outcomes[i]
 				if !o.active {
+					ins.observeOutcome(false, false)
 					continue
 				}
 				cn, isNew := add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				ins.observeOutcome(true, isNew)
 				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
 				if isNew {
 					cn.CheckErr = o.checkErr
@@ -325,9 +393,13 @@ func Run(f *rtl.Func, opts Options) *Result {
 				break
 			}
 		}
+		levelSpan.End(map[string]any{
+			"level": level, "frontier": len(frontier), "attempts": len(work), "nodes": len(res.Nodes),
+		})
 		if res.Aborted {
 			break
 		}
+		ins.nodesExpanded += len(frontier)
 		if !opts.KeepFuncs {
 			for _, n := range frontier {
 				n.fn = nil // instance no longer needed once explored
@@ -340,8 +412,67 @@ func Run(f *rtl.Func, opts Options) *Result {
 		}
 		frontier = next
 	}
+	if res.Aborted && res.AbortReason != "" {
+		ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": res.AbortReason})
+	}
 	res.Elapsed = time.Since(start)
+	res.Stats = ins.runStats()
 	return res
+}
+
+// attempt is one (node, phase) pair scheduled for evaluation.
+type attempt struct {
+	node  *Node
+	phase opt.Phase
+}
+
+// outcome is the result of evaluating one attempt on a worker.
+type outcome struct {
+	active   bool
+	fn       *rtl.Func
+	st       opt.State
+	checkErr string
+}
+
+// evalAttempt evaluates one (node, phase) pair: materialize the parent
+// instance (clone, or full replay under NaiveReplay), apply the phase,
+// and optionally verify the child. Trace spans mark the phase
+// application and the semantic verification on the worker's lane.
+func evalAttempt(root *rtl.Func, a attempt, opts *Options, ins *instruments, lane int) outcome {
+	var child *rtl.Func
+	st := opt.State{}
+	if opts.NaiveReplay {
+		// Figure 6(a): reload the unoptimized function and re-apply
+		// the entire active prefix.
+		replaySpan := ins.tracer.Begin("search.replay", "search", lane)
+		child = replaySeq(root, a.node.Seq, opts.Machine, &st)
+		replaySpan.End(map[string]any{"seq": a.node.Seq})
+	} else {
+		child = a.node.fn.Clone()
+		st = a.node.State
+	}
+	attemptSpan := ins.tracer.Begin("opt.attempt:"+string(a.phase.ID()), "opt", lane)
+	active := opt.Attempt(child, &st, a.phase, opts.Machine)
+	attemptSpan.End(map[string]any{"active": active})
+	if !active {
+		return outcome{} // dormant: branch pruned
+	}
+	if opts.Verifier != nil {
+		if err := opts.Verifier(child); err != nil {
+			panic(fmt.Sprintf("search: instance %q+%c misbehaves: %v",
+				a.node.Seq, a.phase.ID(), err))
+		}
+	}
+	o := outcome{active: true, fn: child, st: st}
+	if opts.Check {
+		verifySpan := ins.tracer.Begin("check.verify", "check", lane)
+		err := check.Err(child, opts.Machine)
+		verifySpan.End(map[string]any{"clean": err == nil})
+		if err != nil {
+			o.checkErr = err.Error()
+		}
+	}
+	return o
 }
 
 // stateKey combines the canonical instance encoding with the gating

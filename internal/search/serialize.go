@@ -29,6 +29,7 @@ type fileFormat struct {
 	Aborted         bool          `json:"aborted,omitempty"`
 	AbortReason     string        `json:"abort_reason,omitempty"`
 	ElapsedNS       int64         `json:"elapsed_ns"`
+	Stats           RunStats      `json:"stats"`
 	Root            *rtl.Func     `json:"root"`
 	Nodes           []fileNode    `json:"nodes"`
 	Machine         *machine.Desc `json:"machine"`
@@ -79,6 +80,7 @@ func (r *Result) Save(w io.Writer) error {
 		Aborted:         r.Aborted,
 		AbortReason:     r.AbortReason,
 		ElapsedNS:       int64(r.Elapsed),
+		Stats:           r.Stats,
 		Root:            r.root,
 		Machine:         r.opts.Machine,
 	}
@@ -140,6 +142,7 @@ func Load(rd io.Reader) (*Result, error) {
 		Aborted:         ff.Aborted,
 		AbortReason:     ff.AbortReason,
 		Elapsed:         time.Duration(ff.ElapsedNS),
+		Stats:           ff.Stats,
 		root:            ff.Root,
 	}
 	res.opts.fill()

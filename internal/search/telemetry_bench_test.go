@@ -1,0 +1,71 @@
+package search_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/rtl"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// The observability acceptance bar is that a fully instrumented
+// enumeration (registry + tracer) stays within a few percent of a bare
+// one. Compare:
+//
+//	go test ./internal/search/ -bench BenchmarkRun -benchtime 10x
+//
+// BenchmarkRunBare is the baseline; the others layer instruments on.
+
+func benchFunc(b *testing.B) *rtl.Func {
+	b.Helper()
+	prog, err := mc.Compile(sumSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Func("sum")
+}
+
+func benchRun(b *testing.B, opts func() search.Options) {
+	f := benchFunc(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := search.Run(f, opts())
+		if r.Aborted {
+			b.Fatalf("aborted: %s", r.AbortReason)
+		}
+	}
+}
+
+func BenchmarkRunBare(b *testing.B) {
+	benchRun(b, func() search.Options { return search.Options{} })
+}
+
+func BenchmarkRunMetrics(b *testing.B) {
+	benchRun(b, func() search.Options {
+		return search.Options{Metrics: telemetry.NewRegistry()}
+	})
+}
+
+func BenchmarkRunMetricsTrace(b *testing.B) {
+	benchRun(b, func() search.Options {
+		return search.Options{
+			Metrics: telemetry.NewRegistry(),
+			Tracer:  telemetry.NewTracer(),
+		}
+	})
+}
+
+func BenchmarkRunProgress(b *testing.B) {
+	benchRun(b, func() search.Options {
+		return search.Options{
+			Metrics:          telemetry.NewRegistry(),
+			Tracer:           telemetry.NewTracer(),
+			ProgressInterval: 100 * time.Millisecond,
+			ProgressWriter:   io.Discard,
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package search_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rtl"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// TestRunCanceled checks Options.Ctx cancellation: a pre-canceled
+// context aborts before any level is evaluated, and Run still returns
+// a well-formed result (so deferred metric/trace writers can flush).
+func TestRunCanceled(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := search.Run(f, search.Options{Ctx: ctx})
+	if !r.Aborted {
+		t.Fatal("pre-canceled search did not abort")
+	}
+	if !strings.Contains(r.AbortReason, "canceled") {
+		t.Errorf("abort reason %q does not mention cancellation", r.AbortReason)
+	}
+	if len(r.Nodes) != 1 {
+		t.Errorf("canceled search enumerated %d nodes, want only the root", len(r.Nodes))
+	}
+	if r.Elapsed <= 0 {
+		t.Error("canceled search did not record elapsed time")
+	}
+}
+
+// TestRunCanceledMidway cancels from inside the Verifier hook, which
+// runs on a worker mid-enumeration: the abort must be cooperative (no
+// panic, no hang) and the partially evaluated chunk must be discarded
+// rather than merged into the space.
+func TestRunCanceledMidway(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	full := search.Run(f, search.Options{})
+	if full.Aborted {
+		t.Fatalf("baseline enumeration aborted: %s", full.AbortReason)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	r := search.Run(f, search.Options{
+		Ctx: ctx,
+		Verifier: func(*rtl.Func) error {
+			if seen.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !r.Aborted || !strings.Contains(r.AbortReason, "canceled") {
+		t.Fatalf("midway cancel: aborted=%v reason=%q", r.Aborted, r.AbortReason)
+	}
+	if len(r.Nodes) >= len(full.Nodes) {
+		t.Errorf("canceled run has %d nodes, full run %d: nothing was cut short",
+			len(r.Nodes), len(full.Nodes))
+	}
+	// The truncated result must still be structurally sound: every edge
+	// targets a node that actually made it into the table.
+	for _, n := range r.Nodes {
+		for _, e := range n.Edges {
+			if e.To < 0 || e.To >= len(r.Nodes) {
+				t.Fatalf("node %d has edge to %d outside %d-node table", n.ID, e.To, len(r.Nodes))
+			}
+		}
+	}
+}
+
+// TestRunTelemetry runs an instrumented enumeration end to end and
+// cross-checks the three observability surfaces against each other and
+// against the result: registry counters, the trace event stream, the
+// progress reporter and Result.Stats must all tell the same story.
+func TestRunTelemetry(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	var progress bytes.Buffer
+	r := search.Run(f, search.Options{
+		Metrics:          reg,
+		Tracer:           tr,
+		ProgressInterval: time.Millisecond,
+		ProgressWriter:   &progress,
+	})
+	if r.Aborted {
+		t.Fatalf("aborted: %s", r.AbortReason)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["search.nodes"]; got != int64(len(r.Nodes)) {
+		t.Errorf("search.nodes = %d, result has %d nodes", got, len(r.Nodes))
+	}
+	if got := s.Counters["search.attempts"]; got != int64(r.AttemptedPhases) {
+		t.Errorf("search.attempts = %d, result attempted %d", got, r.AttemptedPhases)
+	}
+	if s.Counters["search.dormant"] == 0 || s.Counters["search.merged"] == 0 {
+		t.Errorf("prune counters zero: dormant=%d merged=%d (both prunings must fire on clamp)",
+			s.Counters["search.dormant"], s.Counters["search.merged"])
+	}
+	if h, ok := s.Histograms["search.expand.duration_ns"]; !ok || h.Count == 0 {
+		t.Error("expand duration histogram empty")
+	}
+
+	// Stats must agree with the counters and with itself: attempts
+	// partition into active + dormant, and every active attempt is an
+	// edge that either discovered a node or merged into one.
+	st := r.Stats
+	if st.Attempts != r.AttemptedPhases {
+		t.Errorf("Stats.Attempts = %d, want %d", st.Attempts, r.AttemptedPhases)
+	}
+	if st.Active+st.Dormant != st.Attempts {
+		t.Errorf("active %d + dormant %d != attempts %d", st.Active, st.Dormant, st.Attempts)
+	}
+	if st.Active != st.Edges {
+		t.Errorf("active %d != edges %d", st.Active, st.Edges)
+	}
+	if st.Active != (len(r.Nodes)-1)+st.Merged {
+		t.Errorf("active %d != new nodes %d + merged %d", st.Active, len(r.Nodes)-1, st.Merged)
+	}
+	if st.ExpandNS <= 0 || st.StateKeyNS <= 0 {
+		t.Errorf("timing fields not populated with metrics on: expand=%d statekey=%d",
+			st.ExpandNS, st.StateKeyNS)
+	}
+
+	// The trace must be valid trace_event JSON with the expected span
+	// names present.
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]int)
+	for _, e := range tf.TraceEvents {
+		names[e.Name]++
+	}
+	for _, want := range []string{"search.level", "search.expand"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q spans (have %v)", want, names)
+		}
+	}
+	if names["search.expand"] != r.AttemptedPhases {
+		t.Errorf("trace has %d search.expand spans, attempted %d phases",
+			names["search.expand"], r.AttemptedPhases)
+	}
+
+	// The progress reporter flushes a final line on Stop even when no
+	// tick fired; with a 1ms interval at least the final line is there.
+	if !strings.Contains(progress.String(), "search clamp:") {
+		t.Errorf("progress output missing status line: %q", progress.String())
+	}
+}
+
+// TestRunStatsWithoutMetrics: the counting side of RunStats is filled
+// on every run; only the timing fields are gated on a registry.
+func TestRunStatsWithoutMetrics(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	r := search.Run(f, search.Options{})
+	st := r.Stats
+	if st.Attempts == 0 || st.Active == 0 || st.Dormant == 0 {
+		t.Fatalf("bare run left Stats counts empty: %+v", st)
+	}
+	if st.Active+st.Dormant != st.Attempts {
+		t.Errorf("active %d + dormant %d != attempts %d", st.Active, st.Dormant, st.Attempts)
+	}
+	if st.ExpandNS != 0 || st.StateKeyNS != 0 {
+		t.Errorf("bare run measured timings: expand=%d statekey=%d (hot path should be untimed)",
+			st.ExpandNS, st.StateKeyNS)
+	}
+	if st.Levels == 0 || st.MaxFrontier == 0 || st.NodesExpanded == 0 {
+		t.Errorf("level accounting empty: %+v", st)
+	}
+}
+
+// TestStatsSurviveSerialization: the serializer persists RunStats so
+// saved spaces keep their provenance.
+func TestStatsSurviveSerialization(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	orig := search.Run(f, search.Options{Metrics: telemetry.NewRegistry()})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats != orig.Stats {
+		t.Fatalf("Stats did not survive the round trip:\nsaved  %+v\nloaded %+v",
+			orig.Stats, loaded.Stats)
+	}
+	if loaded.Stats.ExpandNS == 0 {
+		t.Error("timed stats lost in serialization")
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressReporter ticks one-line status updates to a writer during a
+// long-running operation. The line callback runs on the reporter's
+// goroutine, so it must read shared state through atomics (the search
+// exposes its live counters exactly that way).
+type ProgressReporter struct {
+	w        io.Writer
+	interval time.Duration
+	line     func() string
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewProgress creates a reporter that writes line() to w every
+// interval once started. A final line is emitted on Stop so short runs
+// still report.
+func NewProgress(w io.Writer, interval time.Duration, line func() string) *ProgressReporter {
+	return &ProgressReporter{
+		w:        w,
+		interval: interval,
+		line:     line,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the ticking goroutine and returns the reporter for
+// chaining. No-op on a nil receiver.
+func (p *ProgressReporter) Start() *ProgressReporter {
+	if p == nil {
+		return nil
+	}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(p.w, p.line())
+			case <-p.stop:
+				fmt.Fprintln(p.w, p.line())
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts the reporter after one final line and waits for the
+// goroutine to exit. Safe to call more than once and on a nil
+// receiver.
+func (p *ProgressReporter) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}

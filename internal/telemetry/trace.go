@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer collects spans and emits them as Chrome trace_event JSON —
+// the format chrome://tracing and https://ui.perfetto.dev load
+// directly — so a whole enumeration renders as a flame of
+// search.expand → opt.attempt:<phase> → check.verify spans.
+//
+// Spans carry a caller-chosen tid (lane). Chrome nests events by time
+// containment within one (pid, tid) lane, so concurrent workers must
+// record on distinct tids; serial phases of a run use tid 0.
+type Tracer struct {
+	start time.Time
+	now   func() time.Time // overridable for deterministic tests
+
+	mu     sync.Mutex
+	events []traceEvent
+	tids   int
+}
+
+// traceEvent is one element of the trace_event "traceEvents" array.
+// Timestamps and durations are microseconds, per the format spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.start = t.now()
+	return t
+}
+
+// NewTID allocates a fresh lane for a concurrent worker. Lane 0 is by
+// convention the serial control lane. A nil tracer returns 0.
+func (t *Tracer) NewTID() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tids++
+	return t.tids
+}
+
+// Span is an open interval started by Begin. The zero Span (from a nil
+// tracer) is valid and End is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span on lane tid. On a nil tracer the returned span is
+// inert, so hot paths call Begin/End unconditionally.
+func (t *Tracer) Begin(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: t.now()}
+}
+
+// End closes the span, recording a complete ("X") event. args may be
+// nil.
+func (s Span) End(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.append(traceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   micros(s.start.Sub(s.t.start)),
+		Dur:  micros(end.Sub(s.start)),
+		PID:  1,
+		TID:  s.tid,
+		Args: args,
+	})
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(name, cat string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "i",
+		TS:   micros(t.now().Sub(t.start)),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	})
+}
+
+func (t *Tracer) append(e traceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// traceFile is the JSON Object Format of the trace_event spec: the
+// array form also loads, but the object form admits metadata.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Write emits the collected events as trace_event JSON.
+func (t *Tracer) Write(w io.Writer) error {
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		tf.TraceEvents = append(tf.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&tf); err != nil {
+		return fmt.Errorf("telemetry: encoding trace: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the trace to a file.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock returns a clock that advances one millisecond per call,
+// making trace output byte-for-byte deterministic.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		t := t0.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func deterministicTracer() *Tracer {
+	tr := &Tracer{now: fakeClock()}
+	tr.start = tr.now()
+	return tr
+}
+
+// TestTraceGolden pins the emitted bytes against a golden file —
+// regenerate with "go test ./internal/telemetry -run TraceGolden
+// -update" — and independently validates the document is well-formed
+// Chrome trace_event JSON the way chrome://tracing requires it.
+func TestTraceGolden(t *testing.T) {
+	tr := deterministicTracer()
+	lane := tr.NewTID()
+	expand := tr.Begin("search.expand", "search", lane)
+	attempt := tr.Begin("opt.attempt:c", "opt", lane)
+	attempt.End(map[string]any{"active": true})
+	verify := tr.Begin("check.verify", "check", lane)
+	verify.End(nil)
+	expand.End(map[string]any{"seq": "sc"})
+	tr.Instant("search.abort", "search", 0, map[string]any{"reason": "timeout"})
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	validateTraceJSON(t, buf.Bytes(), 3)
+}
+
+// validateTraceJSON asserts the trace_event structural contract: a
+// traceEvents array whose elements carry name/ph/ts/pid/tid, phases
+// limited to the ones we emit, and non-negative microsecond times.
+func validateTraceJSON(t *testing.T, data []byte, wantSpans int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayUnit)
+	}
+	spans := 0
+	for i, e := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event %d missing required key %q: %v", i, key, e)
+			}
+		}
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "X":
+			spans++
+			dur, ok := e["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Errorf("event %d: complete event needs non-negative dur, got %v", i, e["dur"])
+			}
+		case "i":
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ph)
+		}
+		if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("event %d: bad ts %v", i, e["ts"])
+		}
+	}
+	if spans != wantSpans {
+		t.Errorf("trace has %d complete spans, want %d", spans, wantSpans)
+	}
+}
+
+// TestTracerConcurrent records spans from many goroutines on distinct
+// lanes; under -race this is the tracer's thread-safety proof.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := tr.NewTID()
+			for i := 0; i < perG; i++ {
+				tr.Begin("work", "test", lane).End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != goroutines*perG {
+		t.Errorf("tracer recorded %d events, want %d", got, goroutines*perG)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateTraceJSON(t, buf.Bytes(), goroutines*perG)
+}
