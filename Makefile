@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint-fixtures bench-smoke
+.PHONY: check fmt vet build test race lint-fixtures bench-smoke resume-smoke
 
 check: fmt vet build test race lint-fixtures
 
@@ -23,9 +23,11 @@ test:
 	$(GO) test ./...
 
 # The enumerator and the compilers are the concurrent subsystems; run
-# their suites under the race detector.
+# their suites under the race detector. faultinject rides along: its
+# faults fire on the enumerator's worker goroutines, so the panic /
+# hang / corrupt paths must be race-clean too.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/
 
 # The rtllint fixtures double as an executable smoke test: the clean
 # inputs must lint clean, the broken ones must fail.
@@ -46,3 +48,24 @@ bench-smoke:
 		-metrics "$$tmp/smoke.metrics.json" -trace "$$tmp/smoke.trace.json" && \
 	$(GO) run ./cmd/phasestats -from-metrics "$$tmp/smoke.metrics.json" \
 		-require search.nodes,search.attempts,check.verify.calls
+
+# Crash/resume smoke test: SIGKILL an enumeration mid-run, resume it
+# from its checkpoint file, and require the resumed space to hash
+# identical (spacedot -hash, canonical serialization) to an
+# uninterrupted run of the same function. If the machine is fast enough
+# that the run finishes before the kill lands, the checkpoint file
+# already holds the complete space and the comparison still applies.
+resume-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/explore" ./cmd/explore && \
+	$(GO) build -o "$$tmp/spacedot" ./cmd/spacedot && \
+	"$$tmp/explore" -bench sha -func sha_transform -save "$$tmp" >/dev/null && \
+	{ "$$tmp/explore" -bench sha -func sha_transform -checkpoint "$$tmp" >/dev/null 2>&1 & \
+	pid=$$!; sleep 1.2; kill -9 $$pid 2>/dev/null || true; wait $$pid 2>/dev/null; } ; \
+	"$$tmp/explore" -bench sha -func sha_transform -checkpoint "$$tmp" -resume >/dev/null && \
+	a=$$("$$tmp/spacedot" -hash "$$tmp/sha.sha_transform.ckpt.space.gz" | cut -d' ' -f1) && \
+	b=$$("$$tmp/spacedot" -hash "$$tmp/sha.sha_transform.space.gz" | cut -d' ' -f1) && \
+	if [ "$$a" != "$$b" ]; then \
+		echo "resume-smoke: resumed space differs from clean run: $$a vs $$b"; exit 1; \
+	fi; \
+	echo "resume-smoke: killed+resumed space identical to clean run ($$a)"

@@ -21,6 +21,27 @@
 //	-speed          best-performing leaf via CF-class inference (Sec. 7)
 //	-save dir       persist each space for phasestats -load / spacedot
 //
+// Robustness (see DESIGN.md §Robustness):
+//
+//	-checkpoint dir   write a crash-safe checkpoint of each search to
+//	                  <dir>/<bench>.<func>.ckpt.space.gz at level
+//	                  boundaries and on every abort (including Ctrl-C);
+//	                  when the search completes, the file holds the
+//	                  finished space
+//	-resume           continue each function from its checkpoint file in
+//	                  the -checkpoint dir instead of starting over
+//	-ckpt-levels n    checkpoint every n completed levels (default 1)
+//	-ckpt-interval d  also checkpoint when d has passed since the last
+//	                  write (0 = level cadence only)
+//	-watchdog d       quarantine any single phase application running
+//	                  longer than d (0 = no watchdog)
+//	-faults spec      inject faults (internal/faultinject syntax); the
+//	                  REPRO_FAULTS environment variable is the fallback
+//
+// The exit status is 0 on success, 1 on usage or check failures, 3
+// when any function's search aborted (timeout, cap, or cancellation),
+// and 130 on interrupt.
+//
 // Observability (see DESIGN.md §Observability):
 //
 //	-metrics file   write a metrics snapshot (per-phase attempt counts
@@ -45,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/mibench"
 	"repro/internal/opt"
@@ -74,6 +96,12 @@ func run() int {
 		levels    = flag.Bool("levels", false, "print instances per level for each function")
 		speed     = flag.Bool("speed", false, "find the best-performing leaf instance via control-flow-class inference (Section 7)")
 		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
+		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to <dir>/<bench>.<func>.ckpt.space.gz")
+		resume    = flag.Bool("resume", false, "continue each function from its -checkpoint file")
+		ckptEvery = flag.Int("ckpt-levels", 1, "checkpoint every n completed levels")
+		ckptIval  = flag.Duration("ckpt-interval", 0, "also checkpoint after this much time since the last write (0 = level cadence only)")
+		watchdog  = flag.Duration("watchdog", 0, "quarantine a phase application running longer than this (0 = off)")
+		faultSpec = flag.String("faults", "", "fault injection spec (falls back to $"+faultinject.EnvVar+")")
 		tflags    telemetry.Flags
 	)
 	tflags.Register(flag.CommandLine)
@@ -101,6 +129,22 @@ func run() int {
 			fmt.Printf("  %-10s %-12s %s\n", p.Category, p.Name, p.Description)
 		}
 		return 0
+	}
+
+	faults, err := faultinject.FromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *faultSpec != "" {
+		if faults, err = faultinject.Parse(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "explore: -resume requires -checkpoint")
+		return 1
 	}
 
 	session, err := tflags.Start()
@@ -137,13 +181,21 @@ func run() int {
 			continue
 		}
 		opts := search.Options{
-			MaxSeqPerLevel: *levelCap,
-			MaxNodes:       *maxNodes,
-			Timeout:        *timeout,
-			Check:          *checkAll,
-			Ctx:            ctx,
-			Metrics:        session.Registry,
-			Tracer:         session.Tracer,
+			MaxSeqPerLevel:        *levelCap,
+			MaxNodes:              *maxNodes,
+			Timeout:               *timeout,
+			Check:                 *checkAll,
+			Ctx:                   ctx,
+			Metrics:               session.Registry,
+			Tracer:                session.Tracer,
+			CheckpointEveryLevels: *ckptEvery,
+			CheckpointInterval:    *ckptIval,
+			AttemptWatchdog:       *watchdog,
+			Faults:                faults,
+		}
+		if *ckptDir != "" {
+			opts.CheckpointPath = filepath.Join(*ckptDir,
+				fmt.Sprintf("%s.%s.ckpt.space.gz", tf.Bench, tf.Func.Name))
 		}
 		if session.Progress {
 			opts.ProgressInterval = 2 * time.Second
@@ -151,7 +203,11 @@ func run() int {
 		if *verify {
 			opts.Verifier = makeVerifier(tf)
 		}
-		r := search.Run(tf.Func, opts)
+		r, err := runOrResume(tf.Func, opts, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 		if *checkAll {
 			for _, n := range r.CheckFailures() {
 				fmt.Printf("    CHECK FAIL %s seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
@@ -161,6 +217,15 @@ func run() int {
 		st := search.ComputeStats(r)
 		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
 		fmt.Printf("%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
+		if q := r.QuarantinedNodes(); len(q) > 0 {
+			for _, n := range q {
+				fmt.Printf("    QUARANTINED %s seq %q: %s\n", tf.Func.Name, n.Seq, n.Quarantine)
+			}
+		}
+		if r.CheckpointErr != "" {
+			fmt.Fprintf(os.Stderr, "explore: %s: checkpointing failed, last good checkpoint kept: %s\n",
+				tf.Func.Name, r.CheckpointErr)
+		}
 		totalNodes += len(r.Nodes)
 		totalEdges += r.Stats.Edges
 		totalElapsed += r.Elapsed
@@ -224,7 +289,33 @@ func run() int {
 	if ctx.Err() != nil {
 		return 130
 	}
+	if aborted > 0 {
+		return 3
+	}
 	return 0
+}
+
+// runOrResume starts a fresh enumeration, or — under -resume — picks
+// the function up from its checkpoint file when one exists. A
+// checkpoint holding an already-complete space is returned as-is
+// (Resume is a no-op on it), so rerunning with -resume is idempotent.
+func runOrResume(f *rtl.Func, opts search.Options, resume bool) (*search.Result, error) {
+	if resume {
+		loaded, err := search.LoadFile(opts.CheckpointPath)
+		switch {
+		case err == nil:
+			if loaded.FuncName != f.Name {
+				return nil, fmt.Errorf("explore: checkpoint %s belongs to function %q, not %q",
+					opts.CheckpointPath, loaded.FuncName, f.Name)
+			}
+			return search.Resume(loaded, opts)
+		case os.IsNotExist(err):
+			// No checkpoint yet: fresh start.
+		default:
+			return nil, fmt.Errorf("explore: reading checkpoint: %w", err)
+		}
+	}
+	return search.Run(f, opts), nil
 }
 
 // makeVerifier returns a function that checks an instance behaves like

@@ -69,6 +69,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			if r.Checkpoint != nil {
+				// An interrupted checkpoint (explore -checkpoint) is a
+				// partial enumeration; mining it would bias the tables.
+				fmt.Fprintf(os.Stderr, "phasestats: %s is an unfinished checkpoint (%d frontier nodes); skipping — resume it with explore -resume\n",
+					p, len(r.Checkpoint.Frontier))
+				skipped++
+				continue
+			}
 			x.Accumulate(r)
 			mined++
 		}

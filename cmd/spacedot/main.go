@@ -2,13 +2,22 @@
 // as a Graphviz DOT graph — the pictures of Figures 4 and 7. Nodes are
 // labeled with instance code size (and weight with -weights); edges
 // with the phase that transforms one instance into the other.
+// Quarantined dead ends (phase panics, watchdog timeouts) are drawn in
+// red; the unexpanded frontier of an interrupted checkpoint is dashed.
+//
+// With -hash the graph is not rendered: the tool prints the SHA-256 of
+// the space's canonical serialization instead, the equality used by
+// the kill/resume determinism guarantee (two spaces hash equal exactly
+// when they enumerate the same DAG, whatever their wall-clock fields).
 //
 // Usage:
 //
 //	spacedot [-weights] [-maxnodes n] file.space.gz > space.dot
+//	spacedot -hash file.space.gz
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +30,7 @@ func main() {
 	var (
 		weights  = flag.Bool("weights", false, "label nodes with Figure 7 weights")
 		maxNodes = flag.Int("maxnodes", 500, "refuse to render spaces larger than this")
+		hash     = flag.Bool("hash", false, "print the SHA-256 of the canonical serialization and exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -32,6 +42,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *hash {
+		b, err := r.CanonicalBytes()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%x  %s\n", sha256.Sum256(b), flag.Arg(0))
+		return
+	}
 	if len(r.Nodes) > *maxNodes {
 		fmt.Fprintf(os.Stderr, "space has %d nodes; raise -maxnodes to render it anyway\n", len(r.Nodes))
 		os.Exit(1)
@@ -40,17 +59,35 @@ func main() {
 	if *weights {
 		w = analysis.Weights(r)
 	}
+	frontier := make(map[int]bool)
+	if cp := r.Checkpoint; cp != nil {
+		for _, n := range cp.Frontier {
+			frontier[n.ID] = true
+		}
+	}
 
 	fmt.Printf("digraph %q {\n", r.FuncName)
 	fmt.Println("  rankdir=TB;")
 	fmt.Println("  node [shape=circle, fontsize=10];")
+	if len(frontier) > 0 {
+		fmt.Printf("  label=\"checkpoint: %d unexpanded frontier nodes (dashed)\";\n", len(frontier))
+		fmt.Println("  labelloc=t;")
+	}
 	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			fmt.Printf("  n%d [label=\"%c!\", color=red, fontcolor=red, shape=octagon, tooltip=%q];\n",
+				n.ID, n.Seq[len(n.Seq)-1], n.Quarantine)
+			continue
+		}
 		label := fmt.Sprintf("%d", n.NumInstrs)
 		if *weights {
 			label = fmt.Sprintf("%d\\nw=%.0f", n.NumInstrs, w[n.ID])
 		}
 		attrs := fmt.Sprintf("label=\"%s\"", label)
-		if n.IsLeaf() {
+		switch {
+		case frontier[n.ID]:
+			attrs += ", style=dashed"
+		case n.IsLeaf():
 			attrs += ", style=filled, fillcolor=lightgrey"
 		}
 		if n.ID == 0 {
@@ -60,7 +97,11 @@ func main() {
 	}
 	for _, n := range r.Nodes {
 		for _, e := range n.Edges {
-			fmt.Printf("  n%d -> n%d [label=\"%c\", fontsize=9];\n", n.ID, e.To, e.Phase)
+			style := ""
+			if r.Nodes[e.To].Quarantine != "" {
+				style = ", color=red"
+			}
+			fmt.Printf("  n%d -> n%d [label=\"%c\", fontsize=9%s];\n", n.ID, e.To, e.Phase, style)
 		}
 	}
 	fmt.Println("}")

@@ -1,0 +1,241 @@
+// Package faultinject makes the enumeration engine's failure handling
+// testable: a Plan, parsed from a compact spec string (flag- or
+// environment-driven), injects deterministic faults into chosen phase
+// attempts — panics, corrupted instances, hangs — and into checkpoint
+// writes (short-write / ENOSPC simulation). The search package consults
+// the plan on every attempt; tests hammer kill/resume and quarantine
+// behaviour with it under the race detector.
+//
+// Spec grammar (comma-separated directives):
+//
+//	panic=<phase>[@<seq>]         phase panics when attempted (after seq)
+//	corrupt=<phase>[@<seq>]       phase returns a corrupted instance
+//	hang=<phase>[@<seq>][:<dur>]  phase stalls for dur (default 250ms)
+//	ckptfail=<n>                  the next n checkpoint writes fail short
+//
+// A directive without @<seq> fires on every attempt of the phase; with
+// @<seq> it fires only when the phase is attempted at the node whose
+// active sequence is exactly seq, which targets a single DAG edge and
+// keeps the injected failure deterministic. "@" alone targets the root.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rtl"
+)
+
+// EnvVar names the environment variable FromEnv reads.
+const EnvVar = "REPRO_FAULTS"
+
+// Kind is the failure mode a fault injects.
+type Kind int
+
+const (
+	// KindPanic makes the phase attempt panic.
+	KindPanic Kind = iota
+	// KindCorrupt lets the phase run, then corrupts its output instance.
+	KindCorrupt
+	// KindHang stalls the phase attempt past a watchdog timeout.
+	KindHang
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindCorrupt:
+		return "corrupt"
+	case KindHang:
+		return "hang"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one injected phase failure.
+type Fault struct {
+	Kind  Kind
+	Phase byte
+	// Seq restricts the fault to the attempt of Phase at the node with
+	// exactly this active sequence; AnySeq false means every attempt.
+	Seq    string
+	AnySeq bool
+	// HangFor is the stall duration for Hang faults.
+	HangFor time.Duration
+}
+
+// Plan is a parsed fault-injection plan. The zero value and the nil
+// plan inject nothing; all methods are safe on a nil receiver and for
+// concurrent use (search workers consult the plan in parallel).
+type Plan struct {
+	faults []Fault
+	// ckptFails is the number of remaining checkpoint writes to fail.
+	ckptFails atomic.Int64
+	spec      string
+}
+
+// Parse builds a plan from the spec grammar above. An empty spec yields
+// a nil plan (no faults).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{spec: spec}
+	for _, dir := range strings.Split(spec, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		op, arg, ok := strings.Cut(dir, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: directive %q: want op=arg", dir)
+		}
+		if op == "ckptfail" {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: ckptfail wants a count, got %q", arg)
+			}
+			p.ckptFails.Add(int64(n))
+			continue
+		}
+		var kind Kind
+		switch op {
+		case "panic":
+			kind = KindPanic
+		case "corrupt":
+			kind = KindCorrupt
+		case "hang":
+			kind = KindHang
+		default:
+			return nil, fmt.Errorf("faultinject: unknown directive %q", op)
+		}
+		f := Fault{Kind: kind, HangFor: 250 * time.Millisecond}
+		if kind == KindHang {
+			if head, dur, ok := strings.Cut(arg, ":"); ok {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: hang duration %q: %v", dur, err)
+				}
+				f.HangFor = d
+				arg = head
+			}
+		}
+		phase, seq, targeted := strings.Cut(arg, "@")
+		if len(phase) != 1 {
+			return nil, fmt.Errorf("faultinject: directive %q: want a one-letter phase, got %q", dir, phase)
+		}
+		f.Phase = phase[0]
+		f.Seq = seq
+		f.AnySeq = !targeted
+		p.faults = append(p.faults, f)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for tests and wired-in specs; it panics on error.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromEnv parses the plan in $REPRO_FAULTS. A missing or empty variable
+// yields a nil plan; a malformed one is a hard error, since silently
+// ignoring a typo'd fault spec would make a chaos run look healthy.
+func FromEnv() (*Plan, error) {
+	return Parse(os.Getenv(EnvVar))
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// PhaseFault returns the first fault covering an attempt of phase at a
+// node with active sequence seq, or nil.
+func (p *Plan) PhaseFault(phase byte, seq string) *Fault {
+	if p == nil {
+		return nil
+	}
+	for i := range p.faults {
+		f := &p.faults[i]
+		if f.Phase == phase && (f.AnySeq || f.Seq == seq) {
+			return f
+		}
+	}
+	return nil
+}
+
+// Corrupt mutates f into a structurally plausible but semantically
+// different instance — the shape of a phase bug that silently
+// miscompiles instead of crashing. It drops the final instruction of
+// the last nonempty block, so the fingerprint, the canonical key and
+// (usually) the behaviour all change.
+func Corrupt(f *rtl.Func) {
+	for i := len(f.Blocks) - 1; i >= 0; i-- {
+		b := f.Blocks[i]
+		if n := len(b.Instrs); n > 0 {
+			b.Instrs = b.Instrs[:n-1]
+			return
+		}
+	}
+}
+
+// ErrCheckpointWrite is the error the failing checkpoint writer
+// returns, standing in for ENOSPC.
+var ErrCheckpointWrite = errors.New("faultinject: simulated ENOSPC on checkpoint write")
+
+// WrapCheckpoint wraps one checkpoint write. While the plan has
+// checkpoint failures left it consumes one and returns a writer that
+// accepts a short prefix and then fails; otherwise it returns w
+// unchanged.
+func (p *Plan) WrapCheckpoint(w io.Writer) io.Writer {
+	if p == nil {
+		return w
+	}
+	for {
+		n := p.ckptFails.Load()
+		if n <= 0 {
+			return w
+		}
+		if p.ckptFails.CompareAndSwap(n, n-1) {
+			return &shortWriter{w: w, left: 64}
+		}
+	}
+}
+
+// shortWriter writes at most left bytes through, then fails every
+// subsequent write — the observable shape of a full disk.
+type shortWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (s *shortWriter) Write(b []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, ErrCheckpointWrite
+	}
+	if len(b) <= s.left {
+		s.left -= len(b)
+		return s.w.Write(b)
+	}
+	n, err := s.w.Write(b[:s.left])
+	s.left = 0
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCheckpointWrite
+}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mc"
+)
+
+func TestParseDirectives(t *testing.T) {
+	p, err := Parse("panic=c@sck, corrupt=s, hang=b@k:50ms, ckptfail=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.PhaseFault('c', "sck"); f == nil || f.Kind != KindPanic {
+		t.Fatalf("panic=c@sck not matched: %+v", f)
+	}
+	if f := p.PhaseFault('c', "sc"); f != nil {
+		t.Fatalf("panic=c@sck matched wrong seq: %+v", f)
+	}
+	if f := p.PhaseFault('s', "anything"); f == nil || f.Kind != KindCorrupt {
+		t.Fatalf("corrupt=s must match every sequence: %+v", f)
+	}
+	if f := p.PhaseFault('b', "k"); f == nil || f.Kind != KindHang || f.HangFor != 50*time.Millisecond {
+		t.Fatalf("hang=b@k:50ms: %+v", f)
+	}
+	if f := p.PhaseFault('b', ""); f != nil {
+		t.Fatalf("hang=b@k matched at root: %+v", f)
+	}
+}
+
+func TestParseRootTarget(t *testing.T) {
+	p := MustParse("panic=c@")
+	if f := p.PhaseFault('c', ""); f == nil {
+		t.Fatal("panic=c@ must match the root attempt")
+	}
+	if f := p.PhaseFault('c', "s"); f != nil {
+		t.Fatal("panic=c@ must match only the root attempt")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"explode=c", "panic", "panic=long", "hang=b@k:notadur", "ckptfail=x", "ckptfail=-1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestNilAndEmptyPlan(t *testing.T) {
+	p, err := Parse("   ")
+	if err != nil || p != nil {
+		t.Fatalf("blank spec: plan=%v err=%v", p, err)
+	}
+	if p.PhaseFault('c', "") != nil {
+		t.Fatal("nil plan injected a fault")
+	}
+	var buf bytes.Buffer
+	if w := p.WrapCheckpoint(&buf); w != &buf {
+		t.Fatal("nil plan wrapped the checkpoint writer")
+	}
+}
+
+func TestCorruptChangesInstance(t *testing.T) {
+	prog, err := mc.Compile(`int id(int x) { return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("id")
+	before := f.NumInstrs()
+	Corrupt(f)
+	if f.NumInstrs() != before-1 {
+		t.Fatalf("Corrupt removed %d instructions, want 1", before-f.NumInstrs())
+	}
+}
+
+func TestCheckpointFailureBudget(t *testing.T) {
+	p := MustParse("ckptfail=1")
+	var buf bytes.Buffer
+	w := p.WrapCheckpoint(&buf)
+	if w == &buf {
+		t.Fatal("first checkpoint write was not wrapped")
+	}
+	big := bytes.Repeat([]byte("x"), 4096)
+	if _, err := w.Write(big); !errors.Is(err, ErrCheckpointWrite) {
+		t.Fatalf("short writer err = %v, want ErrCheckpointWrite", err)
+	}
+	if buf.Len() == 0 || buf.Len() >= len(big) {
+		t.Fatalf("short writer wrote %d of %d bytes; want a short prefix", buf.Len(), len(big))
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrCheckpointWrite) {
+		t.Fatalf("exhausted short writer err = %v", err)
+	}
+	// The budget is consumed: the next write goes through untouched.
+	if w2 := p.WrapCheckpoint(&buf); w2 != &buf {
+		t.Fatal("second checkpoint write still wrapped after budget of 1")
+	}
+}

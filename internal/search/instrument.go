@@ -28,6 +28,10 @@ type RunStats struct {
 	// Merged counts active results whose canonical key matched an
 	// existing node (second pruning technique: the DAG merge).
 	Merged int `json:"merged"`
+	// Quarantined counts attempts whose phase panicked or outlived the
+	// watchdog; each one produced a quarantined dead-end node and its
+	// subtree was skipped. Attempts = Active + Dormant + Quarantined.
+	Quarantined int `json:"quarantined,omitempty"`
 	// Edges is the number of DAG edges; Levels the explored depth;
 	// MaxFrontier the widest level.
 	Edges       int `json:"edges"`
@@ -49,6 +53,7 @@ type instruments struct {
 	start  time.Time
 
 	nodes, edges, attempts, active, dormant, merged atomic.Int64
+	quarantined                                     atomic.Int64
 	level, frontier, levelPending, levelDone        atomic.Int64
 	levelStartNS                                    atomic.Int64
 	stateKeyNS, expandNS                            atomic.Int64
@@ -59,6 +64,8 @@ type instruments struct {
 	timed                      bool
 	mNodes, mEdges, mAttempts  *telemetry.Counter
 	mActive, mDormant, mMerged *telemetry.Counter
+	mQuarantined               *telemetry.Counter
+	mCkptWrites, mCkptFailures *telemetry.Counter
 	mStateKey, mExpand         *telemetry.Histogram
 	gFrontier, gLevel          *telemetry.Gauge
 	tracer                     *telemetry.Tracer
@@ -74,6 +81,9 @@ func newInstruments(opts *Options, fnName string, start time.Time) *instruments 
 		ins.mActive = reg.Counter("search.active")
 		ins.mDormant = reg.Counter("search.dormant")
 		ins.mMerged = reg.Counter("search.merged")
+		ins.mQuarantined = reg.Counter("search.quarantined")
+		ins.mCkptWrites = reg.Counter("search.checkpoint.writes")
+		ins.mCkptFailures = reg.Counter("search.checkpoint.failures")
 		ins.mStateKey = reg.Histogram("search.statekey.duration_ns")
 		ins.mExpand = reg.Histogram("search.expand.duration_ns")
 		ins.gFrontier = reg.Gauge("search.frontier")
@@ -135,6 +145,37 @@ func (ins *instruments) observeOutcome(activeOut, isNew bool) {
 	}
 }
 
+// observeQuarantine tallies one quarantined attempt on the serial
+// path: it contributes a node and an edge, but neither an active nor a
+// dormant outcome.
+func (ins *instruments) observeQuarantine() {
+	ins.quarantined.Add(1)
+	ins.mQuarantined.Inc()
+	ins.edges.Add(1)
+	ins.mEdges.Inc()
+	ins.nodes.Add(1)
+	ins.mNodes.Inc()
+}
+
+// seed preloads the counters from a checkpoint's persisted RunStats so
+// a resumed run continues the accounting exactly where the interrupted
+// one left off — the precondition for resumed spaces serializing
+// byte-identically to uninterrupted ones.
+func (ins *instruments) seed(st RunStats, nodes int) {
+	ins.nodes.Store(int64(nodes))
+	ins.edges.Store(int64(st.Edges))
+	ins.attempts.Store(int64(st.Attempts))
+	ins.active.Store(int64(st.Active))
+	ins.dormant.Store(int64(st.Dormant))
+	ins.merged.Store(int64(st.Merged))
+	ins.quarantined.Store(int64(st.Quarantined))
+	ins.level.Store(int64(st.Levels))
+	ins.stateKeyNS.Store(st.StateKeyNS)
+	ins.expandNS.Store(st.ExpandNS)
+	ins.nodesExpanded = st.NodesExpanded
+	ins.maxFrontier = st.MaxFrontier
+}
+
 // progressLine renders the one-line status tick: nodes, frontier,
 // prune rates and an ETA for the current level extrapolated from its
 // attempt throughput. It runs on the reporter goroutine and reads
@@ -175,6 +216,7 @@ func (ins *instruments) runStats() RunStats {
 		Active:        int(ins.active.Load()),
 		Dormant:       int(ins.dormant.Load()),
 		Merged:        int(ins.merged.Load()),
+		Quarantined:   int(ins.quarantined.Load()),
 		Edges:         int(ins.edges.Load()),
 		Levels:        int(ins.level.Load()),
 		MaxFrontier:   ins.maxFrontier,

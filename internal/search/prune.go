@@ -103,8 +103,7 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 
 	for len(frontier) > 0 {
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-			res.Aborted = true
-			res.AbortReason = "timeout"
+			res.abort(abortTimeout)
 			break
 		}
 		var next []*Node
@@ -174,8 +173,7 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 			}
 		}
 		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
-			res.Aborted = true
-			res.AbortReason = "node cap"
+			res.abort(abortNodeCapReason(opts.MaxNodes))
 			break
 		}
 		frontier = next

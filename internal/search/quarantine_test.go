@@ -1,0 +1,198 @@
+package search_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/search"
+)
+
+func saveLoad(t *testing.T, r *search.Result) *search.Result {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestQuarantineTargetedPanic injects a panic into exactly one
+// (sequence, phase) attempt and checks that the enumeration completes
+// with that single attempt quarantined instead of crashing.
+func TestQuarantineTargetedPanic(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	clean := search.Run(f, search.Options{})
+	if clean.Aborted {
+		t.Fatalf("clean run aborted: %s", clean.AbortReason)
+	}
+
+	// Pick a real attempt from the clean space: the first edge out of
+	// the first level-1 node.
+	var seq string
+	var phase byte
+	for _, n := range clean.Nodes {
+		if n.Level == 1 && len(n.Edges) > 0 {
+			seq, phase = n.Seq, n.Edges[0].Phase
+			break
+		}
+	}
+	if seq == "" {
+		t.Fatal("clean space has no expandable level-1 node")
+	}
+
+	r := search.Run(f, search.Options{
+		Faults: faultinject.MustParse("panic=" + string(phase) + "@" + seq),
+	})
+	if r.Aborted {
+		t.Fatalf("targeted panic aborted the search: %s", r.AbortReason)
+	}
+	q := r.QuarantinedNodes()
+	if len(q) != 1 {
+		t.Fatalf("quarantined %d nodes, want exactly 1", len(q))
+	}
+	qn := q[0]
+	if !strings.Contains(qn.Quarantine, "panic") || !strings.Contains(qn.Quarantine, "faultinject") {
+		t.Fatalf("Quarantine = %q, want the injected panic message", qn.Quarantine)
+	}
+	if qn.Seq != seq+string(phase) {
+		t.Fatalf("quarantined node Seq = %q, want %q", qn.Seq, seq+string(phase))
+	}
+	if len(qn.Edges) != 0 {
+		t.Fatalf("quarantined node has %d out-edges, want none (subtree skipped)", len(qn.Edges))
+	}
+	if r.Stats.Quarantined != 1 {
+		t.Fatalf("Stats.Quarantined = %d, want 1", r.Stats.Quarantined)
+	}
+	if r.Stats.Attempts != r.Stats.Active+r.Stats.Dormant+r.Stats.Quarantined {
+		t.Fatalf("attempt accounting broken: %d != %d active + %d dormant + %d quarantined",
+			r.Stats.Attempts, r.Stats.Active, r.Stats.Dormant, r.Stats.Quarantined)
+	}
+	// The rest of the space is still enumerated: everything in the
+	// clean space that is not downstream of the faulted attempt.
+	if got, want := len(r.Nodes)-len(q), len(clean.Nodes); got > want {
+		t.Fatalf("faulted run has %d non-quarantined nodes, clean run only %d", got, want)
+	}
+}
+
+// TestQuarantineAllAttemptsOfPhase panics on every application of one
+// phase: the enumeration must still complete, and the phase must not
+// appear in any surviving node's discovery sequence.
+func TestQuarantineAllAttemptsOfPhase(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	r := search.Run(f, search.Options{
+		Faults: faultinject.MustParse("panic=c"),
+	})
+	if r.Aborted {
+		t.Fatalf("phase-wide panic aborted the search: %s", r.AbortReason)
+	}
+	if len(r.QuarantinedNodes()) == 0 {
+		t.Fatal("no attempt of phase c was quarantined")
+	}
+	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			if n.Seq[len(n.Seq)-1] != 'c' {
+				t.Fatalf("node %q quarantined but its last phase is not c", n.Seq)
+			}
+			continue
+		}
+		if strings.ContainsRune(n.Seq, 'c') {
+			t.Fatalf("surviving node %q was discovered through the panicking phase", n.Seq)
+		}
+	}
+	// Quarantined dead ends are not leaves and carry no instance.
+	for _, n := range r.Leaves() {
+		if n.Quarantine != "" {
+			t.Fatalf("quarantined node %q reported as a leaf", n.Seq)
+		}
+	}
+}
+
+// TestQuarantineSerializes round-trips a space containing quarantined
+// nodes and checks the markers survive.
+func TestQuarantineSerializes(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	r := search.Run(f, search.Options{
+		Faults: faultinject.MustParse("panic=h"),
+	})
+	qBefore := len(r.QuarantinedNodes())
+	if qBefore == 0 {
+		t.Skip("phase h never attempted on clamp")
+	}
+	loaded := saveLoad(t, r)
+	if got := len(loaded.QuarantinedNodes()); got != qBefore {
+		t.Fatalf("loaded space has %d quarantined nodes, want %d", got, qBefore)
+	}
+	if loaded.Stats.Quarantined != r.Stats.Quarantined {
+		t.Fatalf("loaded Stats.Quarantined = %d, want %d",
+			loaded.Stats.Quarantined, r.Stats.Quarantined)
+	}
+}
+
+// TestWatchdogQuarantinesHang injects a hang far past the attempt
+// watchdog at a single attempt and checks it is quarantined with a
+// watchdog message while the rest of the space completes.
+func TestWatchdogQuarantinesHang(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	clean := search.Run(f, search.Options{})
+	var seq string
+	var phase byte
+	for _, n := range clean.Nodes {
+		if len(n.Edges) > 0 {
+			seq, phase = n.Seq, n.Edges[0].Phase
+			break
+		}
+	}
+	r := search.Run(f, search.Options{
+		AttemptWatchdog: 100 * time.Millisecond,
+		Faults: faultinject.MustParse(
+			"hang=" + string(phase) + "@" + seq + ":2s"),
+	})
+	if r.Aborted {
+		t.Fatalf("hang aborted the search: %s", r.AbortReason)
+	}
+	q := r.QuarantinedNodes()
+	if len(q) != 1 {
+		t.Fatalf("quarantined %d nodes, want exactly the hung attempt", len(q))
+	}
+	if !strings.Contains(q[0].Quarantine, "watchdog") {
+		t.Fatalf("Quarantine = %q, want a watchdog timeout message", q[0].Quarantine)
+	}
+}
+
+// TestCorruptInstanceCaughtByCheck corrupts the output of one phase and
+// checks that the semantic verifier flags the instance in CheckErr
+// without stopping the enumeration.
+func TestCorruptInstanceCaughtByCheck(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	r := search.Run(f, search.Options{
+		Check:  true,
+		Faults: faultinject.MustParse("corrupt=h"),
+	})
+	if r.Aborted {
+		t.Fatalf("corruption aborted the search: %s", r.AbortReason)
+	}
+	if len(r.QuarantinedNodes()) != 0 {
+		t.Fatal("corruption is not a panic and must not quarantine")
+	}
+	flagged := 0
+	for _, n := range r.Nodes {
+		if n.CheckErr != "" {
+			flagged++
+			// Descendants of a corrupted instance inherit the damage, so
+			// any flagged sequence must at least contain the faulted phase.
+			if !strings.ContainsRune(n.Seq, 'h') {
+				t.Fatalf("node %q flagged but never passed through the corrupted phase", n.Seq)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("the semantic verifier caught none of the corrupted instances")
+	}
+}

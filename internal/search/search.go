@@ -14,6 +14,14 @@
 // n. A configurable cap on the number of sequences evaluated at one
 // level aborts oversized functions, mirroring the paper's one-million
 // cutoff that marked two of 111 functions "too big".
+//
+// The engine is durable: with Options.CheckpointPath set, every level
+// boundary and every abort path (caps, timeout, cancellation) persists
+// a resumable snapshot atomically, and Resume continues an interrupted
+// enumeration to the byte-identical space an uninterrupted run yields.
+// A phase that panics or trips the attempt watchdog is quarantined —
+// recorded as a dead-end node with the failure message — instead of
+// crashing the whole enumeration.
 package search
 
 import (
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/faultinject"
 	"repro/internal/fingerprint"
 	"repro/internal/machine"
 	"repro/internal/opt"
@@ -48,7 +57,8 @@ type Node struct {
 	// sequence producing this instance from the unoptimized function.
 	Seq string
 	// Key is the exact canonical encoding plus gating state; nodes
-	// are merged exactly when Keys match.
+	// are merged exactly when Keys match. Quarantined nodes carry a
+	// synthetic "Q"+Seq key (no instance exists to encode).
 	Key string
 	// FP is the paper's three-value fingerprint (count/bytesum/CRC).
 	FP fingerprint.FP
@@ -65,6 +75,13 @@ type Node struct {
 	// Seq then reproduces the violation: the last phase of Seq is the
 	// offending one, the prefix is the setup.
 	CheckErr string
+	// Quarantine, when non-empty, records why the phase application
+	// that would have produced this instance was quarantined (panic
+	// message or watchdog timeout). Mirroring CheckErr, the last phase
+	// of Seq is the offender. A quarantined node has no instance, no
+	// outgoing edges, and its subtree is skipped; the rest of the space
+	// enumerates normally.
+	Quarantine string
 	// Weight is the number of distinct active sequences at or below
 	// this node (leaves weigh 1), per Figure 7. Filled by Analyze.
 	Weight float64
@@ -72,8 +89,10 @@ type Node struct {
 	fn *rtl.Func // retained only while unexplored
 }
 
-// IsLeaf reports whether no phase is active at this node.
-func (n *Node) IsLeaf() bool { return len(n.Edges) == 0 }
+// IsLeaf reports whether no phase is active at this node. Quarantined
+// nodes are dead ends, not leaves: every phase may well be active
+// there, the engine just cannot know.
+func (n *Node) IsLeaf() bool { return len(n.Edges) == 0 && n.Quarantine == "" }
 
 // Options configure a search.
 type Options struct {
@@ -88,11 +107,13 @@ type Options struct {
 	// distinct instances (0 = unlimited).
 	MaxNodes int
 	// Timeout aborts the search after this much wall time
-	// (0 = unlimited).
+	// (0 = unlimited). On Resume the budget restarts.
 	Timeout time.Duration
 	// Verifier, when non-nil, is invoked on every new instance; it
 	// should return an error when the instance misbehaves. Used for
-	// differential testing of the whole space.
+	// differential testing of the whole space. Unlike a panicking
+	// phase, a Verifier failure is never quarantined: it means the
+	// space itself is wrong, so the enumeration fails loudly.
 	Verifier func(f *rtl.Func) error
 	// Check runs the internal/check semantic verifier on every
 	// distinct instance (root included). Unlike Verifier, a finding
@@ -134,6 +155,32 @@ type Options struct {
 	ProgressInterval time.Duration
 	// ProgressWriter is the progress destination (default os.Stderr).
 	ProgressWriter io.Writer
+
+	// CheckpointPath, when non-empty, persists a resumable snapshot of
+	// the enumeration to this file (space format v2), written
+	// atomically (temp file + rename): periodically at level
+	// boundaries, on every abort path (caps, timeout, cancellation),
+	// and — as the final complete space — on successful completion.
+	// Load + Resume continue from it. A failed write never clobbers
+	// the previous checkpoint; the error lands in Result.CheckpointErr
+	// and the search keeps running.
+	CheckpointPath string
+	// CheckpointEveryLevels gates periodic checkpoints to one per N
+	// completed levels (0 or 1 = every level). Abort checkpoints
+	// ignore the gates.
+	CheckpointEveryLevels int
+	// CheckpointInterval additionally requires this much wall time
+	// since the last periodic checkpoint (0 = no time gate).
+	CheckpointInterval time.Duration
+	// AttemptWatchdog bounds the wall time of a single phase
+	// application; an attempt exceeding it is quarantined like a
+	// panicking phase (the stuck goroutine is abandoned). 0 disables
+	// the watchdog.
+	AttemptWatchdog time.Duration
+	// Faults injects deterministic failures (phase panics, corrupted
+	// instances, hangs, checkpoint write errors) for robustness
+	// testing; nil injects nothing. See internal/faultinject.
+	Faults *faultinject.Plan
 }
 
 func (o *Options) fill() {
@@ -158,26 +205,282 @@ type Result struct {
 	// Aborted reports that a cap stopped the search ("N/A" rows).
 	Aborted     bool
 	AbortReason string
-	// Elapsed is the wall-clock search time.
+	// Elapsed is the wall-clock search time, cumulative across
+	// checkpoint/resume cycles.
 	Elapsed time.Duration
 	// Stats summarizes where the search spent its effort (prune
 	// counts, merge counts, per-operation timing); it is persisted by
 	// the space serializer alongside the node table.
 	Stats RunStats
+	// Checkpoint, on a Result loaded from a checkpoint file, holds the
+	// resumable frontier; nil for completely enumerated spaces. Resume
+	// consumes it.
+	Checkpoint *Checkpoint
+	// CheckpointErr records the most recent checkpoint write failure
+	// ("" = none). The previous checkpoint file survives a failed
+	// write, so an interrupted run resumes from the last good one.
+	CheckpointErr string
 
 	root *rtl.Func
 	opts Options
 }
 
+// Checkpoint is the resumable state of a partially enumerated space.
+type Checkpoint struct {
+	// Frontier holds the unexpanded nodes (pointers into Result.Nodes)
+	// in discovery order, each with its retained function instance.
+	Frontier []*Node
+	// SavedAt is when the checkpoint was written.
+	SavedAt time.Time
+}
+
 // Root returns the node of the unoptimized instance.
 func (r *Result) Root() *Node { return r.Nodes[0] }
+
+// abort marks the result aborted. It is the single place the
+// Aborted/AbortReason pair is set, so instrumentation and
+// checkpoint-on-abort hook in exactly once (engine.abort wraps it).
+func (r *Result) abort(reason string) {
+	r.Aborted = true
+	r.AbortReason = reason
+}
+
+// Shared abort reasons.
+const abortTimeout = "timeout"
+
+func abortCanceledReason(ctx context.Context) string {
+	return fmt.Sprintf("canceled: %v", context.Cause(ctx))
+}
+
+func abortNodeCapReason(max int) string {
+	return fmt.Sprintf("more than %d distinct instances", max)
+}
+
+func abortLevelCapReason(level, pending, cap int) string {
+	return fmt.Sprintf("level %d requires %d sequence evaluations (cap %d)", level, pending, cap)
+}
+
+// snapshot captures the engine state at a level boundary — the unit of
+// durability. A checkpoint written mid-level rolls back to the boundary
+// view: only the first numNodes nodes, frontier nodes with no outgoing
+// edges yet, and the boundary's counters.
+type snapshot struct {
+	numNodes  int
+	frontier  []*Node
+	attempted int
+	stats     RunStats
+	elapsed   time.Duration
+}
+
+// engine drives one enumeration: Run seeds it with a fresh root,
+// Resume with a loaded checkpoint, and both share the level loop.
+type engine struct {
+	res      *Result
+	opts     *Options
+	ins      *instruments
+	index    map[string]int
+	frontier []*Node
+	start    time.Time
+	// prior is the elapsed time accumulated before a resume.
+	prior time.Duration
+	done  <-chan struct{}
+
+	// snap is the last consistent level boundary; abort checkpoints
+	// persist it.
+	snap snapshot
+	// levelsSinceCkpt / lastCkpt gate the periodic checkpoints.
+	levelsSinceCkpt int
+	lastCkpt        time.Time
+}
 
 // Run exhaustively enumerates the phase order space of f. The function
 // is not modified.
 func Run(f *rtl.Func, opts Options) *Result {
 	opts.fill()
 	start := time.Now()
-	ins := newInstruments(&opts, f.Name, start)
+
+	root := f.Clone()
+	rtl.Cleanup(root)
+
+	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
+	e := &engine{
+		res:   res,
+		opts:  &res.opts,
+		ins:   newInstruments(&res.opts, f.Name, start),
+		index: make(map[string]int),
+		start: start,
+	}
+	rootNode, _ := e.add(root, opt.State{}, 0, "")
+	e.ins.nodes.Add(1)
+	e.ins.mNodes.Inc()
+	if opts.Check {
+		if err := check.Err(root, opts.Machine); err != nil {
+			rootNode.CheckErr = err.Error()
+		}
+	}
+	e.frontier = []*Node{rootNode}
+	return e.run()
+}
+
+// Resume continues an interrupted enumeration from a checkpoint loaded
+// with Load/LoadFile, consuming res.Checkpoint and returning the same
+// Result completed (or re-aborted, if a cap still binds). Resuming is
+// deterministic: the finished space is byte-identical (under canonical
+// serialization) to the one an uninterrupted Run produces, provided
+// opts selects the same phases, check setting and fault plan as the
+// interrupted run. The machine description always comes from the
+// checkpoint. A Result without a Checkpoint is already complete and is
+// returned unchanged.
+func Resume(res *Result, opts Options) (*Result, error) {
+	cp := res.Checkpoint
+	if cp == nil {
+		return res, nil
+	}
+	mach := res.opts.Machine
+	opts.fill()
+	if mach != nil {
+		opts.Machine = mach
+	}
+	for i, n := range cp.Frontier {
+		if n.fn == nil {
+			return nil, fmt.Errorf("search: resume: frontier node %d (id %d) has no retained instance", i, n.ID)
+		}
+	}
+	res.opts = opts
+	res.Checkpoint = nil
+	res.Aborted, res.AbortReason = false, ""
+	start := time.Now()
+	e := &engine{
+		res:   res,
+		opts:  &res.opts,
+		ins:   newInstruments(&res.opts, res.FuncName, start),
+		index: make(map[string]int, len(res.Nodes)),
+		start: start,
+		prior: res.Elapsed,
+	}
+	for _, n := range res.Nodes {
+		e.index[n.Key] = n.ID
+	}
+	e.ins.seed(res.Stats, len(res.Nodes))
+	e.frontier = cp.Frontier
+	return e.run(), nil
+}
+
+// add interns one instance, returning its node and whether it is new.
+func (e *engine) add(fn *rtl.Func, st opt.State, level int, seq string) (*Node, bool) {
+	var keyBegan time.Time
+	if e.ins.timed {
+		keyBegan = time.Now()
+	}
+	key := stateKey(fn, st)
+	if e.ins.timed {
+		e.ins.observeStateKey(keyBegan)
+	}
+	if id, ok := e.index[key]; ok {
+		return e.res.Nodes[id], false
+	}
+	n := &Node{
+		ID:        len(e.res.Nodes),
+		Level:     level,
+		Seq:       seq,
+		Key:       key,
+		FP:        fingerprint.Of(fn),
+		State:     st,
+		NumInstrs: fn.NumInstrs(),
+		CFKey:     fingerprint.ControlFlowKey(fn),
+		fn:        fn,
+	}
+	e.index[key] = n.ID
+	e.res.Nodes = append(e.res.Nodes, n)
+	return n, true
+}
+
+// addQuarantined interns the dead-end node of a quarantined attempt.
+// The synthetic key ("Q" + sequence) cannot collide with a real
+// canonical key, whose first byte is a gating-state bitmask < 8.
+func (e *engine) addQuarantined(parent *Node, phase byte, msg string) *Node {
+	seq := parent.Seq + string(phase)
+	n := &Node{
+		ID:         len(e.res.Nodes),
+		Level:      parent.Level + 1,
+		Seq:        seq,
+		Key:        "Q" + seq,
+		Quarantine: msg,
+	}
+	e.index[n.Key] = n.ID
+	e.res.Nodes = append(e.res.Nodes, n)
+	return n
+}
+
+// boundary captures the current level boundary as the snapshot abort
+// checkpoints fall back to.
+func (e *engine) boundary() snapshot {
+	return snapshot{
+		numNodes:  len(e.res.Nodes),
+		frontier:  e.frontier,
+		attempted: e.res.AttemptedPhases,
+		stats:     e.ins.runStats(),
+		elapsed:   e.elapsed(),
+	}
+}
+
+func (e *engine) elapsed() time.Duration {
+	return e.prior + time.Since(e.start)
+}
+
+// abort marks the result aborted, traces it, and persists the last
+// consistent boundary so the interrupted enumeration can resume.
+func (e *engine) abort(reason string) {
+	e.res.abort(reason)
+	e.ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": reason})
+	e.writeCheckpoint(&e.snap)
+}
+
+// writeCheckpoint persists snap atomically when checkpointing is
+// configured. Failures are recorded, counted and survived: the
+// previous checkpoint file is left intact and the search continues.
+func (e *engine) writeCheckpoint(snap *snapshot) {
+	if e.opts.CheckpointPath == "" {
+		return
+	}
+	span := e.ins.tracer.Begin("search.checkpoint", "search", 0)
+	err := writeCheckpointFile(e.opts.CheckpointPath, e.res, snap, e.opts.Faults)
+	span.End(map[string]any{"nodes": snap.numNodes, "frontier": len(snap.frontier), "ok": err == nil})
+	if err != nil {
+		e.res.CheckpointErr = err.Error()
+		e.ins.mCkptFailures.Inc()
+		return
+	}
+	e.ins.mCkptWrites.Inc()
+	e.levelsSinceCkpt = 0
+	e.lastCkpt = time.Now()
+}
+
+// maybeCheckpoint writes a periodic boundary checkpoint when the
+// level/time gates allow.
+func (e *engine) maybeCheckpoint() {
+	if e.opts.CheckpointPath == "" {
+		return
+	}
+	e.levelsSinceCkpt++
+	every := e.opts.CheckpointEveryLevels
+	if every <= 0 {
+		every = 1
+	}
+	due := e.levelsSinceCkpt >= every
+	if !due && e.opts.CheckpointInterval > 0 && time.Since(e.lastCkpt) >= e.opts.CheckpointInterval {
+		due = true
+	}
+	if due {
+		e.writeCheckpoint(&e.snap)
+	}
+}
+
+// run is the level loop shared by Run and Resume.
+func (e *engine) run() *Result {
+	opts := e.opts
+	res := e.res
+	ins := e.ins
 	if opts.ProgressInterval > 0 {
 		w := opts.ProgressWriter
 		if w == nil {
@@ -186,73 +489,26 @@ func Run(f *rtl.Func, opts Options) *Result {
 		defer telemetry.NewProgress(w, opts.ProgressInterval, ins.progressLine).Start().Stop()
 	}
 
-	root := f.Clone()
-	rtl.Cleanup(root)
-
-	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
-	index := make(map[string]int)
-
-	add := func(fn *rtl.Func, st opt.State, level int, seq string) (*Node, bool) {
-		var keyBegan time.Time
-		if ins.timed {
-			keyBegan = time.Now()
-		}
-		key := stateKey(fn, st)
-		if ins.timed {
-			ins.observeStateKey(keyBegan)
-		}
-		if id, ok := index[key]; ok {
-			return res.Nodes[id], false
-		}
-		n := &Node{
-			ID:        len(res.Nodes),
-			Level:     level,
-			Seq:       seq,
-			Key:       key,
-			FP:        fingerprint.Of(fn),
-			State:     st,
-			NumInstrs: fn.NumInstrs(),
-			CFKey:     fingerprint.ControlFlowKey(fn),
-			fn:        fn,
-		}
-		index[key] = n.ID
-		res.Nodes = append(res.Nodes, n)
-		return n, true
-	}
-
-	rootNode, _ := add(root, opt.State{}, 0, "")
-	ins.nodes.Add(1)
-	ins.mNodes.Inc()
-	if opts.Check {
-		if err := check.Err(root, opts.Machine); err != nil {
-			rootNode.CheckErr = err.Error()
-		}
-	}
-	frontier := []*Node{rootNode}
-
 	// canceled polls Options.Ctx without blocking; done hands workers
 	// the raw channel so each expansion can bail out early.
-	var done <-chan struct{}
 	if opts.Ctx != nil {
-		done = opts.Ctx.Done()
+		e.done = opts.Ctx.Done()
 	}
 	canceled := func() bool {
 		select {
-		case <-done:
+		case <-e.done:
 			return true
 		default:
 			return false
 		}
 	}
-	abortCanceled := func() {
-		res.Aborted = true
-		res.AbortReason = fmt.Sprintf("canceled: %v", context.Cause(opts.Ctx))
-		ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": res.AbortReason})
-	}
 
-	for len(frontier) > 0 {
+	e.lastCkpt = e.start
+	e.snap = e.boundary()
+	for len(e.frontier) > 0 {
+		frontier := e.frontier
 		if canceled() {
-			abortCanceled()
+			e.abort(abortCanceledReason(opts.Ctx))
 			break
 		}
 		// The number of sequences to evaluate at this level is the
@@ -266,15 +522,12 @@ func Run(f *rtl.Func, opts Options) *Result {
 			}
 		}
 		if pending > opts.MaxSeqPerLevel {
-			res.Aborted = true
-			res.AbortReason = fmt.Sprintf("level %d requires %d sequence evaluations (cap %d)",
-				frontier[0].Level+1, pending, opts.MaxSeqPerLevel)
+			e.abort(abortLevelCapReason(frontier[0].Level+1, pending, opts.MaxSeqPerLevel))
 			break
 		}
 
-		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-			res.Aborted = true
-			res.AbortReason = "timeout"
+		if opts.Timeout > 0 && time.Since(e.start) > opts.Timeout {
+			e.abort(abortTimeout)
 			break
 		}
 
@@ -342,7 +595,7 @@ func Run(f *rtl.Func, opts Options) *Result {
 						// Checked per expansion so cancellation stops
 						// the run within one attempt's latency.
 						select {
-						case <-done:
+						case <-e.done:
 							return
 						default:
 						}
@@ -352,7 +605,7 @@ func Run(f *rtl.Func, opts Options) *Result {
 							began = time.Now()
 						}
 						expandSpan := ins.tracer.Begin("search.expand", "search", lane)
-						outcomes[i] = evalAttempt(res.root, a, &opts, ins, lane)
+						outcomes[i] = evalAttempt(res.root, a, opts, ins, lane)
 						expandSpan.End(map[string]any{
 							"seq":    a.node.Seq,
 							"phase":  string(a.phase.ID()),
@@ -370,16 +623,22 @@ func Run(f *rtl.Func, opts Options) *Result {
 			if canceled() {
 				// Discard the chunk: partially evaluated outcomes
 				// would skew the merge and the prune statistics.
-				abortCanceled()
+				e.abort(abortCanceledReason(opts.Ctx))
 				break
 			}
 			for i, a := range chunk {
 				o := outcomes[i]
+				if o.quarantine != "" {
+					qn := e.addQuarantined(a.node, a.phase.ID(), o.quarantine)
+					a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: qn.ID})
+					ins.observeQuarantine()
+					continue
+				}
 				if !o.active {
 					ins.observeOutcome(false, false)
 					continue
 				}
-				cn, isNew := add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				cn, isNew := e.add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
 				ins.observeOutcome(true, isNew)
 				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
 				if isNew {
@@ -387,9 +646,8 @@ func Run(f *rtl.Func, opts Options) *Result {
 					next = append(next, cn)
 				}
 			}
-			if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-				res.Aborted = true
-				res.AbortReason = "timeout"
+			if opts.Timeout > 0 && time.Since(e.start) > opts.Timeout {
+				e.abort(abortTimeout)
 				break
 			}
 		}
@@ -400,23 +658,29 @@ func Run(f *rtl.Func, opts Options) *Result {
 			break
 		}
 		ins.nodesExpanded += len(frontier)
+		e.frontier = next
 		if !opts.KeepFuncs {
 			for _, n := range frontier {
 				n.fn = nil // instance no longer needed once explored
 			}
 		}
+		// The level is complete: advance the durable boundary before
+		// any abort below, so a cap-abort checkpoint resumes from here
+		// (e.g. with a raised cap) rather than re-running the level.
+		e.snap = e.boundary()
 		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
-			res.Aborted = true
-			res.AbortReason = fmt.Sprintf("more than %d distinct instances", opts.MaxNodes)
+			e.abort(abortNodeCapReason(opts.MaxNodes))
 			break
 		}
-		frontier = next
+		e.maybeCheckpoint()
 	}
-	if res.Aborted && res.AbortReason != "" {
-		ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": res.AbortReason})
-	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = e.elapsed()
 	res.Stats = ins.runStats()
+	if !res.Aborted && opts.CheckpointPath != "" {
+		// Final write: the checkpoint file becomes the complete space.
+		e.snap = e.boundary()
+		e.writeCheckpoint(&e.snap)
+	}
 	return res
 }
 
@@ -428,10 +692,11 @@ type attempt struct {
 
 // outcome is the result of evaluating one attempt on a worker.
 type outcome struct {
-	active   bool
-	fn       *rtl.Func
-	st       opt.State
-	checkErr string
+	active     bool
+	fn         *rtl.Func
+	st         opt.State
+	checkErr   string
+	quarantine string
 }
 
 // evalAttempt evaluates one (node, phase) pair: materialize the parent
@@ -439,6 +704,66 @@ type outcome struct {
 // and optionally verify the child. Trace spans mark the phase
 // application and the semantic verification on the worker's lane.
 func evalAttempt(root *rtl.Func, a attempt, opts *Options, ins *instruments, lane int) outcome {
+	o := applyPhase(root, a, opts, ins, lane)
+	if o.quarantine != "" || !o.active {
+		return o
+	}
+	if opts.Verifier != nil {
+		if err := opts.Verifier(o.fn); err != nil {
+			panic(fmt.Sprintf("search: instance %q+%c misbehaves: %v",
+				a.node.Seq, a.phase.ID(), err))
+		}
+	}
+	if opts.Check {
+		verifySpan := ins.tracer.Begin("check.verify", "check", lane)
+		err := check.Err(o.fn, opts.Machine)
+		verifySpan.End(map[string]any{"clean": err == nil})
+		if err != nil {
+			o.checkErr = err.Error()
+		}
+	}
+	return o
+}
+
+// applyPhase guards the phase application: with a watchdog configured
+// it runs on a sacrificial goroutine that is abandoned on timeout;
+// either way a panicking phase is converted into a quarantine outcome
+// instead of crashing the enumeration.
+func applyPhase(root *rtl.Func, a attempt, opts *Options, ins *instruments, lane int) outcome {
+	if wd := opts.AttemptWatchdog; wd > 0 {
+		ch := make(chan outcome, 1)
+		go func() { ch <- applyPhaseRecover(root, a, opts, ins, lane) }()
+		timer := time.NewTimer(wd)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			return o
+		case <-timer.C:
+			return outcome{quarantine: fmt.Sprintf(
+				"watchdog: phase %c at %q still running after %v", a.phase.ID(), a.node.Seq, wd)}
+		}
+	}
+	return applyPhaseRecover(root, a, opts, ins, lane)
+}
+
+// applyPhaseRecover materializes the parent, applies the phase (with
+// any injected faults), and converts a panic — a buggy or injected
+// phase, or a broken replay — into a quarantine outcome.
+func applyPhaseRecover(root *rtl.Func, a attempt, opts *Options, ins *instruments, lane int) (o outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = outcome{quarantine: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	fault := opts.Faults.PhaseFault(a.phase.ID(), a.node.Seq)
+	if fault != nil {
+		switch fault.Kind {
+		case faultinject.KindPanic:
+			panic(fmt.Sprintf("faultinject: phase %c at %q", a.phase.ID(), a.node.Seq))
+		case faultinject.KindHang:
+			time.Sleep(fault.HangFor)
+		}
+	}
 	var child *rtl.Func
 	st := opt.State{}
 	if opts.NaiveReplay {
@@ -457,22 +782,10 @@ func evalAttempt(root *rtl.Func, a attempt, opts *Options, ins *instruments, lan
 	if !active {
 		return outcome{} // dormant: branch pruned
 	}
-	if opts.Verifier != nil {
-		if err := opts.Verifier(child); err != nil {
-			panic(fmt.Sprintf("search: instance %q+%c misbehaves: %v",
-				a.node.Seq, a.phase.ID(), err))
-		}
+	if fault != nil && fault.Kind == faultinject.KindCorrupt {
+		faultinject.Corrupt(child)
 	}
-	o := outcome{active: true, fn: child, st: st}
-	if opts.Check {
-		verifySpan := ins.tracer.Begin("check.verify", "check", lane)
-		err := check.Err(child, opts.Machine)
-		verifySpan.End(map[string]any{"clean": err == nil})
-		if err != nil {
-			o.checkErr = err.Error()
-		}
-	}
-	return o
+	return outcome{active: true, fn: child, st: st}
 }
 
 // stateKey combines the canonical instance encoding with the gating
@@ -508,8 +821,12 @@ func replaySeq(root *rtl.Func, seq string, d *machine.Desc, st *opt.State) *rtl.
 
 // Instance reconstructs the function instance of a node by replaying
 // its sequence from the unoptimized root. When the search ran with
-// KeepFuncs the retained instance is returned directly.
+// KeepFuncs the retained instance is returned directly. Quarantined
+// nodes have no instance.
 func (r *Result) Instance(n *Node) *rtl.Func {
+	if n.Quarantine != "" {
+		panic(fmt.Sprintf("search: node %d (seq %q) is quarantined: %s", n.ID, n.Seq, n.Quarantine))
+	}
 	if n.fn != nil {
 		return n.fn.Clone()
 	}
@@ -540,8 +857,22 @@ func (r *Result) CheckFailures() []*Node {
 	return out
 }
 
+// QuarantinedNodes returns the nodes whose producing phase application
+// panicked or tripped the watchdog, in discovery order.
+func (r *Result) QuarantinedNodes() []*Node {
+	var out []*Node
+	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Leaves returns the leaf nodes — instances at which every phase is
-// dormant, where the optimization space DAG converges.
+// dormant, where the optimization space DAG converges. Quarantined
+// nodes are excluded: they are dead ends with no instance, not
+// converged instances.
 func (r *Result) Leaves() []*Node {
 	var out []*Node
 	for _, n := range r.Nodes {
@@ -575,6 +906,9 @@ func (r *Result) BestCodeSize() *Node {
 func (r *Result) OptimalCodeSize() *Node {
 	var best *Node
 	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			continue
+		}
 		if best == nil || n.NumInstrs < best.NumInstrs ||
 			(n.NumInstrs == best.NumInstrs && len(n.Seq) < len(best.Seq)) {
 			best = n

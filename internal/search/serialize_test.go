@@ -3,8 +3,10 @@ package search_test
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/json"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -92,3 +94,131 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func newGzip(w *bytes.Buffer) *gzip.Writer { return gzip.NewWriter(w) }
+
+// TestLoadCorruptFiles drives Load through every rejection path with a
+// table of defective inputs and checks each failure names its defect.
+func TestLoadCorruptFiles(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	var valid bytes.Buffer
+	if err := search.Run(f, search.Options{}).Save(&valid); err != nil {
+		t.Fatal(err)
+	}
+
+	// reencode gunzips the valid space, hands the JSON document to
+	// mutate as a generic map, and re-gzips the result.
+	reencode := func(t *testing.T, mutate func(doc map[string]any)) []byte {
+		t.Helper()
+		gz, err := gzip.NewReader(bytes.NewReader(valid.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.NewDecoder(gz).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		mutate(doc)
+		var buf bytes.Buffer
+		w := gzip.NewWriter(&buf)
+		if err := json.NewEncoder(w).Encode(doc); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	gzipOf := func(s string) []byte {
+		var buf bytes.Buffer
+		w := gzip.NewWriter(&buf)
+		w.Write([]byte(s))
+		w.Close()
+		return buf.Bytes()
+	}
+	node0 := func(doc map[string]any) map[string]any {
+		return doc["nodes"].([]any)[0].(map[string]any)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"garbage", []byte("definitely not gzip"), "not a gzip stream"},
+		{"broken JSON", gzipOf("{broken"), "decoding space"},
+		{"truncated", valid.Bytes()[:valid.Len()/2], "truncated"},
+		{"future version", gzipOf(`{"version":99}`), "version 99 unsupported"},
+		{"version zero", gzipOf(`{"version":0}`), "version 0 unsupported"},
+		{"empty space", gzipOf(`{"version":2}`), "space file is empty"},
+		{"malformed node key", reencode(t, func(doc map[string]any) {
+			node0(doc)["key"] = "%%% not base64 %%%"
+		}), "malformed base64 key"},
+		{"malformed cf key", reencode(t, func(doc map[string]any) {
+			node0(doc)["cf_key"] = "%%%"
+		}), "malformed base64 cf key"},
+		{"edge out of range", reencode(t, func(doc map[string]any) {
+			node0(doc)["edges"] = []any{map[string]any{"Phase": 99, "To": 1 << 20}}
+		}), "outside the"},
+		{"checkpoint body count mismatch", reencode(t, func(doc map[string]any) {
+			doc["checkpoint"] = map[string]any{"frontier": []any{0}, "bodies": []any{}}
+		}), "1 frontier nodes but 0 bodies"},
+		{"checkpoint frontier out of range", reencode(t, func(doc map[string]any) {
+			doc["checkpoint"] = map[string]any{
+				"frontier": []any{1 << 20},
+				"bodies":   []any{doc["root"]},
+			}
+		}), "outside the"},
+		{"checkpoint nil body", reencode(t, func(doc map[string]any) {
+			doc["checkpoint"] = map[string]any{"frontier": []any{0}, "bodies": []any{nil}}
+		}), "has no body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := search.Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("accepted a space file with a %s defect", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the defect (want substring %q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadReadsV1 checks the loader still accepts version-1 documents —
+// the format the shipped spaces/ files were written in — which have no
+// checkpoint section and no quarantine fields.
+func TestLoadReadsV1(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	var buf bytes.Buffer
+	if err := search.Run(f, search.Options{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(gz).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["version"] = 1
+	delete(doc, "checkpoint")
+	var v1 bytes.Buffer
+	w := gzip.NewWriter(&v1)
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.Load(&v1)
+	if err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	if loaded.Checkpoint != nil {
+		t.Fatal("v1 document grew a checkpoint")
+	}
+	if loaded.Instance(loaded.OptimalCodeSize()) == nil {
+		t.Fatal("v1 document does not replay")
+	}
+}

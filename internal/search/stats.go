@@ -53,6 +53,11 @@ func ComputeStats(r *Result) Stats {
 
 	cf := make(map[fingerprint.Key]bool)
 	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			// No instance exists: a quarantined dead end contributes
+			// neither a control flow nor a realized sequence length.
+			continue
+		}
 		cf[n.CFKey] = true
 		if n.Level > st.MaxActiveLen {
 			st.MaxActiveLen = n.Level
