@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint-fixtures bench-smoke resume-smoke
+.PHONY: check fmt vet build test race lint-fixtures bench-smoke bench-search resume-smoke
 
 check: fmt vet build test race lint-fixtures
 
@@ -25,9 +25,10 @@ test:
 # The enumerator and the compilers are the concurrent subsystems; run
 # their suites under the race detector. faultinject rides along: its
 # faults fire on the enumerator's worker goroutines, so the panic /
-# hang / corrupt paths must be race-clean too.
+# hang / corrupt paths must be race-clean too, and fingerprint because
+# workers summarize instances concurrently through its pooled buffers.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/
 
 # The rtllint fixtures double as an executable smoke test: the clean
 # inputs must lint clean, the broken ones must fail.
@@ -48,6 +49,14 @@ bench-smoke:
 		-metrics "$$tmp/smoke.metrics.json" -trace "$$tmp/smoke.trace.json" && \
 	$(GO) run ./cmd/phasestats -from-metrics "$$tmp/smoke.metrics.json" \
 		-require search.nodes,search.attempts,check.verify.calls
+
+# Enumeration-throughput smoke: one iteration of the end-to-end search
+# benchmark plus the dedup-index microbenchmark. Catches perf-path
+# compile breakage and gross regressions cheaply; the real before/after
+# numbers live in BENCH_search.json (EXPERIMENTS.md has the table).
+bench-search:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchRun/(bmh_search|get_code)' -benchmem -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkDedupIndex -benchmem -benchtime 100x ./internal/search/
 
 # Crash/resume smoke test: SIGKILL an enumeration mid-run, resume it
 # from its checkpoint file, and require the resumed space to hash

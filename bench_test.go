@@ -59,6 +59,32 @@ var table3Cases = []struct{ bench, fn string }{
 	{"jpeg", "get_code"},
 }
 
+// BenchmarkSearchRun measures end-to-end exhaustive enumeration
+// throughput on the representative corpus: the denominator of every
+// feasibility claim in the paper. Allocations are reported because the
+// enumeration is memory-bound at scale — the two-tier identical-
+// instance index and the clone pool exist to keep this benchmark's
+// bytes/op flat as spaces grow. attempts/op is the work actually done,
+// so ns/op ÷ attempts/op is the per-attempt cost tracked in
+// BENCH_search.json.
+func BenchmarkSearchRun(b *testing.B) {
+	for _, c := range table3Cases {
+		c := c
+		b.Run(c.fn, func(b *testing.B) {
+			f := benchFunc(b, c.bench, c.fn)
+			b.ReportAllocs()
+			var attempts, nodes int
+			for i := 0; i < b.N; i++ {
+				r := search.Run(f, search.Options{Workers: 1})
+				attempts = r.AttemptedPhases
+				nodes = len(r.Nodes)
+			}
+			b.ReportMetric(float64(attempts), "attempts/op")
+			b.ReportMetric(float64(nodes), "instances")
+		})
+	}
+}
+
 // BenchmarkTable3Enumerate regenerates Table 3 rows: one exhaustive
 // phase order space enumeration per iteration. Reported metrics are
 // the row's key statistics.

@@ -18,6 +18,8 @@
 //	-phases         print the Table 1 phase catalog and exit
 //	-list           print the Table 2 benchmark list and exit
 //	-levels         also print instances per level (Figure 4 view)
+//	-jobs n         enumerate up to n functions concurrently; output
+//	                stays in deterministic input order (default 1)
 //	-speed          best-performing leaf via CF-class inference (Sec. 7)
 //	-save dir       persist each space for phasestats -load / spacedot
 //
@@ -57,6 +59,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -96,6 +99,7 @@ func run() int {
 		levels    = flag.Bool("levels", false, "print instances per level for each function")
 		speed     = flag.Bool("speed", false, "find the best-performing leaf instance via control-flow-class inference (Section 7)")
 		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
+		jobs      = flag.Int("jobs", 1, "number of functions enumerated concurrently")
 		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to <dir>/<bench>.<func>.ckpt.space.gz")
 		resume    = flag.Bool("resume", false, "continue each function from its -checkpoint file")
 		ckptEvery = flag.Int("ckpt-levels", 1, "checkpoint every n completed levels")
@@ -173,6 +177,8 @@ func run() int {
 	checkFails := 0
 	totalNodes, totalEdges := 0, 0
 	var totalElapsed time.Duration
+
+	var selected []mibench.TaggedFunc
 	for _, tf := range funcs {
 		if *benchName != "" && tf.Bench != *benchName {
 			continue
@@ -180,6 +186,20 @@ func run() int {
 		if *funcName != "" && tf.Func.Name != *funcName {
 			continue
 		}
+		selected = append(selected, tf)
+	}
+
+	// processFunc enumerates one function, writing everything destined
+	// for stdout into a buffer so that concurrent enumerations (-jobs)
+	// can commit their output in deterministic input order.
+	type funcResult struct {
+		out        bytes.Buffer
+		r          *search.Result
+		err        error
+		checkFails int
+	}
+	processFunc := func(tf mibench.TaggedFunc) *funcResult {
+		fr := &funcResult{}
 		opts := search.Options{
 			MaxSeqPerLevel:        *levelCap,
 			MaxNodes:              *maxNodes,
@@ -205,55 +225,46 @@ func run() int {
 		}
 		r, err := runOrResume(tf.Func, opts, *resume)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			fr.err = err
+			return fr
 		}
+		fr.r = r
 		if *checkAll {
 			for _, n := range r.CheckFailures() {
-				fmt.Printf("    CHECK FAIL %s seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
-				checkFails++
+				fmt.Fprintf(&fr.out, "    CHECK FAIL %s seq %q: %s\n", tf.Func.Name, n.Seq, n.CheckErr)
+				fr.checkFails++
 			}
 		}
 		st := search.ComputeStats(r)
 		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
-		fmt.Printf("%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
-		if q := r.QuarantinedNodes(); len(q) > 0 {
-			for _, n := range q {
-				fmt.Printf("    QUARANTINED %s seq %q: %s\n", tf.Func.Name, n.Seq, n.Quarantine)
-			}
+		fmt.Fprintf(&fr.out, "%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
+		for _, n := range r.QuarantinedNodes() {
+			fmt.Fprintf(&fr.out, "    QUARANTINED %s seq %q: %s\n", tf.Func.Name, n.Seq, n.Quarantine)
 		}
 		if r.CheckpointErr != "" {
 			fmt.Fprintf(os.Stderr, "explore: %s: checkpointing failed, last good checkpoint kept: %s\n",
 				tf.Func.Name, r.CheckpointErr)
 		}
-		totalNodes += len(r.Nodes)
-		totalEdges += r.Stats.Edges
-		totalElapsed += r.Elapsed
 		if *saveDir != "" && !r.Aborted {
 			path := filepath.Join(*saveDir, fmt.Sprintf("%s.%s.space.gz", tf.Bench, tf.Func.Name))
 			if err := r.SaveFile(path); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
+				fr.err = err
+				return fr
 			}
 		}
-		if r.Aborted {
-			aborted++
-		} else {
-			done++
-		}
 		if *levels && !r.Aborted {
-			fmt.Printf("    per-level instances: %v\n", search.NodesPerLevel(r))
+			fmt.Fprintf(&fr.out, "    per-level instances: %v\n", search.NodesPerLevel(r))
 		}
 		if *speed && !r.Aborted {
 			p, err := mibench.ByName(tf.Bench)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
+				fr.err = err
+				return fr
 			}
 			best, all, executions, err := r.BestDynamicCount(tf.Prog, p.Driver, p.DriverArgs)
 			if err != nil {
-				fmt.Printf("    speed: %v\n", err)
-				continue
+				fmt.Fprintf(&fr.out, "    speed: %v\n", err)
+				return fr
 			}
 			var worst int64
 			for _, e := range all {
@@ -261,10 +272,49 @@ func run() int {
 					worst = e.Instrs
 				}
 			}
-			fmt.Printf("    speed: best leaf %d dyn-instrs (seq %q), worst %d (+%.1f%%); %d leaves inferred from %d executions\n",
+			fmt.Fprintf(&fr.out, "    speed: best leaf %d dyn-instrs (seq %q), worst %d (+%.1f%%); %d leaves inferred from %d executions\n",
 				best.Instrs, best.Node.Seq, worst,
 				100*float64(worst-best.Instrs)/float64(max64(best.Instrs, 1)),
 				len(all), executions)
+		}
+		return fr
+	}
+
+	// Evaluate up to -jobs functions concurrently, committing results
+	// (printing and totals) strictly in input order so the output and
+	// exit status never depend on scheduling.
+	nJobs := *jobs
+	if nJobs < 1 {
+		nJobs = 1
+	}
+	results := make([]*funcResult, len(selected))
+	ready := make([]chan struct{}, len(selected))
+	sem := make(chan struct{}, nJobs)
+	for i := range selected {
+		ready[i] = make(chan struct{})
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; close(ready[i]) }()
+			results[i] = processFunc(selected[i])
+		}(i)
+	}
+	for i := range selected {
+		<-ready[i]
+		fr := results[i]
+		if fr.err != nil {
+			fmt.Fprintln(os.Stderr, fr.err)
+			return 1
+		}
+		os.Stdout.Write(fr.out.Bytes())
+		checkFails += fr.checkFails
+		r := fr.r
+		totalNodes += len(r.Nodes)
+		totalEdges += r.Stats.Edges
+		totalElapsed += r.Elapsed
+		if r.Aborted {
+			aborted++
+		} else {
+			done++
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "explore: interrupted; flushing telemetry")

@@ -114,6 +114,17 @@ func printPhaseCosts(s telemetry.Snapshot, files int) {
 		time.Duration(totNS).Round(time.Microsecond))
 }
 
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
 func clipName(s string, n int) string {
 	if len(s) <= n {
 		return s
@@ -134,6 +145,17 @@ func printSearchTotals(s telemetry.Snapshot) {
 			fmt.Printf("search: expand mean %s over %d evaluations; state-key mean %s\n",
 				time.Duration(int64(h.Mean())).Round(time.Nanosecond), h.Count,
 				time.Duration(int64(s.Histograms["search.statekey.duration_ns"].Mean())).Round(time.Nanosecond))
+		}
+		if probes := s.Counters["search.index.probes"]; probes > 0 {
+			// Two-tier identical-instance index: nearly every probe
+			// should resolve on the (flags, fingerprint) hash alone;
+			// byte-compares count second-tier bucket scans and
+			// fpcollisions the compares that found a fingerprint
+			// collision rather than a true duplicate.
+			fmt.Printf("search: index %d probes, %d byte-compares, %d fingerprint collisions; %s retained key bytes\n",
+				probes, s.Counters["search.index.bytecompares"],
+				s.Counters["search.index.fpcollisions"],
+				fmtBytes(s.Gauges["search.index.retained_bytes"]))
 		}
 	}
 	if calls := s.Counters["check.verify.calls"]; calls > 0 {

@@ -78,52 +78,11 @@ func (r *remapper) label(id int) uint16 {
 }
 
 // Encode produces the canonical byte encoding of the function.
+// Blocks are labeled in layout order as they are encountered from the
+// top; branch targets met before their block get numbered at first
+// reference, exactly like a top-down scan.
 func Encode(f *rtl.Func) []byte {
-	rm := newRemapper()
-	buf := make([]byte, 0, f.NumInstrs()*16)
-	u16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
-	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
-	operand := func(o rtl.Operand) {
-		buf = append(buf, byte(o.Kind))
-		switch o.Kind {
-		case rtl.OperReg:
-			u16(rm.reg(o.Reg))
-		case rtl.OperImm:
-			u32(uint32(o.Imm))
-		}
-	}
-	// Pre-assign labels of blocks in layout order as they are
-	// encountered from the top; branch targets met before their block
-	// get numbered at first reference, exactly like a top-down scan.
-	for _, b := range f.Blocks {
-		u16(rm.label(b.ID))
-		for i := range b.Instrs {
-			in := &b.Instrs[i]
-			buf = append(buf, byte(in.Op))
-			switch in.Op {
-			case rtl.OpBranch:
-				buf = append(buf, byte(in.Rel))
-				u16(rm.label(in.Target))
-			case rtl.OpJmp:
-				u16(rm.label(in.Target))
-			case rtl.OpCall:
-				buf = append(buf, in.NArgs)
-				buf = append(buf, byte(len(in.Sym)))
-				buf = append(buf, in.Sym...)
-			case rtl.OpMovHi, rtl.OpAddLo:
-				u16(rm.reg(in.Dst))
-				operand(in.A)
-				buf = append(buf, byte(len(in.Sym)))
-				buf = append(buf, in.Sym...)
-			default:
-				u16(rm.reg(in.Dst))
-				operand(in.A)
-				operand(in.B)
-				u32(uint32(in.Disp))
-			}
-		}
-	}
-	return buf
+	return EncodeTo(make([]byte, 0, f.NumInstrs()*16), f)
 }
 
 // KeyOf returns the exact canonical key of a function instance.

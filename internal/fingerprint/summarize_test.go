@@ -1,0 +1,73 @@
+package fingerprint_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/machine"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/randprog"
+)
+
+// TestSummarizeMatchesLegacy checks the fused single-pass summary
+// against the three independent legacy computations over the randprog
+// corpus: every function instance reached by random phase orderings
+// must yield byte-identical encoding, control-flow key and fingerprint
+// triple.
+func TestSummarizeMatchesLegacy(t *testing.T) {
+	programs := 25
+	if testing.Short() {
+		programs = 6
+	}
+	d := machine.StrongARM()
+	all := opt.All()
+	checked := 0
+	buf := fingerprint.GetBuffer()
+	defer fingerprint.PutBuffer(buf)
+	for seed := int64(0); seed < int64(programs); seed++ {
+		p := randprog.New(seed, randprog.Config{})
+		prog, err := mc.Compile(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x77))
+		for trial := 0; trial < 3; trial++ {
+			mod := prog.Clone()
+			f := mod.Func(p.Entry)
+			var st opt.State
+			for step := 0; step < 10; step++ {
+				wantEnc := fingerprint.Encode(f)
+				wantFP := fingerprint.Of(f)
+				wantCF := fingerprint.ControlFlowKey(f)
+
+				fp, key, cf := fingerprint.Summarize(f)
+				if string(key) != string(wantEnc) {
+					t.Fatalf("seed %d step %d: Summarize key differs from Encode", seed, step)
+				}
+				if cf != wantCF {
+					t.Fatalf("seed %d step %d: Summarize CF key differs from ControlFlowKey", seed, step)
+				}
+				if fp != wantFP {
+					t.Fatalf("seed %d step %d: Summarize FP %+v != Of %+v", seed, step, fp, wantFP)
+				}
+				gotFP := fingerprint.SummarizeInto(buf, f)
+				if gotFP != wantFP || !bytes.Equal(buf.Enc, wantEnc) || string(buf.CF) != string(wantCF) {
+					t.Fatalf("seed %d step %d: SummarizeInto disagrees with legacy computations", seed, step)
+				}
+				if got := fingerprint.EncodeTo(nil, f); !bytes.Equal(got, wantEnc) {
+					t.Fatalf("seed %d step %d: EncodeTo differs from Encode", seed, step)
+				}
+				checked++
+
+				opt.Attempt(f, &st, all[rng.Intn(len(all))], d)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+	t.Logf("checked %d instances", checked)
+}

@@ -29,16 +29,23 @@ func (CommonSubexprElim) RequiresRegAssign() bool { return true }
 // applied successfully more than once consecutively", Section 4.1)
 // that the exhaustive search's pruning relies on.
 func (CommonSubexprElim) Apply(f *rtl.Func, d *machine.Desc) bool {
+	// One CFG serves every round: no sub-pass changes block structure
+	// or terminators (operand substitution, use replacement and the
+	// removal of pure recomputations leave each block's control
+	// instruction — and hence the successor sets — untouched).
+	g := rtl.ComputeCFG(f)
+	sv := newRegSolver(len(f.Blocks), usedRegWidth(f))
+	es := newExprSolver(len(f.Blocks))
 	changed := false
 	for {
 		round := false
-		if propagateConstants(f, d) {
+		if propagateConstants(f, g, sv, d) {
 			round = true
 		}
-		if propagateCopies(f) {
+		if propagateCopies(f, g, sv) {
 			round = true
 		}
-		if eliminateCommonSubexprs(f) {
+		if eliminateCommonSubexprs(f, g, es) {
 			round = true
 		}
 		if !round {
@@ -71,14 +78,6 @@ type regCell struct {
 // A nil *regLattice is TOP.
 type regLattice struct {
 	cells []regCell
-}
-
-func newRegLattice(n int) *regLattice {
-	return &regLattice{cells: make([]regCell, n)}
-}
-
-func (s *regLattice) clone() *regLattice {
-	return &regLattice{cells: append([]regCell(nil), s.cells...)}
 }
 
 // meetInto intersects other into s, reporting whether s changed.
@@ -117,11 +116,29 @@ func (s *regLattice) kill(r rtl.Reg) {
 	}
 }
 
-// maxRegIndex returns the state width needed for f.
-func maxRegIndex(f *rtl.Func) int {
-	n := int(f.NextPseudo)
-	if n < int(rtl.RegIC)+1 {
-		n = int(rtl.RegIC) + 1
+// usedRegWidth returns one past the highest register f actually
+// references (at least RegIC+1, so the condition-code slot always
+// exists). The phase runs after register assignment, where every live
+// register is a hardware register: sizing the lattice by NextPseudo
+// would make the per-instruction kill loops in the transfer functions
+// scan three times as many cells as the function can touch.
+func usedRegWidth(f *rtl.Func) int {
+	n := int(rtl.RegIC) + 1
+	var buf [8]rtl.Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses(buf[:0]) {
+				if r != rtl.RegNone && int(r) >= n {
+					n = int(r) + 1
+				}
+			}
+			for _, r := range in.Defs(buf[:0]) {
+				if r != rtl.RegNone && int(r) >= n {
+					n = int(r) + 1
+				}
+			}
+		}
 	}
 	return n
 }
@@ -230,61 +247,96 @@ func copyTransfer(s *regLattice, in *rtl.Instr) {
 	}
 }
 
-// solveRegLattice runs a forward intersection dataflow with the given
-// transfer function and returns per-block entry states.
-func solveRegLattice(f *rtl.Func, g *rtl.CFG, transfer func(*regLattice, *rtl.Instr)) []*regLattice {
-	n := len(f.Blocks)
-	width := maxRegIndex(f)
-	ins := make([]*regLattice, n)
-	outs := make([]*regLattice, n)
+// regSolver owns the lattice storage for solve: one pointer-free cell
+// array holding every block's entry and exit state plus a scratch
+// state. It is allocated once per phase application and reused by
+// every sub-pass and fixpoint round — the block count and register
+// width are both invariant while the phase runs, and this solver runs
+// hundreds of thousands of times per enumeration.
+type regSolver struct {
+	width int
+	cells []regCell
+	lat   []regLattice
+	ins   []*regLattice
+	outs  []*regLattice
+}
+
+func newRegSolver(n, width int) *regSolver {
+	sv := &regSolver{
+		width: width,
+		cells: make([]regCell, (2*n+1)*width),
+		lat:   make([]regLattice, 2*n),
+		ins:   make([]*regLattice, n),
+		outs:  make([]*regLattice, n),
+	}
+	for i := range sv.lat {
+		sv.lat[i] = regLattice{cells: sv.cells[i*width : (i+1)*width]}
+	}
+	return sv
+}
+
+// solve runs a forward intersection dataflow with the given transfer
+// function and returns per-block entry states (valid until the next
+// solve call). The fixpoint iterates with the single scratch state
+// instead of cloning per block per pass.
+func (sv *regSolver) solve(f *rtl.Func, g *rtl.CFG, transfer func(*regLattice, *rtl.Instr)) []*regLattice {
+	n := len(sv.ins)
+	lat, ins, outs := sv.lat, sv.ins, sv.outs
+	for i := range ins {
+		ins[i], outs[i] = nil, nil
+	}
+	scratch := regLattice{cells: sv.cells[2*n*sv.width:]}
 	rpo := g.RPO()
 	for changed := true; changed; {
 		changed = false
 		for _, bpos := range rpo {
-			var in *regLattice
+			in := &scratch
 			if bpos == 0 {
-				in = newRegLattice(width)
+				clear(in.cells)
 			} else {
+				have := false
 				for _, p := range g.Preds[bpos] {
 					if outs[p] == nil {
 						continue // TOP
 					}
-					if in == nil {
-						in = outs[p].clone()
+					if !have {
+						copy(in.cells, outs[p].cells)
+						have = true
 					} else {
 						in.meetInto(outs[p])
 					}
 				}
-				if in == nil {
+				if !have {
 					if len(g.Preds[bpos]) == 0 {
-						in = newRegLattice(width)
+						clear(in.cells)
 					} else {
 						continue
 					}
 				}
 			}
-			ins[bpos] = in
-			out := in.clone()
+			ins[bpos] = &lat[bpos]
+			copy(lat[bpos].cells, in.cells)
 			for i := range f.Blocks[bpos].Instrs {
-				transfer(out, &f.Blocks[bpos].Instrs[i])
+				transfer(in, &f.Blocks[bpos].Instrs[i])
 			}
-			if outs[bpos] == nil || !out.equal(outs[bpos]) {
-				outs[bpos] = out
+			if outs[bpos] == nil || !in.equal(outs[bpos]) {
+				outs[bpos] = &lat[n+bpos]
+				copy(lat[n+bpos].cells, in.cells)
 				changed = true
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		if ins[i] == nil {
-			ins[i] = newRegLattice(width)
+			ins[i] = &lat[i]
+			clear(lat[i].cells)
 		}
 	}
 	return ins
 }
 
-func propagateConstants(f *rtl.Func, d *machine.Desc) bool {
-	g := rtl.ComputeCFG(f)
-	ins := solveRegLattice(f, g, constTransfer)
+func propagateConstants(f *rtl.Func, g *rtl.CFG, sv *regSolver, d *machine.Desc) bool {
+	ins := sv.solve(f, g, constTransfer)
 	changed := false
 	for bpos, b := range f.Blocks {
 		s := ins[bpos]
@@ -298,9 +350,8 @@ func propagateConstants(f *rtl.Func, d *machine.Desc) bool {
 	return changed
 }
 
-func propagateCopies(f *rtl.Func) bool {
-	g := rtl.ComputeCFG(f)
-	ins := solveRegLattice(f, g, copyTransfer)
+func propagateCopies(f *rtl.Func, g *rtl.CFG, sv *regSolver) bool {
+	ins := sv.solve(f, g, copyTransfer)
 	changed := false
 	var buf [8]rtl.Reg
 	for bpos, b := range f.Blocks {
@@ -344,10 +395,6 @@ type exprEntry struct {
 }
 
 type exprState []exprEntry
-
-func (s exprState) clone() exprState {
-	return append(exprState(nil), s...)
-}
 
 func (s exprState) lookup(k exprKey) (rtl.Reg, bool) {
 	for i := range s {
@@ -491,27 +538,51 @@ func exprTransfer(f *rtl.Func, s exprState, in *rtl.Instr) exprState {
 	return s
 }
 
-func eliminateCommonSubexprs(f *rtl.Func) bool {
-	g := rtl.ComputeCFG(f)
-	n := len(f.Blocks)
-	ins := make([]exprState, n)
-	outs := make([]exprState, n)
-	computed := make([]bool, n) // nil slice is a valid state; track TOP separately
+// exprSolver owns the per-block available-expression states and the
+// scratch slices of eliminateCommonSubexprs, allocated once per phase
+// application; each round rebuilds the states by appending into the
+// retained backings.
+type exprSolver struct {
+	ins, outs []exprState
+	computed  []bool // an empty slice is a valid state; track TOP separately
+	tmp, sbuf exprState
+}
+
+func newExprSolver(n int) *exprSolver {
+	return &exprSolver{
+		ins:      make([]exprState, n),
+		outs:     make([]exprState, n),
+		computed: make([]bool, n),
+	}
+}
+
+func eliminateCommonSubexprs(f *rtl.Func, g *rtl.CFG, es *exprSolver) bool {
+	ins, outs, computed := es.ins, es.outs, es.computed
+	for i := range ins {
+		ins[i] = ins[i][:0]
+		computed[i] = false // stale outs are dead: the first visit rewrites them
+	}
 	rpo := g.RPO()
+	// Each slot in ins/outs keeps its backing array across fixpoint
+	// iterations (states are recomputed by appending into slot[:0]), and
+	// one scratch slice carries the transfer results; the previous
+	// clone-per-block-per-iteration scheme dominated the allocation
+	// profile of the whole enumeration.
+	tmp := es.tmp
 	for changed := true; changed; {
 		changed = false
 		for _, bpos := range rpo {
-			var in exprState
+			in := ins[bpos][:0]
 			haveIn := false
 			if bpos == 0 {
-				in, haveIn = nil, true
+				haveIn = true
 			} else {
 				for _, p := range g.Preds[bpos] {
 					if !computed[p] {
 						continue // TOP
 					}
 					if !haveIn {
-						in = outs[p].clone()
+						in = append(in, outs[p]...)
 						haveIn = true
 					} else {
 						in = meetExpr(in, outs[p])
@@ -526,21 +597,24 @@ func eliminateCommonSubexprs(f *rtl.Func) bool {
 				}
 			}
 			ins[bpos] = in
-			out := in.clone()
+			out := append(tmp[:0], in...)
 			for i := range f.Blocks[bpos].Instrs {
 				out = exprTransfer(f, out, &f.Blocks[bpos].Instrs[i])
 			}
+			tmp = out
 			if !computed[bpos] || !exprEqual(out, outs[bpos]) {
-				outs[bpos] = out
+				outs[bpos] = append(outs[bpos][:0], out...)
 				computed[bpos] = true
 				changed = true
 			}
 		}
 	}
 
+	es.tmp = tmp
 	changedCode := false
+	sbuf := es.sbuf
 	for bpos, b := range f.Blocks {
-		s := ins[bpos].clone()
+		s := append(sbuf[:0], ins[bpos]...)
 		for i := 0; i < len(b.Instrs); i++ {
 			instr := &b.Instrs[i]
 			if k, ok := exprOf(f, instr); ok {
@@ -561,6 +635,8 @@ func eliminateCommonSubexprs(f *rtl.Func) bool {
 			}
 			s = exprTransfer(f, s, instr)
 		}
+		sbuf = s
 	}
+	es.sbuf = sbuf
 	return changedCode
 }

@@ -16,6 +16,7 @@ type CFG struct {
 	Preds [][]int
 
 	index []int // block ID -> layout position, -1 when absent
+	rpo   []int // cached reverse post-order, nil until first RPO call
 }
 
 // Pos returns the layout position of the block with the given ID and
@@ -39,11 +40,18 @@ func (g *CFG) MustPos(id int) int {
 // ComputeCFG builds the control-flow graph for f.
 func ComputeCFG(f *Func) *CFG {
 	n := len(f.Blocks)
+	// The search recomputes CFGs once per phase attempt (and more
+	// during cleanup), so storage is pooled into three allocations:
+	// the edge-list headers, one int array carrying the ID index and
+	// both CSR edge backings (a block has at most two successors), and
+	// the CFG itself.
+	hdrs := make([][]int, 2*n)
+	buf := make([]int, f.NextBlockID+4*n)
 	g := &CFG{
 		F:     f,
-		Succs: make([][]int, n),
-		Preds: make([][]int, n),
-		index: make([]int, f.NextBlockID),
+		Succs: hdrs[:n:n],
+		Preds: hdrs[n:],
+		index: buf[:f.NextBlockID:f.NextBlockID],
 	}
 	for i := range g.index {
 		g.index[i] = -1
@@ -51,8 +59,16 @@ func ComputeCFG(f *Func) *CFG {
 	for i, b := range f.Blocks {
 		g.index[b.ID] = i
 	}
-	succBack := make([]int, 0, 2*n)
-	predCount := make([]int, n)
+	succBack := buf[f.NextBlockID : f.NextBlockID : f.NextBlockID+2*n]
+	predBuf := buf[f.NextBlockID+2*n:]
+	var cntArr [64]int
+	var predCount []int
+	if n <= len(cntArr) {
+		predCount = cntArr[:n]
+		clear(predCount)
+	} else {
+		predCount = make([]int, n)
+	}
 	for i, b := range f.Blocks {
 		start := len(succBack)
 		last := b.Last()
@@ -81,7 +97,7 @@ func ComputeCFG(f *Func) *CFG {
 			predCount[s]++
 		}
 	}
-	predBack := make([]int, 0, len(succBack))
+	predBack := predBuf[:0]
 	for i := 0; i < n; i++ {
 		start := len(predBack)
 		predBack = predBack[:start+predCount[i]]
@@ -118,11 +134,17 @@ func (g *CFG) Reachable() []bool {
 
 // RPO returns the blocks' layout positions in reverse post-order from
 // the entry. Unreachable blocks are appended at the end in layout
-// order so analyses still cover them.
+// order so analyses still cover them. The order is computed once per
+// CFG and cached — several analyses traverse the same snapshot, and
+// callers must not mutate the returned slice.
 func (g *CFG) RPO() []int {
+	if g.rpo != nil {
+		return g.rpo
+	}
 	n := len(g.Succs)
 	seen := make([]bool, n)
-	post := make([]int, 0, n)
+	arr := make([]int, 2*n)
+	post := arr[:0:n]
 	var dfs func(int)
 	dfs = func(b int) {
 		seen[b] = true
@@ -136,7 +158,7 @@ func (g *CFG) RPO() []int {
 	if n > 0 {
 		dfs(0)
 	}
-	order := make([]int, 0, n)
+	order := arr[n:n]
 	for i := len(post) - 1; i >= 0; i-- {
 		order = append(order, post[i])
 	}
@@ -145,6 +167,7 @@ func (g *CFG) RPO() []int {
 			order = append(order, b)
 		}
 	}
+	g.rpo = order
 	return order
 }
 

@@ -97,6 +97,14 @@ type Func struct {
 	// callee-save registers are ordinary storage, so the verifier's
 	// callee-save preservation rule only applies once this is set.
 	EntryExitFixed bool
+
+	// blockStore and instrStore are the backing arrays a clone was
+	// built into, retained so CloneReusing can recycle them once the
+	// clone's contents are dead. Structural mutations may stop the
+	// Blocks/Instrs slices pointing into them; only the capacity
+	// matters.
+	blockStore []Block
+	instrStore []Instr
 }
 
 // NewFunc returns an empty function with a single entry block.
@@ -219,35 +227,63 @@ func (f *Func) NumBranches() int {
 
 // Clone returns a deep copy of the function. The enumeration engine
 // clones aggressively, so this is kept allocation-lean.
-func (f *Func) Clone() *Func {
-	nf := &Func{
+func (f *Func) Clone() *Func { return f.CloneReusing(nil) }
+
+// CloneReusing is Clone recycling the storage of scratch — an earlier
+// clone whose contents are dead. The enumeration discards most of the
+// clones it makes (dormant attempts, duplicate instances, explored
+// frontier nodes) and pools them; reusing their arrays keeps the
+// per-attempt clone almost allocation-free. A nil scratch, or one
+// whose arrays are too small, falls back to fresh allocations.
+// scratch must not share storage with f.
+func (f *Func) CloneReusing(scratch *Func) *Func {
+	n := len(f.Blocks)
+	total := 0
+	for _, b := range f.Blocks {
+		total += len(b.Instrs)
+	}
+	nf := scratch
+	if nf == nil {
+		nf = &Func{}
+	}
+	blocks, instrs, blkPtrs, slots := nf.blockStore, nf.instrStore, nf.Blocks, nf.Slots
+	if cap(blocks) < n {
+		blocks = make([]Block, n)
+	}
+	if cap(instrs) < total {
+		instrs = make([]Instr, total)
+	}
+	if cap(blkPtrs) < n {
+		blkPtrs = make([]*Block, n)
+	}
+	if cap(slots) < len(f.Slots) {
+		slots = make([]Slot, len(f.Slots))
+	}
+	blocks, instrs, blkPtrs, slots = blocks[:n], instrs[:total], blkPtrs[:n], slots[:len(f.Slots)]
+	*nf = Func{
 		Name:           f.Name,
 		NArgs:          f.NArgs,
 		Returns:        f.Returns,
-		Blocks:         make([]*Block, len(f.Blocks)),
-		Slots:          make([]Slot, len(f.Slots)),
+		Blocks:         blkPtrs,
+		Slots:          slots,
 		FrameSize:      f.FrameSize,
 		NextPseudo:     f.NextPseudo,
 		NextBlockID:    f.NextBlockID,
 		RegAssigned:    f.RegAssigned,
 		EntryExitFixed: f.EntryExitFixed,
+		blockStore:     blocks,
+		instrStore:     instrs,
 	}
-	total := 0
-	for _, b := range f.Blocks {
-		total += len(b.Instrs)
-	}
-	blocks := make([]Block, len(f.Blocks))
-	instrs := make([]Instr, total)
 	at := 0
 	for i, b := range f.Blocks {
-		n := len(b.Instrs)
-		dst := instrs[at : at+n : at+n]
+		k := len(b.Instrs)
+		dst := instrs[at : at+k : at+k]
 		copy(dst, b.Instrs)
 		blocks[i] = Block{ID: b.ID, Instrs: dst}
-		nf.Blocks[i] = &blocks[i]
-		at += n
+		blkPtrs[i] = &blocks[i]
+		at += k
 	}
-	copy(nf.Slots, f.Slots)
+	copy(slots, f.Slots)
 	return nf
 }
 

@@ -128,17 +128,19 @@ func ComputeLiveness(g *CFG) *Liveness {
 	f := g.F
 	n := len(f.Blocks)
 	maxReg := int(f.NextPseudo)
-	lv := &Liveness{In: make([]RegSet, n), Out: make([]RegSet, n)}
-	use := make([]RegSet, n)
-	def := make([]RegSet, n)
-	// All per-block sets share one backing array: liveness runs inside
-	// nearly every phase attempt of the exhaustive search, so the
-	// allocation count matters.
+	// All per-block sets share one backing array, and the four header
+	// slices share another: liveness runs inside nearly every phase
+	// attempt of the exhaustive search, so the allocation count
+	// matters.
+	sets := make([]RegSet, 4*n)
+	lv := &Liveness{In: sets[:n:n], Out: sets[n : 2*n : 2*n]}
+	use := sets[2*n : 3*n : 3*n]
+	def := sets[3*n:]
 	words := (maxReg + 63) / 64
 	if words == 0 {
 		words = 1
 	}
-	backing := make([]uint64, 4*n*words)
+	backing := make([]uint64, (4*n+1)*words)
 	slot := func(k int) RegSet { return RegSet{words: backing[k*words : (k+1)*words : (k+1)*words]} }
 	var buf [8]Reg
 	for i, b := range f.Blocks {
@@ -163,9 +165,13 @@ func ComputeLiveness(g *CFG) *Liveness {
 	// compulsory entry/exit fixup that saves and restores used
 	// callee-save registers runs after the last code-improving phase,
 	// so during optimization those registers are ordinary storage.
-	exitLive := NewRegSet(maxReg)
+	exitLive := RegSet{words: backing[4*n*words:]}
 	exitLive.Add(RegSP)
 	order := g.RPO()
+	// One scratch set serves every in = use ∪ (out - def) evaluation;
+	// copying out per block per fixpoint iteration dominated the
+	// allocation profile of this analysis.
+	var scratch RegSet
 	for changed := true; changed; {
 		changed = false
 		for i := len(order) - 1; i >= 0; i-- {
@@ -182,10 +188,11 @@ func ComputeLiveness(g *CFG) *Liveness {
 				}
 			}
 			// in = use ∪ (out - def)
-			newIn := out.Copy()
+			newIn := &scratch
+			newIn.words = append(newIn.words[:0], out.words...)
 			def[b].ForEach(func(r Reg) { newIn.Remove(r) })
 			newIn.UnionWith(use[b])
-			if lv.In[b].UnionWith(newIn) {
+			if lv.In[b].UnionWith(*newIn) {
 				changed = true
 			}
 		}
@@ -209,11 +216,22 @@ func (lv *Liveness) LiveAtInstr(g *CFG, bpos, idx int) RegSet {
 // block's live-out set.
 func BlockLiveness(g *CFG, lv *Liveness, bpos int) []RegSet {
 	b := g.F.Blocks[bpos]
-	steps := make([]RegSet, len(b.Instrs)+1)
+	n := len(b.Instrs)
+	steps := make([]RegSet, n+1)
 	cur := lv.Out[bpos].Copy()
-	steps[len(b.Instrs)] = cur.Copy()
+	// All step snapshots share one backing array; every register that
+	// can appear in an instruction is below the width of the liveness
+	// sets, so the cursor never grows.
+	words := len(cur.words)
+	backing := make([]uint64, (n+1)*words)
+	snap := func(i int) {
+		slot := backing[i*words : (i+1)*words : (i+1)*words]
+		copy(slot, cur.words)
+		steps[i] = RegSet{words: slot}
+	}
+	snap(n)
 	var buf [8]Reg
-	for i := len(b.Instrs) - 1; i >= 0; i-- {
+	for i := n - 1; i >= 0; i-- {
 		in := &b.Instrs[i]
 		for _, r := range in.Defs(buf[:0]) {
 			cur.Remove(r)
@@ -221,7 +239,7 @@ func BlockLiveness(g *CFG, lv *Liveness, bpos int) []RegSet {
 		for _, r := range in.Uses(buf[:0]) {
 			cur.Add(r)
 		}
-		steps[i] = cur.Copy()
+		snap(i)
 	}
 	return steps
 }

@@ -35,7 +35,7 @@ func TestCheckedEnumerationMatchesUnchecked(t *testing.T) {
 		t.Fatalf("space size changed under -check: %d vs %d", len(plain.Nodes), len(checked.Nodes))
 	}
 	for i := range plain.Nodes {
-		if plain.Nodes[i].Key != checked.Nodes[i].Key || plain.Nodes[i].Seq != checked.Nodes[i].Seq {
+		if plain.NodeKey(plain.Nodes[i]) != checked.NodeKey(checked.Nodes[i]) || plain.Nodes[i].Seq != checked.Nodes[i].Seq {
 			t.Fatalf("node %d diverged under -check", i)
 		}
 	}

@@ -28,10 +28,10 @@ func TestFingerprintTripleCollisionRate(t *testing.T) {
 		seen := make(map[fingerprint.FP]string, len(r.Nodes))
 		collisions := 0
 		for _, n := range r.Nodes {
-			if key, ok := seen[n.FP]; ok && key != n.Key {
+			if key, ok := seen[n.FP]; ok && key != r.NodeKey(n) {
 				collisions++
 			} else {
-				seen[n.FP] = n.Key
+				seen[n.FP] = r.NodeKey(n)
 			}
 		}
 		if collisions != 0 {

@@ -1,0 +1,246 @@
+package search
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/fingerprint"
+)
+
+// indexKey is the first tier of the identical-instance index: the
+// gating-state flags plus the paper's three-value fingerprint. Hashing
+// on this 17-byte key instead of the full canonical encoding is the
+// whole point of Section 4.2 — almost every probe is resolved by the
+// fingerprint alone.
+type indexKey struct {
+	flags byte
+	fp    fingerprint.FP
+}
+
+// dedupIndex is the two-tier identical-instance index. The first tier
+// maps (flags, fingerprint) to a small bucket of node IDs; the second
+// tier compares the full canonical bytes of each bucket member, so a
+// fingerprint collision can never merge distinct instances. Keys of
+// bucket members live in the keyStore, which compresses them once
+// their level retires.
+type dedupIndex struct {
+	buckets map[indexKey][]int32
+	keys    *keyStore
+
+	// Counters for the telemetry layer; plain ints because every
+	// probe happens on the serial merge path.
+	probes       int64
+	byteCompares int64
+	fpCollisions int64
+}
+
+func newDedupIndex(keys *keyStore) *dedupIndex {
+	return &dedupIndex{buckets: make(map[indexKey][]int32), keys: keys}
+}
+
+// lookup returns the ID of the node whose stored key equals
+// flags+enc, if any.
+func (d *dedupIndex) lookup(flags byte, fp fingerprint.FP, enc []byte) (int, bool) {
+	d.probes++
+	for _, id := range d.buckets[indexKey{flags, fp}] {
+		d.byteCompares++
+		if d.keys.matches(int(id), flags, enc) {
+			return int(id), true
+		}
+		d.fpCollisions++
+	}
+	return -1, false
+}
+
+// insert records id under (flags, fp). The caller must have stored the
+// node's full key in the keyStore first.
+func (d *dedupIndex) insert(flags byte, fp fingerprint.FP, id int) {
+	k := indexKey{flags, fp}
+	d.buckets[k] = append(d.buckets[k], int32(id))
+}
+
+// retainedBytes estimates the live memory held by the index: the key
+// payloads (live and compressed) plus the bucket entries.
+func (d *dedupIndex) retainedBytes() int {
+	n := d.keys.retainedBytes()
+	for _, b := range d.buckets {
+		n += 4 * len(b)
+	}
+	return n
+}
+
+// keyStore owns the full canonical key bytes of every node. Keys of
+// nodes in un-retired levels are held as live strings (the frontier
+// still needs exact compares against them); when a level retires, its
+// contiguous ID range is flate-compressed into a blob, dropping the
+// per-node memory to the 16-byte fingerprint held by the index. A
+// cross-level merge into a retired node (a phase reverting its
+// parent's change, say) still byte-compares correctly: the blob is
+// decompressed on demand, with the last-used blob cached.
+type keyStore struct {
+	live           map[int]string
+	blobs          []keyBlob
+	retiredThrough int // IDs below this are in blobs
+
+	liveBytes int
+	blobBytes int
+
+	cachedBlob int // index into blobs, -1 when cold
+	cachedData []byte
+
+	// levelStarts queues the level boundaries noteLevel has seen but
+	// not yet retired; zw is the reused flate compressor, zr the
+	// reused decompressor.
+	levelStarts []int
+	zw          *flate.Writer
+	zr          io.ReadCloser
+}
+
+// keyRetireWindow is how many trailing levels keep their keys live.
+// Merges overwhelmingly target nodes within two levels of the parent
+// (a phase reverting or commuting with a recent one); keeping that
+// window uncompressed means blob decompression happens only on the
+// rare deep merge.
+const keyRetireWindow = 3
+
+// keyBlob is one retired contiguous ID range: keys of nodes
+// [start, start+len(offs)-1) concatenated and compressed, with
+// cumulative offsets into the raw concatenation.
+type keyBlob struct {
+	start int
+	offs  []uint32
+	data  []byte
+}
+
+func newKeyStore() *keyStore {
+	return &keyStore{live: make(map[int]string), cachedBlob: -1}
+}
+
+// put stores the key of a newly created node.
+func (s *keyStore) put(id int, key string) {
+	s.live[id] = key
+	s.liveBytes += len(key)
+}
+
+// noteLevel records that a level finished expanding with levelStart
+// nodes discovered before it began, and retires the level that slides
+// out of the live window.
+func (s *keyStore) noteLevel(levelStart int) {
+	s.levelStarts = append(s.levelStarts, levelStart)
+	if len(s.levelStarts) > keyRetireWindow {
+		s.retire(s.retiredThrough, s.levelStarts[0])
+		s.levelStarts = s.levelStarts[1:]
+	}
+}
+
+// retire compresses the keys of nodes [from, to) into one blob and
+// drops their live strings. Ranges must be retired in order; empty
+// ranges are ignored.
+func (s *keyStore) retire(from, to int) {
+	if to <= from {
+		return
+	}
+	if from != s.retiredThrough {
+		panic(fmt.Sprintf("keyStore: retire [%d,%d) but retired through %d", from, to, s.retiredThrough))
+	}
+	var raw []byte
+	offs := make([]uint32, 1, to-from+1)
+	for id := from; id < to; id++ {
+		k, ok := s.live[id]
+		if !ok {
+			panic(fmt.Sprintf("keyStore: retiring unknown node %d", id))
+		}
+		raw = append(raw, k...)
+		offs = append(offs, uint32(len(raw)))
+		s.liveBytes -= len(k)
+		delete(s.live, id)
+	}
+	var zbuf bytes.Buffer
+	if s.zw == nil {
+		// The compressor state is large (~1 MB); one per store, reused
+		// across levels with Reset.
+		s.zw, _ = flate.NewWriter(&zbuf, flate.DefaultCompression)
+	} else {
+		s.zw.Reset(&zbuf)
+	}
+	_, err := s.zw.Write(raw)
+	if err == nil {
+		err = s.zw.Close()
+	}
+	if err != nil {
+		// flate to a bytes.Buffer cannot fail; treat it as corruption.
+		panic("keyStore: compress: " + err.Error())
+	}
+	data := append([]byte(nil), zbuf.Bytes()...)
+	s.blobs = append(s.blobs, keyBlob{start: from, offs: offs, data: data})
+	s.blobBytes += len(data) + 4*len(offs)
+	s.retiredThrough = to
+}
+
+// blobFor returns the blob index covering a retired node ID.
+func (s *keyStore) blobFor(id int) int {
+	i := sort.Search(len(s.blobs), func(i int) bool { return s.blobs[i].start > id }) - 1
+	if i < 0 || id-s.blobs[i].start >= len(s.blobs[i].offs)-1 {
+		panic(fmt.Sprintf("keyStore: no blob for node %d", id))
+	}
+	return i
+}
+
+// blobData decompresses blob i, serving repeated lookups into the same
+// blob from a one-entry cache. The raw size is known from the offset
+// table, so the decode fills an exact-size buffer; the decompressor is
+// reused via flate's Resetter.
+func (s *keyStore) blobData(i int) []byte {
+	if s.cachedBlob == i {
+		return s.cachedData
+	}
+	b := &s.blobs[i]
+	if s.zr == nil {
+		s.zr = flate.NewReader(bytes.NewReader(b.data))
+	} else if err := s.zr.(flate.Resetter).Reset(bytes.NewReader(b.data), nil); err != nil {
+		panic("keyStore: corrupt key blob: " + err.Error())
+	}
+	raw := make([]byte, b.offs[len(b.offs)-1])
+	if _, err := io.ReadFull(s.zr, raw); err != nil {
+		panic("keyStore: corrupt key blob: " + err.Error())
+	}
+	s.cachedBlob, s.cachedData = i, raw
+	return raw
+}
+
+// get returns the full key of a node, live or retired.
+func (s *keyStore) get(id int) string {
+	if k, ok := s.live[id]; ok {
+		return k
+	}
+	i := s.blobFor(id)
+	b := &s.blobs[i]
+	raw := s.blobData(i)
+	j := id - b.start
+	return string(raw[b.offs[j]:b.offs[j+1]])
+}
+
+// matches reports whether node id's stored key equals flags+enc,
+// without allocating in the live case.
+func (s *keyStore) matches(id int, flags byte, enc []byte) bool {
+	if k, ok := s.live[id]; ok {
+		return len(k) == len(enc)+1 && k[0] == flags && k[1:] == string(enc)
+	}
+	i := s.blobFor(id)
+	b := &s.blobs[i]
+	raw := s.blobData(i)
+	j := id - b.start
+	k := raw[b.offs[j]:b.offs[j+1]]
+	return len(k) == len(enc)+1 && k[0] == flags && bytes.Equal(k[1:], enc)
+}
+
+// retainedBytes is the payload memory the store holds on to: live key
+// strings plus compressed blobs and their offset tables. The transient
+// decompression cache is excluded — it is bounded by one blob and
+// dropped on the next cross-blob lookup.
+func (s *keyStore) retainedBytes() int {
+	return s.liveBytes + s.blobBytes
+}

@@ -1,0 +1,114 @@
+package search
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/fingerprint"
+)
+
+// synthKeys builds n deterministic pseudo-canonical keys of roughly
+// realistic size (a few hundred bytes, like a mid-sized function's
+// encoding) together with their honest fingerprints.
+func synthKeys(n int) ([][]byte, []fingerprint.FP) {
+	keys := make([][]byte, n)
+	fps := make([]fingerprint.FP, n)
+	for i := range keys {
+		k := make([]byte, 256)
+		seed := uint64(i)*0x9E3779B97F4A7C15 + 1
+		for j := 0; j < len(k); j += 8 {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			binary.LittleEndian.PutUint64(k[j:], seed)
+		}
+		keys[i] = k
+		var sum uint32
+		for _, b := range k {
+			sum += uint32(b)
+		}
+		fps[i] = fingerprint.FP{Count: len(k) / 16, ByteSum: sum, CRC: crc32.ChecksumIEEE(k)}
+	}
+	return keys, fps
+}
+
+// BenchmarkDedupIndex measures the two-tier index in isolation, the
+// operation the merge loop performs once per active attempt. "miss"
+// probes a fresh key and inserts it (the new-node path); "hit" probes
+// keys already present (the duplicate-merge path); "hit-retired"
+// repeats the hits after the keys' levels were compressed, paying the
+// blob decompression on the first compare of each run.
+func BenchmarkDedupIndex(b *testing.B) {
+	const n = 4096
+	keys, fps := synthKeys(n)
+	const flags = byte(0x05)
+
+	build := func() (*dedupIndex, *keyStore) {
+		ks := newKeyStore()
+		d := newDedupIndex(ks)
+		for i, k := range keys {
+			ks.put(i, string(flags)+string(k))
+			d.insert(flags, fps[i], i)
+		}
+		return d, ks
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ks := newKeyStore()
+			d := newDedupIndex(ks)
+			b.StartTimer()
+			for j, k := range keys {
+				if _, ok := d.lookup(flags, fps[j], k); !ok {
+					ks.put(j, string(flags)+string(k))
+					d.insert(flags, fps[j], j)
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "probes/op")
+	})
+
+	b.Run("hit", func(b *testing.B) {
+		d, _ := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, k := range keys {
+				if id, ok := d.lookup(flags, fps[j], k); !ok || id != j {
+					b.Fatalf("lookup(%d) = %d, %v", j, id, ok)
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "probes/op")
+	})
+
+	b.Run("hit-retired", func(b *testing.B) {
+		d, ks := build()
+		// Retire the whole corpus in level-sized ranges so hits pay the
+		// second-tier compare against compressed storage.
+		ks.noteLevel(0)
+		for s := n / 4; s <= n; s += n / 4 {
+			ks.noteLevel(s)
+		}
+		for i := 0; i <= keyRetireWindow; i++ {
+			ks.noteLevel(n)
+		}
+		if len(ks.live) != 0 {
+			b.Fatalf("%d keys still live", len(ks.live))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, k := range keys {
+				if id, ok := d.lookup(flags, fps[j], k); !ok || id != j {
+					b.Fatalf("lookup(%d) = %d, %v", j, id, ok)
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "probes/op")
+		b.ReportMetric(float64(d.retainedBytes()), "retained-bytes")
+	})
+}

@@ -69,6 +69,13 @@ type instruments struct {
 	mStateKey, mExpand         *telemetry.Histogram
 	gFrontier, gLevel          *telemetry.Gauge
 	tracer                     *telemetry.Tracer
+
+	// Two-tier index counters. The dedupIndex itself counts with plain
+	// ints (every probe is on the serial merge path); observeIndex
+	// flushes the deltas into the registry at level boundaries.
+	mIdxProbes, mIdxByteCmps, mIdxFPColls             *telemetry.Counter
+	gIdxRetained                                      *telemetry.Gauge
+	idxProbesFlushed, idxCmpsFlushed, idxCollsFlushed int64
 }
 
 func newInstruments(opts *Options, fnName string, start time.Time) *instruments {
@@ -88,8 +95,25 @@ func newInstruments(opts *Options, fnName string, start time.Time) *instruments 
 		ins.mExpand = reg.Histogram("search.expand.duration_ns")
 		ins.gFrontier = reg.Gauge("search.frontier")
 		ins.gLevel = reg.Gauge("search.level")
+		ins.mIdxProbes = reg.Counter("search.index.probes")
+		ins.mIdxByteCmps = reg.Counter("search.index.bytecompares")
+		ins.mIdxFPColls = reg.Counter("search.index.fpcollisions")
+		ins.gIdxRetained = reg.Gauge("search.index.retained_bytes")
 	}
 	return ins
+}
+
+// observeIndex flushes the dedup index's probe counters into the
+// metrics registry and refreshes the retained-memory gauge. Called at
+// level boundaries on the serial path.
+func (ins *instruments) observeIndex(d *dedupIndex) {
+	ins.mIdxProbes.Add(d.probes - ins.idxProbesFlushed)
+	ins.idxProbesFlushed = d.probes
+	ins.mIdxByteCmps.Add(d.byteCompares - ins.idxCmpsFlushed)
+	ins.idxCmpsFlushed = d.byteCompares
+	ins.mIdxFPColls.Add(d.fpCollisions - ins.idxCollsFlushed)
+	ins.idxCollsFlushed = d.fpCollisions
+	ins.gIdxRetained.Set(int64(d.retainedBytes()))
 }
 
 // beginLevel records the shape of the level about to be evaluated.

@@ -48,8 +48,8 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 
 	root := f.Clone()
 	rtl.Cleanup(root)
-	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
-	index := make(map[string]int)
+	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts, keys: newKeyStore()}
+	index := newDedupIndex(res.keys)
 
 	// via[n] records the first-discovery parent and phase of node n.
 	type origin struct {
@@ -58,23 +58,28 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 	}
 	via := make([]origin, 0, 1024)
 
+	buf := fingerprint.GetBuffer()
+	defer fingerprint.PutBuffer(buf)
 	add := func(fn *rtl.Func, st opt.State, level int, seq string, parent int, phase byte) (*Node, bool) {
-		key := stateKey(fn, st)
-		if id, ok := index[key]; ok {
+		fp := fingerprint.SummarizeInto(buf, fn)
+		flags := stateBits(st)
+		if id, ok := index.lookup(flags, fp, buf.Enc); ok {
 			return res.Nodes[id], false
 		}
 		n := &Node{
 			ID:        len(res.Nodes),
 			Level:     level,
 			Seq:       seq,
-			Key:       key,
-			FP:        fingerprint.Of(fn),
+			FP:        fp,
 			State:     st,
 			NumInstrs: fn.NumInstrs(),
-			CFKey:     fingerprint.ControlFlowKey(fn),
+			CFKey:     fingerprint.Key(buf.CF),
 			fn:        fn,
 		}
-		index[key] = n.ID
+		key := make([]byte, 0, 1+len(buf.Enc))
+		key = append(append(key, flags), buf.Enc...)
+		res.keys.put(n.ID, string(key))
+		index.insert(flags, fp, n.ID)
 		res.Nodes = append(res.Nodes, n)
 		via = append(via, origin{parent: parent, phase: phase})
 		return n, true
@@ -93,9 +98,10 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 	}
 
 	evaluate := func(n *Node, p opt.Phase) (*rtl.Func, opt.State, bool) {
-		child := n.fn.Clone()
+		child := getClone(n.fn)
 		st := n.State
 		if !opt.Attempt(child, &st, p, opts.Machine) {
+			putClone(child)
 			return nil, st, false
 		}
 		return child, st, true
@@ -107,6 +113,7 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 			break
 		}
 		var next []*Node
+		levelStart := len(res.Nodes)
 		type deferredAttempt struct {
 			node  *Node
 			phase opt.Phase
@@ -123,6 +130,8 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 			n.Edges = append(n.Edges, Edge{Phase: p.ID(), To: cn.ID})
 			if isNew {
 				next = append(next, cn)
+			} else {
+				putClone(child)
 			}
 		}
 
@@ -169,9 +178,11 @@ func RunWithIndependencePruning(f *rtl.Func, opts Options, prior IndependencePri
 
 		for _, n := range frontier {
 			if !opts.KeepFuncs {
+				putClone(n.fn)
 				n.fn = nil
 			}
 		}
+		res.keys.noteLevel(levelStart)
 		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
 			res.abort(abortNodeCapReason(opts.MaxNodes))
 			break

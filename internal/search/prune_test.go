@@ -36,11 +36,11 @@ func TestIndependencePruningWithSelfPrior(t *testing.T) {
 	// Same instances: compare the sets of canonical keys.
 	exactKeys := make(map[string]bool, len(exact.Nodes))
 	for _, n := range exact.Nodes {
-		exactKeys[n.Key] = true
+		exactKeys[exact.NodeKey(n)] = true
 	}
 	missing := 0
 	for _, n := range pruned.Nodes {
-		if !exactKeys[n.Key] {
+		if !exactKeys[pruned.NodeKey(n)] {
 			missing++
 		}
 	}

@@ -56,11 +56,12 @@ type Node struct {
 	// Seq is the lexicographically first shortest active phase
 	// sequence producing this instance from the unoptimized function.
 	Seq string
-	// Key is the exact canonical encoding plus gating state; nodes
-	// are merged exactly when Keys match. Quarantined nodes carry a
-	// synthetic "Q"+Seq key (no instance exists to encode).
-	Key string
 	// FP is the paper's three-value fingerprint (count/bytesum/CRC).
+	// It is all the per-node memory identical-instance detection
+	// retains; the exact canonical key (gating flags + encoding) lives
+	// in the Result's keyStore and is compared only on a fingerprint
+	// match (see Result.NodeKey). Quarantined nodes carry a synthetic
+	// "Q"+Seq key there (no instance exists to encode).
 	FP fingerprint.FP
 	// State holds the gating facts for phase legality at this node.
 	State opt.State
@@ -223,7 +224,15 @@ type Result struct {
 
 	root *rtl.Func
 	opts Options
+	// keys owns the exact canonical key of every node: live strings
+	// for un-retired levels, flate-compressed blobs afterwards.
+	keys *keyStore
 }
+
+// NodeKey returns the exact canonical key of n — the gating-state
+// flags byte followed by the canonical instance encoding ("Q"+Seq for
+// quarantined nodes). Nodes are merged exactly when these keys match.
+func (r *Result) NodeKey(n *Node) string { return r.keys.get(n.ID) }
 
 // Checkpoint is the resumable state of a partially enumerated space.
 type Checkpoint struct {
@@ -278,7 +287,7 @@ type engine struct {
 	res      *Result
 	opts     *Options
 	ins      *instruments
-	index    map[string]int
+	index    *dedupIndex
 	frontier []*Node
 	start    time.Time
 	// prior is the elapsed time accumulated before a resume.
@@ -302,15 +311,18 @@ func Run(f *rtl.Func, opts Options) *Result {
 	root := f.Clone()
 	rtl.Cleanup(root)
 
-	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts}
+	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts, keys: newKeyStore()}
 	e := &engine{
 		res:   res,
 		opts:  &res.opts,
 		ins:   newInstruments(&res.opts, f.Name, start),
-		index: make(map[string]int),
+		index: newDedupIndex(res.keys),
 		start: start,
 	}
-	rootNode, _ := e.add(root, opt.State{}, 0, "")
+	rootBuf := fingerprint.GetBuffer()
+	rootFP := fingerprint.SummarizeInto(rootBuf, root)
+	rootNode, _ := e.add(root, opt.State{}, rootFP, rootBuf, 0, "")
+	fingerprint.PutBuffer(rootBuf)
 	e.ins.nodes.Add(1)
 	e.ins.mNodes.Inc()
 	if opts.Check {
@@ -354,12 +366,19 @@ func Resume(res *Result, opts Options) (*Result, error) {
 		res:   res,
 		opts:  &res.opts,
 		ins:   newInstruments(&res.opts, res.FuncName, start),
-		index: make(map[string]int, len(res.Nodes)),
+		index: newDedupIndex(res.keys),
 		start: start,
 		prior: res.Elapsed,
 	}
+	// Rebuild the two-tier index from the loaded node table. The full
+	// keys already sit in the keyStore (Load retired them into blobs);
+	// quarantined nodes are skipped — their synthetic keys can never
+	// match a real instance, so they never belonged in the index.
 	for _, n := range res.Nodes {
-		e.index[n.Key] = n.ID
+		if n.Quarantine != "" {
+			continue
+		}
+		e.index.insert(stateBits(n.State), n.FP, n.ID)
 	}
 	e.ins.seed(res.Stats, len(res.Nodes))
 	e.frontier = cp.Frontier
@@ -367,47 +386,47 @@ func Resume(res *Result, opts Options) (*Result, error) {
 }
 
 // add interns one instance, returning its node and whether it is new.
-func (e *engine) add(fn *rtl.Func, st opt.State, level int, seq string) (*Node, bool) {
-	var keyBegan time.Time
-	if e.ins.timed {
-		keyBegan = time.Now()
-	}
-	key := stateKey(fn, st)
-	if e.ins.timed {
-		e.ins.observeStateKey(keyBegan)
-	}
-	if id, ok := e.index[key]; ok {
+// The caller supplies the instance summary (fingerprint plus canonical
+// encoding and CF key in buf) computed by the workers, so this — the
+// serial merge path — does only an index probe and, for new nodes, the
+// key copy.
+func (e *engine) add(fn *rtl.Func, st opt.State, fp fingerprint.FP, buf *fingerprint.Buffer, level int, seq string) (*Node, bool) {
+	flags := stateBits(st)
+	if id, ok := e.index.lookup(flags, fp, buf.Enc); ok {
 		return e.res.Nodes[id], false
 	}
 	n := &Node{
 		ID:        len(e.res.Nodes),
 		Level:     level,
 		Seq:       seq,
-		Key:       key,
-		FP:        fingerprint.Of(fn),
+		FP:        fp,
 		State:     st,
 		NumInstrs: fn.NumInstrs(),
-		CFKey:     fingerprint.ControlFlowKey(fn),
+		CFKey:     fingerprint.Key(buf.CF),
 		fn:        fn,
 	}
-	e.index[key] = n.ID
+	key := make([]byte, 0, 1+len(buf.Enc))
+	key = append(append(key, flags), buf.Enc...)
+	e.res.keys.put(n.ID, string(key))
+	e.index.insert(flags, fp, n.ID)
 	e.res.Nodes = append(e.res.Nodes, n)
 	return n, true
 }
 
 // addQuarantined interns the dead-end node of a quarantined attempt.
 // The synthetic key ("Q" + sequence) cannot collide with a real
-// canonical key, whose first byte is a gating-state bitmask < 8.
+// canonical key, whose first byte is a gating-state bitmask < 8; the
+// node enters only the keyStore, never the dedup index — no instance
+// exists that could merge into it.
 func (e *engine) addQuarantined(parent *Node, phase byte, msg string) *Node {
 	seq := parent.Seq + string(phase)
 	n := &Node{
 		ID:         len(e.res.Nodes),
 		Level:      parent.Level + 1,
 		Seq:        seq,
-		Key:        "Q" + seq,
 		Quarantine: msg,
 	}
-	e.index[n.Key] = n.ID
+	e.res.keys.put(n.ID, "Q"+seq)
 	e.res.Nodes = append(e.res.Nodes, n)
 	return n
 }
@@ -511,21 +530,6 @@ func (e *engine) run() *Result {
 			e.abort(abortCanceledReason(opts.Ctx))
 			break
 		}
-		// The number of sequences to evaluate at this level is the
-		// number of (node, enabled phase) pairs.
-		pending := 0
-		for _, n := range frontier {
-			for _, p := range opts.Phases {
-				if opt.Enabled(p, n.State) {
-					pending++
-				}
-			}
-		}
-		if pending > opts.MaxSeqPerLevel {
-			e.abort(abortLevelCapReason(frontier[0].Level+1, pending, opts.MaxSeqPerLevel))
-			break
-		}
-
 		if opts.Timeout > 0 && time.Since(e.start) > opts.Timeout {
 			e.abort(abortTimeout)
 			break
@@ -550,8 +554,17 @@ func (e *engine) run() *Result {
 				work = append(work, attempt{n, p})
 			}
 		}
+		// The number of sequences to evaluate at this level is exactly
+		// len(work): counting (node, enabled phase) pairs instead would
+		// include the immediate-repeat attempts skipped above and abort
+		// levels that actually fit the cap.
+		if len(work) > opts.MaxSeqPerLevel {
+			e.abort(abortLevelCapReason(frontier[0].Level+1, len(work), opts.MaxSeqPerLevel))
+			break
+		}
 		res.AttemptedPhases += len(work)
 		level := frontier[0].Level
+		levelStart := len(res.Nodes)
 		ins.beginLevel(level, len(frontier), len(work))
 		levelSpan := ins.tracer.Begin("search.level", "search", 0)
 
@@ -606,11 +619,13 @@ func (e *engine) run() *Result {
 						}
 						expandSpan := ins.tracer.Begin("search.expand", "search", lane)
 						outcomes[i] = evalAttempt(res.root, a, opts, ins, lane)
-						expandSpan.End(map[string]any{
-							"seq":    a.node.Seq,
-							"phase":  string(a.phase.ID()),
-							"active": outcomes[i].active,
-						})
+						if expandSpan.Active() {
+							expandSpan.End(map[string]any{
+								"seq":    a.node.Seq,
+								"phase":  string(a.phase.ID()),
+								"active": outcomes[i].active,
+							})
+						}
 						if ins.timed {
 							ins.observeExpand(began)
 						} else {
@@ -638,12 +653,15 @@ func (e *engine) run() *Result {
 					ins.observeOutcome(false, false)
 					continue
 				}
-				cn, isNew := e.add(o.fn, o.st, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				cn, isNew := e.add(o.fn, o.st, o.fp, o.buf, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				fingerprint.PutBuffer(o.buf)
 				ins.observeOutcome(true, isNew)
 				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
 				if isNew {
 					cn.CheckErr = o.checkErr
 					next = append(next, cn)
+				} else {
+					putClone(o.fn) // duplicate instance: merged into cn
 				}
 			}
 			if opts.Timeout > 0 && time.Since(e.start) > opts.Timeout {
@@ -661,9 +679,18 @@ func (e *engine) run() *Result {
 		e.frontier = next
 		if !opts.KeepFuncs {
 			for _, n := range frontier {
-				n.fn = nil // instance no longer needed once explored
+				putClone(n.fn) // instance no longer needed once explored
+				n.fn = nil
 			}
 		}
+		// Slide the key retirement window: node IDs grow level by
+		// level, so once a level falls keyRetireWindow levels behind
+		// the frontier its full keys compress into a blob and only the
+		// 16-byte fingerprints remain per node. Deep cross-level merges
+		// (a phase reverting a much earlier change) still compare
+		// correctly via the compressed blobs.
+		e.res.keys.noteLevel(levelStart)
+		ins.observeIndex(e.index)
 		// The level is complete: advance the durable boundary before
 		// any abort below, so a cap-abort checkpoint resumes from here
 		// (e.g. with a raised cap) rather than re-running the level.
@@ -690,11 +717,37 @@ type attempt struct {
 	phase opt.Phase
 }
 
-// outcome is the result of evaluating one attempt on a worker.
+// clonePool recycles the storage of dead function clones. The
+// enumeration clones the parent for every attempt but keeps only the
+// clones that become new nodes; dormant attempts, duplicate instances
+// and explored frontier functions return here, making the per-attempt
+// clone almost allocation-free.
+var clonePool sync.Pool
+
+// getClone clones parent, reusing pooled storage when available.
+func getClone(parent *rtl.Func) *rtl.Func {
+	scratch, _ := clonePool.Get().(*rtl.Func)
+	return parent.CloneReusing(scratch)
+}
+
+// putClone returns a dead clone's storage to the pool.
+func putClone(fn *rtl.Func) {
+	if fn != nil {
+		clonePool.Put(fn)
+	}
+}
+
+// outcome is the result of evaluating one attempt on a worker. Active
+// outcomes carry the instance summary — fingerprint plus the pooled
+// buffer holding the canonical encoding and CF key — computed on the
+// worker, so the serial merge loop only probes the index. The merge
+// loop returns buf to the fingerprint pool.
 type outcome struct {
 	active     bool
 	fn         *rtl.Func
 	st         opt.State
+	fp         fingerprint.FP
+	buf        *fingerprint.Buffer
 	checkErr   string
 	quarantine string
 }
@@ -717,10 +770,24 @@ func evalAttempt(root *rtl.Func, a attempt, opts *Options, ins *instruments, lan
 	if opts.Check {
 		verifySpan := ins.tracer.Begin("check.verify", "check", lane)
 		err := check.Err(o.fn, opts.Machine)
-		verifySpan.End(map[string]any{"clean": err == nil})
+		if verifySpan.Active() {
+			verifySpan.End(map[string]any{"clean": err == nil})
+		}
 		if err != nil {
 			o.checkErr = err.Error()
 		}
+	}
+	// Summarize the child here, on the worker: one fused scan yields
+	// the canonical encoding, CF key and fingerprint the merge loop
+	// needs, keeping the serial path free of encoding work.
+	var keyBegan time.Time
+	if ins.timed {
+		keyBegan = time.Now()
+	}
+	o.buf = fingerprint.GetBuffer()
+	o.fp = fingerprint.SummarizeInto(o.buf, o.fn)
+	if ins.timed {
+		ins.observeStateKey(keyBegan)
 	}
 	return o
 }
@@ -771,15 +838,23 @@ func applyPhaseRecover(root *rtl.Func, a attempt, opts *Options, ins *instrument
 		// the entire active prefix.
 		replaySpan := ins.tracer.Begin("search.replay", "search", lane)
 		child = replaySeq(root, a.node.Seq, opts.Machine, &st)
-		replaySpan.End(map[string]any{"seq": a.node.Seq})
+		if replaySpan.Active() {
+			replaySpan.End(map[string]any{"seq": a.node.Seq})
+		}
 	} else {
-		child = a.node.fn.Clone()
+		child = getClone(a.node.fn)
 		st = a.node.State
 	}
-	attemptSpan := ins.tracer.Begin("opt.attempt:"+string(a.phase.ID()), "opt", lane)
+	var attemptSpan telemetry.Span
+	if ins.tracer != nil {
+		attemptSpan = ins.tracer.Begin("opt.attempt:"+string(a.phase.ID()), "opt", lane)
+	}
 	active := opt.Attempt(child, &st, a.phase, opts.Machine)
-	attemptSpan.End(map[string]any{"active": active})
+	if attemptSpan.Active() {
+		attemptSpan.End(map[string]any{"active": active})
+	}
 	if !active {
+		putClone(child)
 		return outcome{} // dormant: branch pruned
 	}
 	if fault != nil && fault.Kind == faultinject.KindCorrupt {

@@ -83,10 +83,10 @@ func TestEnumerationBasics(t *testing.T) {
 
 	keys := make(map[string]bool)
 	for _, n := range r.Nodes {
-		if keys[n.Key] {
+		if keys[r.NodeKey(n)] {
 			t.Fatalf("duplicate node key at %d", n.ID)
 		}
-		keys[n.Key] = true
+		keys[r.NodeKey(n)] = true
 		if n.Level != len(n.Seq) {
 			t.Fatalf("node %d: level %d but sequence %q", n.ID, n.Level, n.Seq)
 		}
@@ -147,7 +147,7 @@ func TestNaiveReplayProducesIdenticalSpace(t *testing.T) {
 		t.Fatalf("node counts differ: %d vs %d", len(shared.Nodes), len(naive.Nodes))
 	}
 	for i := range shared.Nodes {
-		if shared.Nodes[i].Key != naive.Nodes[i].Key {
+		if shared.NodeKey(shared.Nodes[i]) != naive.NodeKey(naive.Nodes[i]) {
 			t.Fatalf("node %d keys differ", i)
 		}
 		if !reflect.DeepEqual(shared.Nodes[i].Edges, naive.Nodes[i].Edges) {
@@ -169,7 +169,7 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
 	}
 	for i := range a.Nodes {
-		if a.Nodes[i].Key != b.Nodes[i].Key || a.Nodes[i].Seq != b.Nodes[i].Seq {
+		if a.NodeKey(a.Nodes[i]) != b.NodeKey(b.Nodes[i]) || a.Nodes[i].Seq != b.Nodes[i].Seq {
 			t.Fatalf("node %d differs between worker counts", i)
 		}
 	}

@@ -101,10 +101,12 @@ func bitsState(b byte) opt.State {
 // encodeNodes renders the first numNodes nodes; nodes in stripEdges
 // (the live frontier of a checkpoint) serialize without outgoing
 // edges, the state they had at the level boundary being persisted.
-func encodeNodes(nodes []*Node, numNodes int, stripEdges map[int]bool) []fileNode {
+// Full canonical keys come from the result's keyStore (decompressed
+// blob by blob for retired levels).
+func (r *Result) encodeNodes(numNodes int, stripEdges map[int]bool) []fileNode {
 	enc := base64.StdEncoding
 	out := make([]fileNode, 0, numNodes)
-	for _, n := range nodes[:numNodes] {
+	for _, n := range r.Nodes[:numNodes] {
 		edges := n.Edges
 		if stripEdges[n.ID] {
 			edges = nil
@@ -112,7 +114,7 @@ func encodeNodes(nodes []*Node, numNodes int, stripEdges map[int]bool) []fileNod
 		out = append(out, fileNode{
 			Level:      n.Level,
 			Seq:        n.Seq,
-			Key:        enc.EncodeToString([]byte(n.Key)),
+			Key:        enc.EncodeToString([]byte(r.keys.get(n.ID))),
 			FP:         n.FP,
 			State:      stateBits(n.State),
 			NumInstrs:  n.NumInstrs,
@@ -139,7 +141,7 @@ func (r *Result) fileFormatFull(canonical bool) *fileFormat {
 		Stats:           r.Stats,
 		Root:            r.root,
 		Machine:         r.opts.Machine,
-		Nodes:           encodeNodes(r.Nodes, len(r.Nodes), nil),
+		Nodes:           r.encodeNodes(len(r.Nodes), nil),
 	}
 	if cp := r.Checkpoint; cp != nil {
 		fc := &fileCheckpoint{SavedAtUnixNS: cp.SavedAt.UnixNano()}
@@ -185,7 +187,7 @@ func (r *Result) fileFormatAt(snap *snapshot, savedAt time.Time) *fileFormat {
 		Stats:           snap.stats,
 		Root:            r.root,
 		Machine:         r.opts.Machine,
-		Nodes:           encodeNodes(r.Nodes, snap.numNodes, strip),
+		Nodes:           r.encodeNodes(snap.numNodes, strip),
 		Checkpoint:      fc,
 	}
 }
@@ -303,6 +305,7 @@ func Load(rd io.Reader) (*Result, error) {
 		Elapsed:         time.Duration(ff.ElapsedNS),
 		Stats:           ff.Stats,
 		root:            ff.Root,
+		keys:            newKeyStore(),
 	}
 	res.opts.fill()
 	if ff.Machine != nil {
@@ -324,11 +327,11 @@ func Load(rd io.Reader) (*Result, error) {
 					i, e.To, len(ff.Nodes))
 			}
 		}
+		res.keys.put(i, string(key))
 		res.Nodes = append(res.Nodes, &Node{
 			ID:         i,
 			Level:      fn.Level,
 			Seq:        fn.Seq,
-			Key:        string(key),
 			FP:         fn.FP,
 			State:      bitsState(fn.State),
 			NumInstrs:  fn.NumInstrs,
@@ -337,6 +340,17 @@ func Load(rd io.Reader) (*Result, error) {
 			CheckErr:   fn.CheckErr,
 			Quarantine: fn.Quarantine,
 		})
+	}
+	// Compress the loaded keys level by level, mirroring the retirement
+	// a fresh run performs (node IDs grow with level in files we write;
+	// any other grouping just yields differently shaped blobs).
+	for start := 0; start < len(res.Nodes); {
+		end := start + 1
+		for end < len(res.Nodes) && res.Nodes[end].Level == res.Nodes[start].Level {
+			end++
+		}
+		res.keys.retire(start, end)
+		start = end
 	}
 	if fc := ff.Checkpoint; fc != nil {
 		if len(fc.Frontier) != len(fc.Bodies) {

@@ -34,7 +34,7 @@ func TestSpaceSaveLoadRoundTrip(t *testing.T) {
 	}
 	for i := range orig.Nodes {
 		a, b := orig.Nodes[i], loaded.Nodes[i]
-		if a.Key != b.Key || a.Seq != b.Seq || a.Level != b.Level ||
+		if orig.NodeKey(a) != loaded.NodeKey(b) || a.Seq != b.Seq || a.Level != b.Level ||
 			a.NumInstrs != b.NumInstrs || a.FP != b.FP || a.CFKey != b.CFKey ||
 			a.State != b.State || !reflect.DeepEqual(a.Edges, b.Edges) {
 			t.Fatalf("node %d mismatch", i)

@@ -68,6 +68,11 @@ type Span struct {
 	start time.Time
 }
 
+// Active reports whether the span will record an event. Hot paths
+// check it before building End arguments (or a dynamic span name), so
+// that a disabled tracer costs no allocations per call.
+func (s Span) Active() bool { return s.t != nil }
+
 // Begin opens a span on lane tid. On a nil tracer the returned span is
 // inert, so hot paths call Begin/End unconditionally.
 func (t *Tracer) Begin(name, cat string, tid int) Span {
