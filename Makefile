@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint-fixtures bench-smoke bench-search resume-smoke
+.PHONY: check fmt vet build test race lint-fixtures bench-smoke bench-search resume-smoke serve-smoke
 
 check: fmt vet build test race lint-fixtures
 
@@ -28,7 +28,7 @@ test:
 # hang / corrupt paths must be race-clean too, and fingerprint because
 # workers summarize instances concurrently through its pooled buffers.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/
 
 # The rtllint fixtures double as an executable smoke test: the clean
 # inputs must lint clean, the broken ones must fail.
@@ -78,3 +78,46 @@ resume-smoke:
 		echo "resume-smoke: resumed space differs from clean run: $$a vs $$b"; exit 1; \
 	fi; \
 	echo "resume-smoke: killed+resumed space identical to clean run ($$a)"
+
+# Serving smoke test: start spaced, fire two concurrent identical
+# requests plus one distinct one, and require (a) exactly one
+# enumeration per distinct key (/v1/stats counters — coalescing or
+# cache, either way the work ran once), (b) a warm repeat served from
+# cache, (c) the served space hashing identical (spacedot -hash) to
+# what cmd/explore writes for the same function, and (d) a clean
+# SIGTERM drain. Needs curl and jq.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); srv=""; \
+	trap 'kill $$srv 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/explore" ./cmd/explore; \
+	$(GO) build -o "$$tmp/spacedot" ./cmd/spacedot; \
+	$(GO) build -o "$$tmp/spaced" ./cmd/spaced; \
+	"$$tmp/explore" -bench sha -func rotl -save "$$tmp" >/dev/null; \
+	want=$$("$$tmp/spacedot" -hash "$$tmp/sha.rotl.space.gz" | cut -d' ' -f1); \
+	"$$tmp/spaced" -addr 127.0.0.1:0 -cache "$$tmp/cache" -ready-file "$$tmp/addr" \
+		2>"$$tmp/spaced.log" & srv=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "serve-smoke: spaced never became ready"; cat "$$tmp/spaced.log"; exit 1; }; \
+	addr=$$(head -n1 "$$tmp/addr"); \
+	curl -fsS "http://$$addr/healthz" >/dev/null; \
+	curl -fsS -d '{"bench":"sha","func":"rotl"}' "http://$$addr/v1/enumerate" -o "$$tmp/r1.json" & c1=$$!; \
+	curl -fsS -d '{"bench":"sha","func":"rotl"}' "http://$$addr/v1/enumerate" -o "$$tmp/r2.json" & c2=$$!; \
+	wait $$c1; wait $$c2; \
+	curl -fsS -d '{"bench":"stringsearch","func":"tolower_c"}' "http://$$addr/v1/enumerate" -o "$$tmp/r3.json"; \
+	curl -fsS -d '{"bench":"sha","func":"rotl"}' "http://$$addr/v1/enumerate" -o "$$tmp/r4.json"; \
+	for r in r1 r2; do \
+		h=$$(jq -r .space_hash "$$tmp/$$r.json"); \
+		[ "$$h" = "$$want" ] || { echo "serve-smoke: $$r served hash $$h, explore wrote $$want"; exit 1; }; \
+	done; \
+	warm=$$(jq -r .cache "$$tmp/r4.json"); \
+	case "$$warm" in mem|disk) ;; *) echo "serve-smoke: warm repeat served as '$$warm', want a cache hit"; exit 1;; esac; \
+	enums=$$(curl -fsS "http://$$addr/v1/stats" | jq '.counters["server.enumerations"]'); \
+	[ "$$enums" = 2 ] || { echo "serve-smoke: $$enums enumerations for 2 distinct keys, want exactly 2"; exit 1; }; \
+	key=$$(jq -r .key "$$tmp/r1.json"); \
+	curl -fsS "http://$$addr/v1/space/$$key" -o "$$tmp/served.space.gz"; \
+	got=$$("$$tmp/spacedot" -hash "$$tmp/served.space.gz" | cut -d' ' -f1); \
+	[ "$$got" = "$$want" ] || { echo "serve-smoke: served space hashes $$got, explore wrote $$want"; exit 1; }; \
+	kill -TERM $$srv; \
+	wait $$srv || { echo "serve-smoke: spaced did not drain cleanly"; cat "$$tmp/spaced.log"; exit 1; }; \
+	srv=""; \
+	echo "serve-smoke: coalesced+cached serving matches explore/spacedot ($$got)"

@@ -40,9 +40,14 @@
 //	-faults spec      inject faults (internal/faultinject syntax); the
 //	                  REPRO_FAULTS environment variable is the fallback
 //
-// The exit status is 0 on success, 1 on usage or check failures, 3
-// when any function's search aborted (timeout, cap, or cancellation),
-// and 130 on interrupt.
+// The exit status is 0 on success, 1 on usage, per-function or check
+// failures, 3 when any function's search aborted (timeout, cap, or
+// cancellation) or produced quarantined nodes (the space is then
+// incomplete), and 130 on interrupt. A function that fails mid-batch
+// still flushes its buffered output un-interleaved, and the remaining
+// functions of the batch are committed before the process exits, so
+// -jobs N reports every function and the exit code deterministically,
+// whatever the scheduling.
 //
 // Observability (see DESIGN.md §Observability):
 //
@@ -190,10 +195,13 @@ func run() int {
 	}
 
 	// processFunc enumerates one function, writing everything destined
-	// for stdout into a buffer so that concurrent enumerations (-jobs)
-	// can commit their output in deterministic input order.
+	// for stdout (and stderr diagnostics) into buffers so that
+	// concurrent enumerations (-jobs) can commit their output in
+	// deterministic input order, un-interleaved even when a function
+	// fails mid-batch.
 	type funcResult struct {
 		out        bytes.Buffer
+		errOut     bytes.Buffer
 		r          *search.Result
 		err        error
 		checkFails int
@@ -242,7 +250,7 @@ func run() int {
 			fmt.Fprintf(&fr.out, "    QUARANTINED %s seq %q: %s\n", tf.Func.Name, n.Seq, n.Quarantine)
 		}
 		if r.CheckpointErr != "" {
-			fmt.Fprintf(os.Stderr, "explore: %s: checkpointing failed, last good checkpoint kept: %s\n",
+			fmt.Fprintf(&fr.errOut, "explore: %s: checkpointing failed, last good checkpoint kept: %s\n",
 				tf.Func.Name, r.CheckpointErr)
 		}
 		if *saveDir != "" && !r.Aborted {
@@ -298,19 +306,32 @@ func run() int {
 			results[i] = processFunc(selected[i])
 		}(i)
 	}
+	funcErrs := 0
+	quarantinedFuncs := 0
+	interrupted := false
 	for i := range selected {
 		<-ready[i]
 		fr := results[i]
+		// Flush the buffered output before looking at the error: a
+		// function that failed mid-batch (save error, driver failure)
+		// may have produced its table row and diagnostics already, and
+		// dropping them would make the batch report depend on which
+		// function happened to fail.
+		os.Stdout.Write(fr.out.Bytes())
+		os.Stderr.Write(fr.errOut.Bytes())
 		if fr.err != nil {
 			fmt.Fprintln(os.Stderr, fr.err)
-			return 1
+			funcErrs++
+			continue
 		}
-		os.Stdout.Write(fr.out.Bytes())
 		checkFails += fr.checkFails
 		r := fr.r
 		totalNodes += len(r.Nodes)
 		totalEdges += r.Stats.Edges
 		totalElapsed += r.Elapsed
+		if len(r.QuarantinedNodes()) > 0 {
+			quarantinedFuncs++
+		}
 		if r.Aborted {
 			aborted++
 		} else {
@@ -318,10 +339,14 @@ func run() int {
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "explore: interrupted; flushing telemetry")
+			interrupted = true
 			break
 		}
 	}
 	if done+aborted == 0 {
+		if funcErrs > 0 {
+			return 1
+		}
 		fmt.Printf("\nno functions matched (bench %q, func %q)\n", *benchName, *funcName)
 		return 1
 	}
@@ -332,14 +357,21 @@ func run() int {
 	if *checkAll {
 		if checkFails > 0 {
 			fmt.Printf("check: %d instances FAILED semantic verification\n", checkFails)
-			return 1
+		} else {
+			fmt.Println("check: every enumerated instance verified clean")
 		}
-		fmt.Println("check: every enumerated instance verified clean")
 	}
-	if ctx.Err() != nil {
+	// The exit code is a deterministic function of what happened, in a
+	// fixed precedence: per-function errors and check failures (1) over
+	// interrupt (130) over incomplete spaces — aborts or quarantined
+	// nodes (3).
+	if funcErrs > 0 || checkFails > 0 {
+		return 1
+	}
+	if interrupted || ctx.Err() != nil {
 		return 130
 	}
-	if aborted > 0 {
+	if aborted > 0 || quarantinedFuncs > 0 {
 		return 3
 	}
 	return 0

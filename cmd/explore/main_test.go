@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary double as the explore binary: when
+// re-executed with EXPLORE_UNDER_TEST=1 it runs main() on its own
+// arguments, so the batch/exit-code tests exercise the real process
+// boundary (buffered output commit, exit status) without a separate
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPLORE_UNDER_TEST") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runExplore re-executes the test binary as explore with args,
+// returning stdout and the exit code.
+func runExplore(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXPLORE_UNDER_TEST=1")
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("explore %v: %v\nstderr: %s", args, err, errOut.String())
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), code
+}
+
+// TestMixedBatchJobsDeterministic runs a batch where some functions
+// complete and some abort (-maxnodes) at -jobs 4: every function must
+// still report its row, in input order and un-interleaved, and the
+// process must exit 3 — deterministically, whatever the scheduling.
+// Pre-fix, an abort mid-batch could interleave with other functions'
+// output and the exit status depended on which function failed first.
+func TestMixedBatchJobsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes the binary over a full benchmark")
+	}
+	// stringsearch at -maxnodes 60: tolower_c and bmha_init complete,
+	// the other nine functions abort on the node cap.
+	args := []string{"-bench", "stringsearch", "-maxnodes", "60", "-jobs", "4"}
+	out, code := runExplore(t, args...)
+	if code != 3 {
+		t.Fatalf("mixed pass/abort batch exited %d, want 3\noutput:\n%s", code, out)
+	}
+
+	wantOrder := []string{
+		"tolower_c", "bmh_init", "bmh_search", "bmha_init", "bmha_search",
+		"bmhi_init", "bmhi_search", "brute_search", "build_text",
+		"set_pattern", "search_main",
+	}
+	pos := -1
+	for _, fn := range wantOrder {
+		label := clip(fn, 12) + "(s)"
+		i := strings.Index(out, label)
+		if i < 0 {
+			t.Fatalf("batch output is missing the row for %s:\n%s", fn, out)
+		}
+		if i < pos {
+			t.Fatalf("row for %s is out of input order:\n%s", fn, out)
+		}
+		if strings.Count(out, label) != 1 {
+			t.Fatalf("row for %s appears more than once (interleaved output?):\n%s", fn, out)
+		}
+		pos = i
+	}
+	if !strings.Contains(out, "N/A") {
+		t.Fatalf("no aborted (N/A) rows in a batch that must abort:\n%s", out)
+	}
+
+	// A concurrent batch must commit byte-identical output to a serial
+	// one: buffering per function is what keeps -jobs deterministic.
+	serialOut, serialCode := runExplore(t, args[:len(args)-2]...)
+	out2, code2 := runExplore(t, args...)
+	if code2 != code || serialCode != code {
+		t.Fatalf("exit codes differ across runs: jobs=4 %d/%d, serial %d", code, code2, serialCode)
+	}
+	if !sameRows(out2, out) {
+		t.Fatalf("two -jobs 4 runs produced different output:\n--- first\n%s\n--- second\n%s", out, out2)
+	}
+	if !sameRows(serialOut, out) {
+		t.Fatalf("-jobs 4 output differs from the serial run:\n--- serial\n%s\n--- jobs\n%s", serialOut, out)
+	}
+}
+
+// sameRows compares two explore outputs ignoring the per-function
+// wall-clock suffix ("[12ms]"), which legitimately varies run to run.
+func sameRows(a, b string) bool {
+	return stripTimes(a) == stripTimes(b)
+}
+
+func stripTimes(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.LastIndex(line, "   ["); i >= 0 && strings.HasSuffix(line, "]") {
+			line = line[:i]
+		}
+		// The summary line totals include wall-clock times too.
+		if strings.Contains(line, "functions enumerated completely") {
+			if i := strings.Index(line, "; enumeration"); i >= 0 {
+				line = line[:i]
+			}
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,151 @@
+// Command spaced serves exhaustive phase order enumeration over HTTP:
+// POST a function (mini-C source or a MiBench corpus name) and search
+// options to /v1/enumerate and it answers with the space summary,
+// enumerating at most once per distinct (function, options) pair — a
+// two-level content-addressed cache (in-memory LRU over a directory of
+// v2 space files) serves repeats, and identical concurrent requests
+// coalesce onto one enumeration.
+//
+//	spaced -addr localhost:8080 -cache ./spacecache
+//	curl -s localhost:8080/v1/enumerate -d '{"bench":"sha","func":"rotl"}'
+//	curl -s localhost:8080/v1/space/<key> -o rotl.space.gz
+//	curl -s localhost:8080/v1/stats
+//
+// Served space files are byte-identical to cmd/explore -save output
+// for the same function and options; spacedot -hash audits them.
+// Requests beyond the worker pool queue are shed with 429 +
+// Retry-After. SIGTERM/SIGINT drain: new requests get 503, in-flight
+// enumerations are canceled and checkpoint their partial spaces into
+// the cache directory, and the next request of the same key resumes
+// from the checkpoint instead of starting over.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("spaced", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address (host:0 picks a free port; see -ready-file)")
+	cacheDir := fs.String("cache", "spacecache", "space cache directory")
+	workers := fs.Int("workers", runtime.NumCPU(), "enumeration pool size")
+	queue := fs.Int("queue", 16, "pending-enumeration queue depth; overflow is shed with 429")
+	memEntries := fs.Int("mem", 64, "decoded spaces held in the in-memory LRU")
+	deadline := fs.Duration("deadline", 60*time.Second, "default per-request wait when the client sets no deadline_ms")
+	searchTimeout := fs.Duration("search-timeout", 0, "wall-time cap per enumeration (0 = unlimited)")
+	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for draining and checkpointing")
+	faults := fs.String("faults", "", "fault injection spec (falls back to $"+faultinject.EnvVar+")")
+	readyFile := fs.String("ready-file", "", "write the bound address to this file once listening")
+	var tf telemetry.Flags
+	tf.Register(fs)
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	session, err := tf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		return 1
+	}
+	defer session.Close() //nolint:errcheck // best-effort flush
+
+	plan, err := faultinject.FromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		return 1
+	}
+	if *faults != "" {
+		if plan, err = faultinject.Parse(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "spaced:", err)
+			return 1
+		}
+	}
+
+	reg := session.Registry
+	if reg == nil {
+		// /v1/stats serves counters whether or not -metrics is on.
+		reg = telemetry.NewRegistry()
+	}
+	srv, err := server.New(server.Config{
+		Dir:             *cacheDir,
+		MemEntries:      *memEntries,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		SearchTimeout:   *searchTimeout,
+		Registry:        reg,
+		Tracer:          session.Tracer,
+		Faults:          plan,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		return 1
+	}
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spaced:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "spaced: serving on http://%s (cache %s, %d workers, queue %d)\n",
+		ln.Addr(), *cacheDir, *workers, *queue)
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain: cancel in-flight enumerations first so they checkpoint
+	// (srv.Close blocks until the workers retire), then let the HTTP
+	// layer finish writing the resulting 503s.
+	fmt.Fprintln(os.Stderr, "spaced: draining (in-flight enumerations checkpoint to the cache directory)")
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	select {
+	case <-done:
+	case <-graceCtx.Done():
+		fmt.Fprintln(os.Stderr, "spaced: grace period expired with enumerations still draining")
+		httpSrv.Close()
+		return 1
+	}
+	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "spaced:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "spaced: drained cleanly")
+	return 0
+}

@@ -17,7 +17,6 @@
 package main
 
 import (
-	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -43,12 +42,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *hash {
-		b, err := r.CanonicalBytes()
+		h, err := r.CanonicalHash()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%x  %s\n", sha256.Sum256(b), flag.Arg(0))
+		fmt.Printf("%s  %s\n", h, flag.Arg(0))
 		return
 	}
 	if len(r.Nodes) > *maxNodes {

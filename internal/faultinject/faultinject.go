@@ -12,6 +12,8 @@
 //	corrupt=<phase>[@<seq>]       phase returns a corrupted instance
 //	hang=<phase>[@<seq>][:<dur>]  phase stalls for dur (default 250ms)
 //	ckptfail=<n>                  the next n checkpoint writes fail short
+//	dirsyncfail=<n>               the next n checkpoint directory fsyncs
+//	                              fail (rename durability lost)
 //
 // A directive without @<seq> fires on every attempt of the phase; with
 // @<seq> it fires only when the phase is attempted at the node whose
@@ -78,7 +80,10 @@ type Plan struct {
 	faults []Fault
 	// ckptFails is the number of remaining checkpoint writes to fail.
 	ckptFails atomic.Int64
-	spec      string
+	// dirSyncFails is the number of remaining checkpoint directory
+	// fsyncs to fail.
+	dirSyncFails atomic.Int64
+	spec         string
 }
 
 // Parse builds a plan from the spec grammar above. An empty spec yields
@@ -98,12 +103,16 @@ func Parse(spec string) (*Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("faultinject: directive %q: want op=arg", dir)
 		}
-		if op == "ckptfail" {
+		if op == "ckptfail" || op == "dirsyncfail" {
 			n, err := strconv.Atoi(arg)
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("faultinject: ckptfail wants a count, got %q", arg)
+				return nil, fmt.Errorf("faultinject: %s wants a count, got %q", op, arg)
 			}
-			p.ckptFails.Add(int64(n))
+			if op == "ckptfail" {
+				p.ckptFails.Add(int64(n))
+			} else {
+				p.dirSyncFails.Add(int64(n))
+			}
 			continue
 		}
 		var kind Kind
@@ -197,6 +206,28 @@ func Corrupt(f *rtl.Func) {
 // ErrCheckpointWrite is the error the failing checkpoint writer
 // returns, standing in for ENOSPC.
 var ErrCheckpointWrite = errors.New("faultinject: simulated ENOSPC on checkpoint write")
+
+// ErrDirSync is the error an injected directory-fsync failure returns,
+// standing in for an fsync(2) error on the checkpoint's directory —
+// the rename that published the checkpoint may not survive power loss.
+var ErrDirSync = errors.New("faultinject: simulated fsync failure on checkpoint directory")
+
+// DirSyncFault consumes one injected directory-fsync failure, reporting
+// whether the caller's fsync of the checkpoint directory should fail.
+func (p *Plan) DirSyncFault() bool {
+	if p == nil {
+		return false
+	}
+	for {
+		n := p.dirSyncFails.Load()
+		if n <= 0 {
+			return false
+		}
+		if p.dirSyncFails.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
 
 // WrapCheckpoint wraps one checkpoint write. While the plan has
 // checkpoint failures left it consumes one and returns a writer that

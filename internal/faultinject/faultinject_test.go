@@ -100,3 +100,26 @@ func TestCheckpointFailureBudget(t *testing.T) {
 		t.Fatal("second checkpoint write still wrapped after budget of 1")
 	}
 }
+
+func TestDirSyncFailureBudget(t *testing.T) {
+	p := MustParse("dirsyncfail=2, ckptfail=1")
+	if !p.DirSyncFault() || !p.DirSyncFault() {
+		t.Fatal("dirsyncfail=2 did not supply two failures")
+	}
+	if p.DirSyncFault() {
+		t.Fatal("dirsyncfail budget of 2 supplied a third failure")
+	}
+	// The two budgets are independent: consuming the directory syncs
+	// must leave the checkpoint-write budget intact.
+	var buf bytes.Buffer
+	if w := p.WrapCheckpoint(&buf); w == &buf {
+		t.Fatal("ckptfail budget consumed by dirsyncfail directives")
+	}
+	var nilPlan *Plan
+	if nilPlan.DirSyncFault() {
+		t.Fatal("nil plan injected a directory sync failure")
+	}
+	if _, err := Parse("dirsyncfail=x"); err == nil {
+		t.Fatal("dirsyncfail with a non-numeric count parsed")
+	}
+}

@@ -260,6 +260,30 @@ func TestCheckpointWriteFailureIsSurvived(t *testing.T) {
 	}
 }
 
+// TestCheckpointDirSyncFailureIsRecorded: the checkpoint rename is only
+// durable once the containing directory is fsynced; an injected
+// directory-sync failure (dirsyncfail spec) must land in CheckpointErr
+// like any other write failure, without aborting the search, and the
+// renamed checkpoint file must still be loadable (the data made it, the
+// durability guarantee did not).
+func TestCheckpointDirSyncFailureIsRecorded(t *testing.T) {
+	_, f := compileFunc(t, smallSrc, "clamp")
+	ckpt := filepath.Join(t.TempDir(), "clamp.ckpt.space.gz")
+	r := search.Run(f, search.Options{
+		CheckpointPath: ckpt,
+		Faults:         faultinject.MustParse("dirsyncfail=1000000"),
+	})
+	if r.Aborted {
+		t.Fatalf("directory-sync failures aborted the search: %s", r.AbortReason)
+	}
+	if r.CheckpointErr == "" || !strings.Contains(r.CheckpointErr, "fsync failure on checkpoint directory") {
+		t.Fatalf("CheckpointErr = %q, want the simulated directory fsync failure", r.CheckpointErr)
+	}
+	if _, err := search.LoadFile(ckpt); err != nil {
+		t.Fatalf("checkpoint written before the failed directory sync does not load: %v", err)
+	}
+}
+
 // TestKillResumeUnderFaults combines the two robustness features: an
 // enumeration with a quarantining fault plan, interrupted and resumed,
 // matches the uninterrupted enumeration under the same plan.

@@ -3,12 +3,15 @@ package search
 import (
 	"bytes"
 	"compress/gzip"
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/faultinject"
@@ -233,6 +236,18 @@ func (r *Result) CanonicalBytes() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// CanonicalHash returns the hex SHA-256 of CanonicalBytes — the space
+// identity spacedot -hash prints and the serving layer advertises. Two
+// spaces hash equal exactly when they enumerate the same DAG.
+func (r *Result) CanonicalHash() (string, error) {
+	b, err := r.CanonicalBytes()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // writeCheckpointFile atomically persists a level-boundary snapshot:
 // the document is written to path+".tmp" and renamed over path only
 // after a successful write and sync, so a crash or a full disk
@@ -268,7 +283,28 @@ func writeCheckpointFile(path string, r *Result, snap *snapshot, faults *faultin
 		os.Remove(tmp)
 		return fmt.Errorf("search: checkpoint: %w", err)
 	}
+	// The rename is only durable once the containing directory is
+	// synced; without it a power loss can lose the directory entry and
+	// with it the checkpoint, even though the data blocks were fsynced.
+	if err = syncDir(filepath.Dir(path), faults); err != nil {
+		return fmt.Errorf("search: checkpoint: syncing directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename into it survives power loss.
+// The fault plan can inject a failure here (dirsyncfail=<n>), which the
+// caller records in Result.CheckpointErr like any other write failure.
+func syncDir(dir string, faults *faultinject.Plan) error {
+	if faults.DirSyncFault() {
+		return faultinject.ErrDirSync
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Load reads a space written by Save (or a checkpoint written during
@@ -282,13 +318,23 @@ func Load(rd io.Reader) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("search: reading space: not a gzip stream: %w", err)
 	}
-	defer gz.Close()
 	var ff fileFormat
 	if err := json.NewDecoder(gz).Decode(&ff); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("search: space file is truncated: %w", err)
 		}
 		return nil, fmt.Errorf("search: decoding space: %w", err)
+	}
+	// The JSON decoder stops at the end of the document, which can sit
+	// entirely before a damaged gzip trailer: a file whose last block
+	// was truncated or whose CRC was clobbered would otherwise load
+	// silently. Drain to EOF so the trailer checksum is verified, and
+	// surface the close error instead of discarding it.
+	if _, err := io.Copy(io.Discard, gz); err != nil {
+		return nil, fmt.Errorf("search: space file has a corrupt gzip trailer: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, fmt.Errorf("search: space file has a corrupt gzip trailer: %w", err)
 	}
 	if ff.Version < minFormatVersion || ff.Version > formatVersion {
 		return nil, fmt.Errorf("search: space format version %d unsupported (this build reads v%d-v%d)",

@@ -138,6 +138,15 @@ func TestLoadCorruptFiles(t *testing.T) {
 		return doc["nodes"].([]any)[0].(map[string]any)
 	}
 
+	// flipTrailerCRC clobbers one byte of the gzip trailer's CRC32
+	// while leaving the deflate stream (and so the JSON document)
+	// intact — the shape of a torn final disk block.
+	flipTrailerCRC := func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(out)-8] ^= 0xff
+		return out
+	}
+
 	cases := []struct {
 		name string
 		data []byte
@@ -146,6 +155,12 @@ func TestLoadCorruptFiles(t *testing.T) {
 		{"garbage", []byte("definitely not gzip"), "not a gzip stream"},
 		{"broken JSON", gzipOf("{broken"), "decoding space"},
 		{"truncated", valid.Bytes()[:valid.Len()/2], "truncated"},
+		// The trailer cases hold a complete JSON document: only
+		// draining past the document and checking the gzip close error
+		// catches them, which is exactly what a loader that ignores the
+		// deferred Close error fails to do.
+		{"trailer truncated", valid.Bytes()[:valid.Len()-8], "corrupt gzip trailer"},
+		{"trailer checksum clobbered", flipTrailerCRC(valid.Bytes()), "corrupt gzip trailer"},
 		{"future version", gzipOf(`{"version":99}`), "version 99 unsupported"},
 		{"version zero", gzipOf(`{"version":0}`), "version 0 unsupported"},
 		{"empty space", gzipOf(`{"version":2}`), "space file is empty"},

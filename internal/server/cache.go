@@ -1,0 +1,247 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"repro/internal/fingerprint"
+	"repro/internal/rtl"
+	"repro/internal/search"
+)
+
+// normOptions is the canonical form of the request options that shape
+// the enumerated space. Anything that does not change the space (worker
+// count, telemetry, deadlines) stays out, so requests differing only in
+// those coalesce onto the same cache entry. The JSON encoding of this
+// struct is part of the cache key, so fields must never be reordered or
+// renamed without revving keyPrefix.
+type normOptions struct {
+	Cap      int  `json:"cap"`
+	MaxNodes int  `json:"max_nodes"`
+	Check    bool `json:"check"`
+}
+
+// keyPrefix versions the key derivation: bump it when the space format
+// or the key material changes incompatibly, and old cache entries
+// simply become unreachable instead of wrong.
+const keyPrefix = "spaced/v1\x00"
+
+// cacheKey is the hex SHA-256 identifying one (function, options)
+// enumeration request. It is content-addressed: the function enters via
+// its canonical instance encoding (registers and labels renumbered),
+// so textual differences that compile to the same code share an entry.
+type cacheKey string
+
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// requestKey derives the cache key for enumerating fn under no. The
+// function is canonicalized the same way search.Run roots the space
+// (clone + cleanup) so the key is stable across callers.
+func requestKey(fn *rtl.Func, no normOptions) cacheKey {
+	root := fn.Clone()
+	rtl.Cleanup(root)
+	opts, err := json.Marshal(no)
+	if err != nil {
+		// normOptions is a plain struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("server: encoding options: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(keyPrefix))
+	h.Write([]byte(fn.Name))
+	h.Write([]byte{0})
+	h.Write(fingerprint.Encode(root))
+	h.Write([]byte{0})
+	h.Write(opts)
+	return cacheKey(hex.EncodeToString(h.Sum(nil)))
+}
+
+// entry is one cached decoded space with its canonical hash, computed
+// once at insertion so hit paths never re-serialize the space.
+type entry struct {
+	res  *search.Result
+	hash string
+}
+
+// memCache is a small LRU of decoded search.Results keyed by request
+// key — the first cache level, in front of the disk store.
+type memCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type memItem struct {
+	key cacheKey
+	ent entry
+}
+
+func newMemCache(max int) *memCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &memCache{max: max, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+func (c *memCache) get(k cacheKey) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memItem).ent, true
+}
+
+func (c *memCache) add(k cacheKey, ent entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*memItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&memItem{key: k, ent: ent})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*memItem).key)
+	}
+}
+
+func (c *memCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// diskStore is the second cache level: one v2 space file per key,
+// exactly the bytes explore -save writes, so cached entries can be
+// served verbatim and audited with spacedot -hash. Alongside each
+// entry may live a checkpoint file (<key>.ckpt.space.gz) holding a
+// partially enumerated space a drained or abandoned request left
+// behind; the next enumeration of the key resumes from it.
+type diskStore struct {
+	dir string
+}
+
+const (
+	spaceSuffix = ".space.gz"
+	ckptSuffix  = ".ckpt.space.gz"
+)
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: cache dir: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (st *diskStore) path(k cacheKey) string {
+	return filepath.Join(st.dir, string(k)+spaceSuffix)
+}
+
+func (st *diskStore) ckptPath(k cacheKey) string {
+	return filepath.Join(st.dir, string(k)+ckptSuffix)
+}
+
+// load reads the cached space for k. A missing file reports
+// os.IsNotExist; a damaged one reports the load error, and the caller
+// treats both as misses (deleting the damaged file so the slot can be
+// re-enumerated rather than failing every request).
+func (st *diskStore) load(k cacheKey) (*search.Result, error) {
+	res, err := search.LoadFile(st.path(k))
+	if err != nil {
+		return nil, err
+	}
+	if res.Checkpoint != nil || res.Aborted {
+		// Only complete spaces belong in the store; anything else is
+		// damage (a checkpoint renamed into place by hand, say).
+		return nil, fmt.Errorf("server: cache entry %s holds an incomplete space", k)
+	}
+	return res, nil
+}
+
+// remove deletes a (damaged) cache entry.
+func (st *diskStore) remove(k cacheKey) {
+	os.Remove(st.path(k))
+}
+
+// put persists a completed space atomically and durably: temp file +
+// fsync + rename + directory fsync, the same discipline the search
+// checkpoint writer uses, so a crash never leaves a torn entry and a
+// power loss never loses a published one. The checkpoint file the
+// enumeration wrote along the way is superseded and removed.
+func (st *diskStore) put(k cacheKey, r *search.Result) error {
+	path := st.path(k)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = r.Save(f); err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err = syncDir(st.dir); err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	os.Remove(st.ckptPath(k))
+	return nil
+}
+
+// keys lists the complete cache entries on disk.
+func (st *diskStore) keys() ([]cacheKey, error) {
+	des, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []cacheKey
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !hasSuffix(name, spaceSuffix) || hasSuffix(name, ckptSuffix) {
+			continue
+		}
+		k := cacheKey(name[:len(name)-len(spaceSuffix)])
+		if keyPattern.MatchString(string(k)) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/rtl"
+)
+
+// Pool errors, mapped to HTTP statuses by the handlers.
+var (
+	// errQueueFull sheds a request the bounded queue cannot absorb
+	// (429 Too Many Requests + Retry-After).
+	errQueueFull = errors.New("server: enumeration queue is full")
+	// errDraining rejects work arriving after shutdown began (503).
+	errDraining = errors.New("server: draining")
+	// errAbandoned cancels a flight whose last waiter gave up; it
+	// becomes the context cause the search reports in its abort reason.
+	errAbandoned = errors.New("server: request abandoned by all waiters")
+)
+
+// flight is one in-progress resolution of a cache key — the unit of
+// request coalescing. Every concurrent request for the same key joins
+// the same flight, so the key is enumerated at most once no matter how
+// many clients ask for it at the same moment.
+type flight struct {
+	key cacheKey
+	fn  *rtl.Func
+	no  normOptions
+
+	// ctx cancels the flight's enumeration. It is derived from the
+	// pool's base context (canceled on drain) and additionally canceled
+	// when the last waiter leaves, so an enumeration nobody is waiting
+	// for stops at the next attempt boundary — checkpointing first, so
+	// the work is not lost.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// done closes when the flight has resolved; ent/cacheHow/err are
+	// immutable afterwards.
+	done     chan struct{}
+	ent      entry
+	cacheHow string // "mem", "disk" or "miss" — how the worker resolved it
+	err      error
+	status   int // HTTP status for err
+
+	waiters int // guarded by pool.mu
+}
+
+// pool runs flights through a fixed set of workers fed by a bounded
+// queue. Backpressure is explicit: when the queue is full, join sheds
+// instead of blocking, so a burst degrades into fast 429s rather than
+// unbounded memory growth and collapsing latency.
+type pool struct {
+	run func(*flight) // the server's runFlight
+
+	mu       sync.Mutex
+	flights  map[cacheKey]*flight
+	queue    chan *flight
+	draining bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	wg         sync.WaitGroup
+	depthGauge func(int64)
+}
+
+func newPool(workers, depth int, run func(*flight), depthGauge func(int64)) *pool {
+	if workers <= 0 {
+		workers = 2
+	}
+	if depth <= 0 {
+		depth = 16
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	p := &pool{
+		run:        run,
+		flights:    make(map[cacheKey]*flight),
+		queue:      make(chan *flight, depth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		depthGauge: depthGauge,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for fl := range p.queue {
+		p.depthGauge(int64(len(p.queue)))
+		p.run(fl)
+	}
+}
+
+// join attaches the caller to the flight for key, creating and
+// enqueueing one if none is in progress. It reports whether the caller
+// coalesced onto an existing flight. The caller must balance every
+// successful join with leave.
+func (p *pool) join(key cacheKey, fn *rtl.Func, no normOptions) (fl *flight, coalesced bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return nil, false, errDraining
+	}
+	if fl, ok := p.flights[key]; ok {
+		fl.waiters++
+		return fl, true, nil
+	}
+	fl = &flight{
+		key:     key,
+		fn:      fn,
+		no:      no,
+		done:    make(chan struct{}),
+		waiters: 1,
+	}
+	fl.ctx, fl.cancel = context.WithCancelCause(p.baseCtx)
+	select {
+	case p.queue <- fl:
+	default:
+		fl.cancel(errQueueFull)
+		return nil, false, errQueueFull
+	}
+	p.flights[key] = fl
+	p.depthGauge(int64(len(p.queue)))
+	return fl, false, nil
+}
+
+// leave detaches one waiter. When the last waiter leaves an unresolved
+// flight, the flight's context is canceled: the search aborts at the
+// next attempt boundary, writes its checkpoint, and the partial work
+// waits on disk for the next request of the same key.
+func (p *pool) leave(fl *flight) {
+	p.mu.Lock()
+	fl.waiters--
+	last := fl.waiters == 0
+	p.mu.Unlock()
+	if !last {
+		return
+	}
+	select {
+	case <-fl.done:
+		// Resolved; nothing to cancel.
+	default:
+		fl.cancel(errAbandoned)
+	}
+}
+
+// finish publishes the flight's resolution and retires it. The caller
+// (runFlight) must have cached any produced result before this, so a
+// later request either joins this flight or sees the cache — never a
+// window where it would re-enumerate a key that just resolved.
+func (p *pool) finish(fl *flight) {
+	p.mu.Lock()
+	delete(p.flights, fl.key)
+	p.mu.Unlock()
+	fl.cancel(nil)
+	close(fl.done)
+}
+
+// isDraining reports whether close has begun.
+func (p *pool) isDraining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// flightCount reports the number of unresolved flights.
+func (p *pool) flightCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.flights)
+}
+
+// close drains the pool: new joins are refused, queued and running
+// flights are canceled (running searches checkpoint at the next
+// attempt boundary), and close returns when every worker has retired.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.draining = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.baseCancel(errDraining)
+	p.wg.Wait()
+}

@@ -1,0 +1,492 @@
+// Package server turns the exhaustive phase order enumeration into a
+// service: an HTTP daemon that accepts enumeration requests (a mini-C
+// source or a named MiBench corpus function plus search options), runs
+// them through a bounded worker pool, and answers from a two-level
+// content-addressed cache — an in-memory LRU of decoded spaces over a
+// disk store of v2 space files keyed by the SHA-256 of the canonical
+// function bytes and the normalized options.
+//
+// The cached files are exactly what cmd/explore -save writes, so a
+// served space can be audited byte-for-byte with spacedot -hash.
+// Identical concurrent requests coalesce onto one enumeration; a full
+// queue sheds with 429 + Retry-After; shutdown checkpoints in-flight
+// searches through the search engine's own machinery so their partial
+// work resumes on the next request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/mc"
+	"repro/internal/mibench"
+	"repro/internal/rtl"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Dir is the disk cache directory (required).
+	Dir string
+	// MemEntries bounds the in-memory LRU (default 64 decoded spaces).
+	MemEntries int
+	// Workers is the enumeration pool size (default 2).
+	Workers int
+	// QueueDepth bounds the pending-flight queue; a request that finds
+	// it full is shed with 429 (default 16).
+	QueueDepth int
+	// DefaultDeadline bounds how long a request waits for its flight
+	// when the client sets no deadline_ms (default 60s).
+	DefaultDeadline time.Duration
+	// SearchTimeout bounds each enumeration's wall time, independent of
+	// request deadlines (0 = unlimited).
+	SearchTimeout time.Duration
+	// Registry receives the server and search instruments; when nil a
+	// private registry is created so /v1/stats always has counters.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, records one span per request and the search
+	// spans beneath it.
+	Tracer *telemetry.Tracer
+	// Faults injects deterministic failures into the enumerations for
+	// robustness testing; nil injects nothing.
+	Faults *faultinject.Plan
+}
+
+// Server is the enumeration service.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	mem   *memCache
+	store *diskStore
+	pool  *pool
+	stats *spaceStats
+	mux   *http.ServeMux
+
+	corpusOnce sync.Once
+	corpus     map[string]*rtl.Func // "bench/func" and bare "func" when unambiguous
+	corpusErr  error
+
+	// beforeEnumerate, when non-nil, runs at the head of every flight's
+	// worker execution — a test seam for holding a flight open while
+	// concurrent requests pile onto it.
+	beforeEnumerate func(*flight)
+}
+
+// New creates a Server caching under cfg.Dir.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir is required")
+	}
+	store, err := newDiskStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 60 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		mem:   newMemCache(cfg.MemEntries),
+		store: store,
+		stats: newSpaceStats(),
+	}
+	depth := reg.Gauge("server.queue.depth")
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runFlight, depth.Set)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("GET /v1/space/{hash}", s.handleSpace)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: new requests are refused, in-flight
+// enumerations are canceled and checkpoint themselves, and Close
+// returns once every worker has retired.
+func (s *Server) Close() {
+	s.pool.close()
+}
+
+// enumerateRequest is the POST /v1/enumerate body. Exactly one of
+// Source or Bench/Func selects the function: Source compiles mini-C
+// text (Func picks the function when the source defines several),
+// Bench/Func names a MiBench corpus function.
+type enumerateRequest struct {
+	Bench   string `json:"bench,omitempty"`
+	Func    string `json:"func,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Options struct {
+		Cap        int  `json:"cap,omitempty"`
+		MaxNodes   int  `json:"max_nodes,omitempty"`
+		Check      bool `json:"check,omitempty"`
+		DeadlineMS int  `json:"deadline_ms,omitempty"`
+	} `json:"options"`
+}
+
+// enumerateResponse is the POST /v1/enumerate summary. Key addresses
+// GET /v1/space/{key}; SpaceHash is the canonical space hash spacedot
+// -hash reports for the same function and options.
+type enumerateResponse struct {
+	Func            string `json:"func"`
+	Key             string `json:"key"`
+	SpaceHash       string `json:"space_hash"`
+	Nodes           int    `json:"nodes"`
+	Edges           int    `json:"edges"`
+	Leaves          int    `json:"leaves"`
+	AttemptedPhases int    `json:"attempted_phases"`
+	// Cache reports how the request was satisfied: "mem", "disk",
+	// "miss" (this request ran the enumeration) or "coalesced" (it
+	// joined another request's in-progress flight).
+	Cache     string `json:"cache"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 omits the header
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	he := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	errors.As(err, &he)
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", he.retryAfter))
+	}
+	writeJSON(w, he.status, map[string]string{"error": he.msg})
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Counter("server.requests").Inc()
+	var span telemetry.Span
+	if s.cfg.Tracer != nil {
+		span = s.cfg.Tracer.Begin("http.enumerate", "server", 0)
+	}
+	resp, err := s.enumerate(r)
+	if span.Active() {
+		args := map[string]any{}
+		if err != nil {
+			args["error"] = err.Error()
+		} else {
+			args["cache"] = resp.Cache
+			args["key"] = resp.Key
+		}
+		span.End(args)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp.ElapsedMS = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
+	var req enumerateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		return nil, &httpError{status: http.StatusBadRequest, msg: "decoding request: " + err.Error()}
+	}
+	fn, err := s.resolve(&req)
+	if err != nil {
+		return nil, err
+	}
+	no := normOptions{Cap: req.Options.Cap, MaxNodes: req.Options.MaxNodes, Check: req.Options.Check}
+	key := requestKey(fn, no)
+
+	// First level: the LRU of decoded spaces answers without touching
+	// the pool at all.
+	if ent, ok := s.mem.get(key); ok {
+		s.reg.Counter("server.cache.hit_mem").Inc()
+		return response(key, ent, "mem"), nil
+	}
+
+	fl, coalesced, err := s.pool.join(key, fn, no)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.reg.Counter("server.shed").Inc()
+		return nil, &httpError{status: http.StatusTooManyRequests, msg: err.Error(), retryAfter: 1}
+	case errors.Is(err, errDraining):
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: err.Error(), retryAfter: 5}
+	case err != nil:
+		return nil, err
+	}
+	if coalesced {
+		s.reg.Counter("server.coalesced").Inc()
+	}
+	defer s.pool.leave(fl)
+
+	deadline := s.cfg.DefaultDeadline
+	if req.Options.DeadlineMS > 0 {
+		deadline = time.Duration(req.Options.DeadlineMS) * time.Millisecond
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-fl.done:
+	case <-timer.C:
+		return nil, &httpError{status: http.StatusGatewayTimeout,
+			msg: fmt.Sprintf("enumeration still running after %v; retry to resume from its checkpoint", deadline), retryAfter: 1}
+	case <-r.Context().Done():
+		return nil, &httpError{status: 499, msg: "client went away"}
+	}
+	if fl.err != nil {
+		status := fl.status
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		he := &httpError{status: status, msg: fl.err.Error()}
+		if status == http.StatusServiceUnavailable {
+			he.retryAfter = 1
+		}
+		return nil, he
+	}
+	how := fl.cacheHow
+	if coalesced {
+		how = "coalesced"
+	}
+	return response(key, fl.ent, how), nil
+}
+
+func response(key cacheKey, ent entry, how string) *enumerateResponse {
+	leaves := 0
+	for _, n := range ent.res.Nodes {
+		if n.IsLeaf() {
+			leaves++
+		}
+	}
+	return &enumerateResponse{
+		Func:            ent.res.FuncName,
+		Key:             string(key),
+		SpaceHash:       ent.hash,
+		Nodes:           len(ent.res.Nodes),
+		Edges:           ent.res.Stats.Edges,
+		Leaves:          leaves,
+		AttemptedPhases: ent.res.AttemptedPhases,
+		Cache:           how,
+	}
+}
+
+// resolve turns the request into the function to enumerate.
+func (s *Server) resolve(req *enumerateRequest) (*rtl.Func, error) {
+	if req.Source != "" {
+		if req.Bench != "" {
+			return nil, &httpError{status: http.StatusBadRequest, msg: "source and bench are mutually exclusive"}
+		}
+		prog, err := mc.Compile(req.Source)
+		if err != nil {
+			return nil, &httpError{status: http.StatusBadRequest, msg: "compiling source: " + err.Error()}
+		}
+		if req.Func != "" {
+			if f := prog.Func(req.Func); f != nil {
+				return f, nil
+			}
+			return nil, &httpError{status: http.StatusNotFound,
+				msg: fmt.Sprintf("source does not define %q", req.Func)}
+		}
+		if len(prog.Funcs) != 1 {
+			return nil, &httpError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("source defines %d functions; name one with \"func\"", len(prog.Funcs))}
+		}
+		return prog.Funcs[0], nil
+	}
+	if req.Func == "" {
+		return nil, &httpError{status: http.StatusBadRequest, msg: "request needs source or bench/func"}
+	}
+	s.corpusOnce.Do(s.compileCorpus)
+	if s.corpusErr != nil {
+		return nil, &httpError{status: http.StatusInternalServerError, msg: s.corpusErr.Error()}
+	}
+	name := req.Func
+	if req.Bench != "" {
+		name = req.Bench + "/" + req.Func
+	}
+	fn, ok := s.corpus[name]
+	if !ok {
+		return nil, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("no corpus function %q", name)}
+	}
+	if fn == nil {
+		return nil, &httpError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("%q names functions in several benchmarks; qualify it with \"bench\"", name)}
+	}
+	return fn, nil
+}
+
+// compileCorpus builds the MiBench name index once, lazily: the first
+// corpus request pays the compile, source-only servers never do.
+func (s *Server) compileCorpus() {
+	funcs, err := mibench.AllFunctions()
+	if err != nil {
+		s.corpusErr = fmt.Errorf("server: compiling corpus: %w", err)
+		return
+	}
+	s.corpus = make(map[string]*rtl.Func, 2*len(funcs))
+	for _, tf := range funcs {
+		s.corpus[tf.Bench+"/"+tf.Func.Name] = tf.Func
+		if _, dup := s.corpus[tf.Func.Name]; dup {
+			s.corpus[tf.Func.Name] = nil // ambiguous bare name
+		} else {
+			s.corpus[tf.Func.Name] = tf.Func
+		}
+	}
+}
+
+// runFlight resolves one flight on a pool worker. The cache levels are
+// re-checked here — a flight created moments after an identical one
+// resolved must find its result, not enumerate again — so a key is
+// enumerated exactly once no matter how requests interleave.
+func (s *Server) runFlight(fl *flight) {
+	defer s.pool.finish(fl)
+	if s.beforeEnumerate != nil {
+		s.beforeEnumerate(fl)
+	}
+	if ent, ok := s.mem.get(fl.key); ok {
+		s.reg.Counter("server.cache.hit_mem").Inc()
+		fl.ent, fl.cacheHow = ent, "mem"
+		return
+	}
+	if res, err := s.store.load(fl.key); err == nil {
+		s.reg.Counter("server.cache.hit_disk").Inc()
+		if fl.err = s.admit(fl.key, res, &fl.ent); fl.err != nil {
+			return
+		}
+		fl.cacheHow = "disk"
+		return
+	} else if !os.IsNotExist(err) {
+		// A damaged entry is a miss, not an outage: drop it and let the
+		// enumeration below rebuild the slot.
+		s.reg.Counter("server.cache.corrupt").Inc()
+		s.store.remove(fl.key)
+	}
+	s.reg.Counter("server.cache.miss").Inc()
+	fl.cacheHow = "miss"
+	if fl.ctx.Err() != nil {
+		fl.err = fmt.Errorf("canceled before enumeration: %w", context.Cause(fl.ctx))
+		fl.status = http.StatusServiceUnavailable
+		return
+	}
+	res, err := s.enumerateFlight(fl)
+	if err != nil {
+		fl.err = err
+		return
+	}
+	if fl.err = s.admit(fl.key, res, &fl.ent); fl.err != nil {
+		return
+	}
+	if err := s.store.put(fl.key, res); err != nil {
+		// Served from memory anyway; the disk slot heals on a future
+		// enumeration.
+		s.reg.Counter("server.cache.write_errors").Inc()
+	}
+}
+
+// enumerateFlight runs (or resumes) the search for fl.
+func (s *Server) enumerateFlight(fl *flight) (*search.Result, error) {
+	opts := search.Options{
+		MaxSeqPerLevel: fl.no.Cap,
+		MaxNodes:       fl.no.MaxNodes,
+		Check:          fl.no.Check,
+		Timeout:        s.cfg.SearchTimeout,
+		Ctx:            fl.ctx,
+		Metrics:        s.reg,
+		Tracer:         s.cfg.Tracer,
+		CheckpointPath: s.store.ckptPath(fl.key),
+		Faults:         s.cfg.Faults,
+	}
+	var res *search.Result
+	prev, err := search.LoadFile(opts.CheckpointPath)
+	switch {
+	case err == nil && prev.Checkpoint != nil:
+		// An earlier drained or abandoned request left its partial
+		// enumeration behind; continue it instead of starting over.
+		s.reg.Counter("server.enumerations").Inc()
+		s.reg.Counter("server.enumerations.resumed").Inc()
+		res, err = search.Resume(prev, opts)
+		if err != nil {
+			return nil, fmt.Errorf("resuming checkpoint: %w", err)
+		}
+	case err == nil && !prev.Aborted:
+		// The checkpoint completed but was never promoted to the cache
+		// (crash between rename and promotion); it is the space.
+		res = prev
+	default:
+		s.reg.Counter("server.enumerations").Inc()
+		res = search.Run(fl.fn, opts)
+	}
+	if res.Aborted {
+		reason := res.AbortReason
+		if strings.HasPrefix(reason, "canceled") {
+			fl.status = http.StatusServiceUnavailable
+			return nil, fmt.Errorf("enumeration canceled (%v); partial space checkpointed for resume", context.Cause(fl.ctx))
+		}
+		fl.status = http.StatusUnprocessableEntity
+		return nil, fmt.Errorf("enumeration aborted: %s", reason)
+	}
+	return res, nil
+}
+
+// admit caches a complete space in the LRU and folds it into the
+// interaction statistics.
+func (s *Server) admit(key cacheKey, res *search.Result, out *entry) error {
+	hash, err := res.CanonicalHash()
+	if err != nil {
+		return fmt.Errorf("hashing space: %w", err)
+	}
+	*out = entry{res: res, hash: hash}
+	s.mem.add(key, *out)
+	s.stats.accumulate(key, res)
+	return nil
+}
+
+func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !keyPattern.MatchString(hash) {
+		writeError(w, &httpError{status: http.StatusBadRequest, msg: "malformed space key"})
+		return
+	}
+	f, err := os.Open(s.store.path(cacheKey(hash)))
+	if err != nil {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: "no cached space for that key"})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", hash[:12]+spaceSuffix))
+	io.Copy(w, f) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.pool.isDraining() {
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "draining", retryAfter: 5})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/mc"
+	"repro/internal/rtl"
+	"repro/internal/search"
+)
+
+const (
+	clampSrc = `int clamp(int x, int lo, int hi) {
+    if (x < lo) return lo;
+    if (x > hi) return hi;
+    return x;
+}`
+	absSrc = `int myabs(int x) { if (x < 0) return 0 - x; return x; }`
+	negSrc = `int neg(int x) { return 0 - x; }`
+	sumSrc = `
+int a[16] = {5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+int sum(int n) {
+    int i;
+    int s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}`
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends an enumerate request and decodes the JSON response.
+func post(t *testing.T, ts *httptest.Server, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/enumerate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, doc, resp.Header
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func counter(s *Server, name string) int64 { return s.reg.Counter(name).Value() }
+
+func srcBody(src string) string {
+	b, _ := json.Marshal(map[string]string{"source": src})
+	return string(b)
+}
+
+// TestCoalescesIdenticalRequests holds the first flight open on the
+// worker while more identical requests arrive: all of them must join
+// that flight (singleflight), the function must be enumerated exactly
+// once, and a later request must be served from the in-memory cache.
+func TestCoalescesIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(unblock)
+	s.beforeEnumerate = func(*flight) { <-release }
+
+	const n = 3
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			status, doc, _ := post(t, ts, srcBody(clampSrc))
+			replies <- reply{status, doc}
+		}()
+	}
+	// Only release the worker once the other requests have provably
+	// coalesced onto the first one's flight.
+	waitFor(t, "2 coalesced requests", func() bool { return counter(s, "server.coalesced") == 2 })
+	unblock()
+
+	hashes := map[string]bool{}
+	caches := map[string]int{}
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %v", i, r.status, r.doc)
+		}
+		hashes[r.doc["space_hash"].(string)] = true
+		caches[r.doc["cache"].(string)]++
+	}
+	if len(hashes) != 1 {
+		t.Fatalf("coalesced requests saw different spaces: %v", hashes)
+	}
+	if caches["miss"] != 1 || caches["coalesced"] != 2 {
+		t.Fatalf("cache statuses = %v, want 1 miss + 2 coalesced", caches)
+	}
+	if got := counter(s, "server.enumerations"); got != 1 {
+		t.Fatalf("%d identical concurrent requests ran %d enumerations, want exactly 1", n, got)
+	}
+
+	// Warm repeat: served from the LRU, still exactly one enumeration.
+	status, doc, _ := post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK || doc["cache"] != "mem" {
+		t.Fatalf("warm repeat: status %d cache %v, want 200 mem", status, doc["cache"])
+	}
+	if got := counter(s, "server.enumerations"); got != 1 {
+		t.Fatalf("warm repeat re-enumerated: %d enumerations", got)
+	}
+}
+
+// TestParallelIdenticalAndDistinct hammers the server with identical
+// and distinct requests concurrently (meant for -race): every distinct
+// (function, options) key must be enumerated exactly once, whichever
+// way the requests interleave.
+func TestParallelIdenticalAndDistinct(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	bodies := []string{srcBody(clampSrc), srcBody(absSrc), srcBody(negSrc)}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for _, body := range bodies {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				status, doc, _ := post(t, ts, body)
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %v", status, doc)
+				}
+			}(body)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := counter(s, "server.enumerations"); got != int64(len(bodies)) {
+		t.Fatalf("%d distinct keys ran %d enumerations, want exactly %d", len(bodies), got, len(bodies))
+	}
+}
+
+// TestQueueOverflowSheds fills the single-worker, depth-one queue and
+// checks the next request is shed with 429 + Retry-After instead of
+// queueing without bound.
+func TestQueueOverflowSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	entered := make(chan *flight, 8)
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(unblock)
+	s.beforeEnumerate = func(fl *flight) {
+		entered <- fl
+		<-release
+	}
+
+	done := make(chan int, 2)
+	go func() { st, _, _ := post(t, ts, srcBody(clampSrc)); done <- st }()
+	<-entered // the lone worker is now held busy
+	go func() { st, _, _ := post(t, ts, srcBody(absSrc)); done <- st }()
+	waitFor(t, "second request queued", func() bool { return len(s.pool.queue) == 1 })
+
+	status, doc, hdr := post(t, ts, srcBody(negSrc))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d (%v), want 429", status, doc)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if got := counter(s, "server.shed"); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	unblock()
+	for i := 0; i < 2; i++ {
+		if st := <-done; st != http.StatusOK {
+			t.Fatalf("held request finished with status %d", st)
+		}
+	}
+}
+
+// TestCorruptDiskEntryReEnumerates damages a cached space file and
+// checks the next request treats it as a miss — dropping the damaged
+// entry, re-enumerating and healing the slot — rather than failing.
+func TestCorruptDiskEntryReEnumerates(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Dir: dir})
+	status, doc, _ := post(t, ts1, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("seed request: status %d: %v", status, doc)
+	}
+	key := doc["key"].(string)
+	wantHash := doc["space_hash"].(string)
+	path := filepath.Join(dir, key+spaceSuffix)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache entry not on disk: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("definitely not a space file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server over the same directory has a cold LRU, so the
+	// damaged file is its first stop.
+	s2, ts2 := newTestServer(t, Config{Dir: dir})
+	status, doc, _ = post(t, ts2, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("request over damaged entry: status %d: %v", status, doc)
+	}
+	if doc["cache"] != "miss" {
+		t.Fatalf("damaged entry served as %q, want a miss", doc["cache"])
+	}
+	if doc["space_hash"] != wantHash {
+		t.Fatalf("re-enumeration produced hash %v, want %v", doc["space_hash"], wantHash)
+	}
+	if got := counter(s2, "server.cache.corrupt"); got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+	if got := counter(s2, "server.enumerations"); got != 1 {
+		t.Fatalf("re-enumerations = %d, want 1", got)
+	}
+	// The slot healed: the rewritten file loads.
+	if _, err := s2.store.load(cacheKey(key)); err != nil {
+		t.Fatalf("slot did not heal: %v", err)
+	}
+}
+
+// TestDrainCheckpointsInFlight is the SIGTERM path: Close cancels an
+// in-flight enumeration (held slow by an injected hang fault), which
+// must checkpoint its partial space; a fresh server over the same
+// cache directory must resume from that checkpoint and serve a space
+// identical to an uninterrupted run.
+func TestDrainCheckpointsInFlight(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{
+		Dir:     dir,
+		Workers: 1,
+		// Every application of phase c stalls 150ms: the sum space has
+		// dozens of instances, so the enumeration reliably outlives the
+		// Close below.
+		Faults: faultinject.MustParse("hang=c:150ms"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		status, doc, _ := post(t, ts1, srcBody(sumSrc))
+		replies <- reply{status, doc}
+	}()
+	waitFor(t, "enumeration to start", func() bool { return counter(s1, "server.enumerations") == 1 })
+	s1.Close() // SIGTERM: cancel, checkpoint, drain
+
+	r := <-replies
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("drained request: status %d (%v), want 503", r.status, r.doc)
+	}
+
+	prog, err := mc.Compile(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("sum")
+	key := requestKey(fn, normOptions{})
+	ckpt, err := search.LoadFile(filepath.Join(dir, string(key)+ckptSuffix))
+	if err != nil {
+		t.Fatalf("drain left no checkpoint: %v", err)
+	}
+	if ckpt.Checkpoint == nil {
+		t.Fatal("drain checkpoint has no frontier to resume from")
+	}
+
+	// The resumed space must match a clean, uninterrupted enumeration.
+	clean := search.Run(fn, search.Options{})
+	want, err := clean.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{Dir: dir})
+	status, doc, _ := post(t, ts2, srcBody(sumSrc))
+	if status != http.StatusOK {
+		t.Fatalf("resume request: status %d: %v", status, doc)
+	}
+	if got := counter(s2, "server.enumerations.resumed"); got != 1 {
+		t.Fatalf("resumed counter = %d, want 1 (fresh enumeration instead of resume?)", got)
+	}
+	if doc["space_hash"] != want {
+		t.Fatalf("resumed space hash %v differs from a clean run %v", doc["space_hash"], want)
+	}
+}
+
+// TestDeadlineAbandonsAndResumes: a request whose deadline expires gets
+// 504 while its flight is canceled (last waiter gone) and checkpoints;
+// a later identical request picks the work back up and completes.
+func TestDeadlineAbandonsAndResumes(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Faults:  faultinject.MustParse("hang=c:100ms"),
+	})
+	status, doc, _ := post(t, ts, `{"source":`+jsonStr(clampSrc)+`,"options":{"deadline_ms":30}}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("impatient request: status %d (%v), want 504", status, doc)
+	}
+	// Let the abandoned flight cancel, checkpoint and retire.
+	waitFor(t, "abandoned flight to retire", func() bool { return s.pool.flightCount() == 0 })
+
+	var last map[string]any
+	waitFor(t, "patient retry to succeed", func() bool {
+		st, doc, _ := post(t, ts, srcBody(clampSrc))
+		last = doc
+		return st == http.StatusOK
+	})
+	want, err := search.Run(mustCompile(t, clampSrc, "clamp"), search.Options{
+		Faults: faultinject.MustParse("hang=c:100ms"),
+	}).CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last["space_hash"] != want {
+		t.Fatalf("space after abandon/resume %v differs from clean run %v", last["space_hash"], want)
+	}
+}
+
+func jsonStr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func mustCompile(t *testing.T, src, name string) *rtl.Func {
+	t.Helper()
+	prog, err := mc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func(name)
+	if f == nil {
+		t.Fatalf("source does not define %s", name)
+	}
+	return f
+}
+
+// TestSpaceEndpointServesAuditableBytes: the gzip served by
+// /v1/space/{key} must load as a space whose canonical hash matches the
+// one the enumerate response reported — the spacedot -hash audit.
+func TestSpaceEndpointServesAuditableBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, doc, _ := post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("enumerate: status %d: %v", status, doc)
+	}
+	resp, err := http.Get(ts.URL + "/v1/space/" + doc["key"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("space fetch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("space fetch Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := search.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("served space does not load: %v", err)
+	}
+	hash, err := loaded.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != doc["space_hash"] {
+		t.Fatalf("served space hashes to %s, response promised %v", hash, doc["space_hash"])
+	}
+
+	for path, want := range map[string]int{
+		"/v1/space/not-a-key":                  http.StatusBadRequest,
+		"/v1/space/" + strings.Repeat("0", 64): http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestStatsEndpoint: /v1/stats reports the instruments and the phase
+// interaction tables, including spaces cached by an earlier process
+// over the same directory.
+func TestStatsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Dir: dir})
+	if status, doc, _ := post(t, ts1, srcBody(clampSrc)); status != http.StatusOK {
+		t.Fatalf("enumerate: status %d: %v", status, doc)
+	}
+
+	getStats := func(ts *httptest.Server) map[string]any {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats: status %d", resp.StatusCode)
+		}
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	doc := getStats(ts1)
+	if doc["spaces"] != float64(1) {
+		t.Fatalf("spaces = %v, want 1", doc["spaces"])
+	}
+	if got := doc["counters"].(map[string]any)["server.enumerations"]; got != float64(1) {
+		t.Fatalf("counters[server.enumerations] = %v, want 1", got)
+	}
+	tables := doc["tables"].(map[string]any)
+	for _, name := range []string{"enabling", "disabling", "independence"} {
+		m := tables[name].([]any)
+		if len(m) != 15 || len(m[0].([]any)) != 15 {
+			t.Fatalf("table %s is %dx%d, want 15x15", name, len(m), len(m[0].([]any)))
+		}
+	}
+	if probs := tables["start_probabilities"].([]any); len(probs) != 15 {
+		t.Fatalf("start_probabilities has %d entries, want 15", len(probs))
+	}
+
+	// A fresh server over the same directory folds the on-disk spaces
+	// into its tables without having served them.
+	_, ts2 := newTestServer(t, Config{Dir: dir})
+	if doc := getStats(ts2); doc["spaces"] != float64(1) {
+		t.Fatalf("fresh server over warm dir reports %v spaces, want 1", doc["spaces"])
+	}
+}
+
+// TestRequestKeyContentAddressing: textually different but semantically
+// identical sources share a key; different options or functions do not.
+func TestRequestKeyContentAddressing(t *testing.T) {
+	a := mustCompile(t, clampSrc, "clamp")
+	b := mustCompile(t, "int clamp(int x,int lo,int hi){if(x<lo)return lo;\n\n if(x>hi)return hi; return x;}", "clamp")
+	if requestKey(a, normOptions{}) != requestKey(b, normOptions{}) {
+		t.Fatal("reformatted source changed the cache key")
+	}
+	if requestKey(a, normOptions{}) == requestKey(a, normOptions{Check: true}) {
+		t.Fatal("options do not reach the cache key")
+	}
+	if requestKey(a, normOptions{}) == requestKey(a, normOptions{MaxNodes: 10}) {
+		t.Fatal("MaxNodes does not reach the cache key")
+	}
+	c := mustCompile(t, absSrc, "myabs")
+	if requestKey(a, normOptions{}) == requestKey(c, normOptions{}) {
+		t.Fatal("different functions share a cache key")
+	}
+	if !keyPattern.MatchString(string(requestKey(a, normOptions{}))) {
+		t.Fatal("key is not 64 hex digits")
+	}
+}
+
+// TestMemCacheLRU: the LRU holds at most max entries, evicting the
+// least recently used.
+func TestMemCacheLRU(t *testing.T) {
+	c := newMemCache(2)
+	k := func(i int) cacheKey { return cacheKey(fmt.Sprintf("%064d", i)) }
+	c.add(k(1), entry{hash: "1"})
+	c.add(k(2), entry{hash: "2"})
+	if _, ok := c.get(k(1)); !ok { // 1 is now most recently used
+		t.Fatal("entry 1 missing")
+	}
+	c.add(k(3), entry{hash: "3"}) // evicts 2
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("LRU kept the least recently used entry past its bound")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if c.len() != 2 {
+		t.Fatalf("LRU holds %d entries, bound is 2", c.len())
+	}
+}

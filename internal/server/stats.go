@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// spaceStats folds every space the server has produced or loaded into
+// the paper's phase-interaction statistics (Tables 4-6), each cache key
+// counted once however many times it is served.
+type spaceStats struct {
+	mu   sync.Mutex
+	seen map[cacheKey]bool
+	x    *analysis.Interactions
+}
+
+func newSpaceStats() *spaceStats {
+	return &spaceStats{seen: make(map[cacheKey]bool), x: analysis.NewInteractions()}
+}
+
+func (ss *spaceStats) accumulate(k cacheKey, r *search.Result) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.seen[k] {
+		return
+	}
+	ss.seen[k] = true
+	ss.x.Accumulate(r)
+}
+
+// statsResponse is the GET /v1/stats body: the telemetry snapshot
+// (server.* and search.* instruments) plus the interaction
+// probabilities over every space this cache holds.
+type statsResponse struct {
+	telemetry.Snapshot
+	Spaces int      `json:"spaces"`
+	Phases []string `json:"phases"`
+	Tables struct {
+		Enabling           [][]float64 `json:"enabling"`
+		Disabling          [][]float64 `json:"disabling"`
+		Independence       [][]float64 `json:"independence"`
+		StartProbabilities []float64   `json:"start_probabilities"`
+	} `json:"tables"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Fold in cache entries this process never served (left by an
+	// earlier run of the daemon over the same directory): the tables
+	// describe the whole cache, not one process lifetime.
+	if keys, err := s.store.keys(); err == nil {
+		for _, k := range keys {
+			s.stats.mu.Lock()
+			seen := s.stats.seen[k]
+			s.stats.mu.Unlock()
+			if seen {
+				continue
+			}
+			if res, err := s.store.load(k); err == nil {
+				s.stats.accumulate(k, res)
+			}
+		}
+	}
+
+	var resp statsResponse
+	resp.Snapshot = s.reg.Snapshot()
+	s.stats.mu.Lock()
+	resp.Spaces = len(s.stats.seen)
+	resp.Tables.Enabling = s.stats.x.Enabling()
+	resp.Tables.Disabling = s.stats.x.Disabling()
+	resp.Tables.Independence = s.stats.x.Independence()
+	resp.Tables.StartProbabilities = s.stats.x.StartProbabilities()
+	s.stats.mu.Unlock()
+	for _, p := range analysis.PhaseIDs {
+		resp.Phases = append(resp.Phases, string(p))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
