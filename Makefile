@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint-fixtures bench-smoke bench-search resume-smoke serve-smoke
+.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke
 
-check: fmt vet build test race lint-fixtures
+check: fmt vet build test race lint lint-fixtures
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,10 +25,29 @@ test:
 # The enumerator and the compilers are the concurrent subsystems; run
 # their suites under the race detector. faultinject rides along: its
 # faults fire on the enumerator's worker goroutines, so the panic /
-# hang / corrupt paths must be race-clean too, and fingerprint because
-# workers summarize instances concurrently through its pooled buffers.
+# hang / corrupt paths must be race-clean too, fingerprint because
+# workers summarize instances concurrently through its pooled buffers,
+# and dataflow because the equivalence tier canonicalizes instances on
+# those same workers (the -jobs + -equiv combination in the search
+# suite exercises it end to end).
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/ ./internal/dataflow/
+
+# Static analysis beyond go vet. staticcheck and govulncheck run when
+# installed and are skipped with a note otherwise, so the target stays
+# green on a bare Go toolchain and tightens automatically where the
+# tools exist.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # The rtllint fixtures double as an executable smoke test: the clean
 # inputs must lint clean, the broken ones must fail.

@@ -20,6 +20,12 @@
 //	-levels         also print instances per level (Figure 4 view)
 //	-jobs n         enumerate up to n functions concurrently; output
 //	                stays in deterministic input order (default 1)
+//	-equiv          collapse instances that are equivalent beyond
+//	                register/label renumbering into one node (the
+//	                dataflow equivalence tier); prints a collapse
+//	                summary per function. Mutually exclusive with
+//	                -checkpoint/-resume: the class tables are not
+//	                persisted across restarts
 //	-speed          best-performing leaf via CF-class inference (Sec. 7)
 //	-save dir       persist each space for phasestats -load / spacedot
 //
@@ -71,6 +77,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/check"
@@ -103,6 +110,7 @@ func run() int {
 		list      = flag.Bool("list", false, "print the benchmark list (Table 2) and exit")
 		levels    = flag.Bool("levels", false, "print instances per level for each function")
 		speed     = flag.Bool("speed", false, "find the best-performing leaf instance via control-flow-class inference (Section 7)")
+		equiv     = flag.Bool("equiv", false, "collapse equivalence classes beyond renumbering (internal/dataflow tier)")
 		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
 		jobs      = flag.Int("jobs", 1, "number of functions enumerated concurrently")
 		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to <dir>/<bench>.<func>.ckpt.space.gz")
@@ -153,6 +161,10 @@ func run() int {
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "explore: -resume requires -checkpoint")
+		return 1
+	}
+	if *equiv && (*ckptDir != "" || *resume) {
+		fmt.Fprintln(os.Stderr, "explore: -equiv is mutually exclusive with -checkpoint/-resume (class tables are not persisted)")
 		return 1
 	}
 
@@ -220,6 +232,7 @@ func run() int {
 			CheckpointInterval:    *ckptIval,
 			AttemptWatchdog:       *watchdog,
 			Faults:                faults,
+			Equiv:                 *equiv,
 		}
 		if *ckptDir != "" {
 			opts.CheckpointPath = filepath.Join(*ckptDir,
@@ -246,6 +259,11 @@ func run() int {
 		st := search.ComputeStats(r)
 		st.Function = fmt.Sprintf("%s(%s)", clip(tf.Func.Name, 12), tf.Bench[:1])
 		fmt.Fprintf(&fr.out, "%s   [%s]\n", st.TableRow(), r.Elapsed.Round(time.Millisecond))
+		if r.Equiv != nil {
+			fmt.Fprintf(&fr.out, "    equiv: %d raw instances -> %d classes (%d folded, %.1f%% collapse%s)\n",
+				r.Equiv.Raw, r.Equiv.Raw-r.Equiv.Merged, r.Equiv.Merged,
+				100*r.Equiv.CollapseRatio(), byPhaseSuffix(r.Equiv.RedundantByPhase))
+		}
 		for _, n := range r.QuarantinedNodes() {
 			fmt.Fprintf(&fr.out, "    QUARANTINED %s seq %q: %s\n", tf.Func.Name, n.Seq, n.Quarantine)
 		}
@@ -432,6 +450,25 @@ func makeVerifier(tf mibench.TaggedFunc) func(*rtl.Func) error {
 		}
 		return nil
 	}
+}
+
+// byPhaseSuffix renders an equivalence tier's per-phase redundancy
+// attribution as "; by phase b:12 r:3", phases in ID order, or ""
+// when nothing folded.
+func byPhaseSuffix(byPhase map[string]int) string {
+	if len(byPhase) == 0 {
+		return ""
+	}
+	ids := make([]string, 0, len(byPhase))
+	for id := range byPhase {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	s := "; by phase"
+	for _, id := range ids {
+		s += fmt.Sprintf(" %s:%d", id, byPhase[id])
+	}
+	return s
 }
 
 func clip(s string, n int) string {

@@ -12,9 +12,16 @@
 // search and verifier totals. Snapshots merge associatively, so any
 // number of per-run files combine into one table.
 //
+// With -equiv the mining searches run with the equivalence tier
+// (search.Options.Equiv) and an extra table attributes the folded
+// instances to the phase that generated each redundant spelling —
+// which phases merely reshuffle the representation rather than change
+// the code. Saved spaces that were enumerated with explore -equiv
+// contribute to the same table under -load.
+//
 // Usage:
 //
-//	phasestats [-maxnodes n] [-timeout d] [-enable] [-disable] [-indep] [-out file]
+//	phasestats [-maxnodes n] [-timeout d] [-enable] [-disable] [-indep] [-equiv] [-out file]
 //	phasestats -from-metrics m1.json,m2.json [-require counter,...]
 package main
 
@@ -23,11 +30,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/driver"
 	"repro/internal/mibench"
+	"repro/internal/opt"
 	"repro/internal/search"
 )
 
@@ -39,6 +48,7 @@ func main() {
 		disable     = flag.Bool("disable", false, "print only the disabling table")
 		indep       = flag.Bool("indep", false, "print only the independence table")
 		out         = flag.String("out", "", "write probability tables to this JSON file")
+		equiv       = flag.Bool("equiv", false, "mine with the equivalence tier and attribute redundant instances per phase")
 		loadDir     = flag.String("load", "", "analyze saved spaces from this directory (explore -save) instead of re-enumerating")
 		fromMetrics = flag.String("from-metrics", "", "aggregate per-phase costs from these metrics snapshots (comma-separated paths or globs) instead of enumerating")
 		require     = flag.String("require", "", "with -from-metrics: comma-separated counters that must be nonzero (exit 1 otherwise)")
@@ -55,7 +65,19 @@ func main() {
 	all := !*enable && !*disable && !*indep
 
 	x := analysis.NewInteractions()
-	mined, skipped := 0, 0
+	mined, skipped, cyclic := 0, 0, 0
+	equivRaw, equivMerged := 0, 0
+	equivByPhase := make(map[string]int)
+	collectEquiv := func(r *search.Result) {
+		if r.Equiv == nil {
+			return
+		}
+		equivRaw += r.Equiv.Raw
+		equivMerged += r.Equiv.Merged
+		for id, n := range r.Equiv.RedundantByPhase {
+			equivByPhase[id] += n
+		}
+	}
 	start := time.Now()
 	if *loadDir != "" {
 		paths, err := filepath.Glob(filepath.Join(*loadDir, "*.space.gz"))
@@ -77,7 +99,11 @@ func main() {
 				skipped++
 				continue
 			}
-			x.Accumulate(r)
+			collectEquiv(r)
+			if !x.Accumulate(r) {
+				cyclic++
+				continue
+			}
 			mined++
 		}
 	} else {
@@ -90,17 +116,33 @@ func main() {
 			r := search.Run(tf.Func, search.Options{
 				MaxNodes: *maxNodes,
 				Timeout:  *timeout,
+				Equiv:    *equiv,
 			})
 			if r.Aborted {
 				skipped++
 				continue
 			}
-			x.Accumulate(r)
+			collectEquiv(r)
+			if !x.Accumulate(r) {
+				cyclic++
+				continue
+			}
 			mined++
 		}
 	}
-	fmt.Printf("mined %d function spaces (%d exceeded caps) in %s\n\n",
+	fmt.Printf("mined %d function spaces (%d exceeded caps) in %s\n",
 		mined, skipped, time.Since(start).Round(time.Millisecond))
+	if cyclic > 0 {
+		// Folding a spelling back into an ancestor class makes the
+		// collapsed graph cyclic; the Figure 7 weighting behind the
+		// probability tables is undefined there.
+		fmt.Printf("%d equivalence-collapsed spaces are cyclic and were left out of Tables 4-6 (their collapse still counts below)\n", cyclic)
+	}
+	fmt.Println()
+
+	if *equiv || equivRaw > 0 {
+		printEquivTable(equivRaw, equivMerged, equivByPhase)
+	}
 
 	if all || *enable {
 		fmt.Println(analysis.FormatTable(
@@ -125,4 +167,34 @@ func main() {
 		}
 		fmt.Printf("probability tables written to %s\n", *out)
 	}
+}
+
+// printEquivTable renders the equivalence-tier attribution: how many
+// raw-distinct instances each phase generated that were equivalent —
+// beyond register/label renumbering — to an instance already in the
+// space. A high share means the phase often reshuffles the spelling of
+// the code (jump layout, operand order) without changing it.
+func printEquivTable(raw, merged int, byPhase map[string]int) {
+	fmt.Println("Equivalence-tier redundancy by phase (instances folded into an existing class):")
+	if merged == 0 {
+		fmt.Printf("  none: all %d raw instances were pairwise distinct beyond renumbering\n\n", raw)
+		return
+	}
+	ids := make([]string, 0, len(byPhase))
+	for id := range byPhase {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		name := "?"
+		if len(id) == 1 {
+			if p := opt.ByID(id[0]); p != nil {
+				name = p.Name()
+			}
+		}
+		fmt.Printf("  %s  %-34s %8d  %5.1f%%\n", id, name, byPhase[id],
+			100*float64(byPhase[id])/float64(merged))
+	}
+	fmt.Printf("  total: %d of %d raw instances folded (%.1f%% collapse)\n\n",
+		merged, raw, 100*float64(merged)/float64(raw))
 }

@@ -16,12 +16,21 @@
 //	-machine name target description: strongarm (default) or mipslike
 //	-nolints      suppress the advisory CFG lints, report errors only
 //	-werror       treat lints as errors for the exit status
+//	-json         emit one JSON object per diagnostic on stdout (JSON
+//	              Lines): the internal/check Diagnostic fields plus the
+//	              input file, with the CFG path witness as a block-ID
+//	              array; progress and summary messages go to stderr
+//
+// In human output, a diagnostic whose rule has a path witness is
+// followed by an indented "path: L0 -> L1 -> ..." line — the concrete
+// control-flow path demonstrating the finding.
 //
 // The exit status is 1 when any error-tier diagnostic fires (or any
 // diagnostic at all under -werror), 2 on usage or parse problems.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/dataflow"
 	"repro/internal/driver"
 	"repro/internal/machine"
 	"repro/internal/mc"
@@ -44,6 +54,7 @@ func main() {
 		machName = flag.String("machine", "strongarm", "target description: strongarm or mipslike")
 		noLints  = flag.Bool("nolints", false, "suppress the advisory CFG lints")
 		werror   = flag.Bool("werror", false, "treat lints as errors for the exit status")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per diagnostic (JSON Lines)")
 	)
 	flag.Parse()
 
@@ -69,10 +80,32 @@ func main() {
 	}
 
 	opts := check.Options{Machine: d, Lints: !*noLints}
+	// Under -json, stdout carries only the diagnostic stream; progress
+	// and summary prose moves to stderr.
+	msgW := io.Writer(os.Stdout)
+	if *jsonOut {
+		msgW = os.Stderr
+	}
 	errors, warnings := 0, 0
+	enc := json.NewEncoder(os.Stdout)
 	report := func(label string, diags []check.Diagnostic) {
 		for _, dg := range diags {
-			fmt.Printf("%s: %s\n", label, dg)
+			if *jsonOut {
+				// The Diagnostic fields flattened alongside the input
+				// file, one object per line.
+				if err := enc.Encode(struct {
+					File string `json:"file"`
+					check.Diagnostic
+				}{label, dg}); err != nil {
+					fmt.Fprintf(os.Stderr, "rtllint: encoding diagnostic: %v\n", err)
+					os.Exit(2)
+				}
+			} else {
+				fmt.Printf("%s: %s\n", label, dg)
+				if len(dg.Witness) > 0 {
+					fmt.Printf("  path: %s\n", dataflow.FormatIDPath(dg.Witness))
+				}
+			}
 			if dg.Severity == check.SevError {
 				errors++
 			} else {
@@ -86,7 +119,7 @@ func main() {
 			if *batch {
 				res := driver.Batch(f, d)
 				if res.CheckErr != nil {
-					fmt.Printf("%s: %s: after active sequence %q: %v\n", label, f.Name, res.Seq, res.CheckErr)
+					fmt.Fprintf(msgW, "%s: %s: after active sequence %q: %v\n", label, f.Name, res.Seq, res.CheckErr)
 					errors++
 					continue
 				}
@@ -103,7 +136,7 @@ func main() {
 					}
 					applied += string((*seq)[i])
 					if errs := check.Errors(check.Run(f, opts)); len(errs) != 0 {
-						fmt.Printf("%s: %s: after active sequence %q (offender %c):\n",
+						fmt.Fprintf(msgW, "%s: %s: after active sequence %q (offender %c):\n",
 							label, f.Name, applied, (*seq)[i])
 						report(label, errs)
 						violated = true
@@ -153,7 +186,7 @@ func main() {
 	}
 
 	if errors+warnings > 0 {
-		fmt.Printf("%d error(s), %d warning(s)\n", errors, warnings)
+		fmt.Fprintf(msgW, "%d error(s), %d warning(s)\n", errors, warnings)
 	}
 	if errors > 0 || (*werror && warnings > 0) {
 		os.Exit(1)

@@ -4,6 +4,10 @@
 // with the phase that transforms one instance into the other.
 // Quarantined dead ends (phase panics, watchdog timeouts) are drawn in
 // red; the unexpanded frontier of an interrupted checkpoint is dashed.
+// In a space enumerated with explore -equiv, a node that absorbed
+// raw-distinct but equivalent spellings is drawn with a double ring
+// and an "×k" multiplicity (k raw instances in its class); the graph
+// label summarizes the collapse.
 //
 // With -hash the graph is not rendered: the tool prints the SHA-256 of
 // the space's canonical serialization instead, the equality used by
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/search"
@@ -56,6 +61,10 @@ func main() {
 	}
 	var w []float64
 	if *weights {
+		if analysis.Cyclic(r) {
+			fmt.Fprintln(os.Stderr, "space is cyclic (equivalence collapse folded a spelling into an ancestor class); -weights is undefined on it")
+			os.Exit(1)
+		}
 		w = analysis.Weights(r)
 	}
 	frontier := make(map[int]bool)
@@ -68,8 +77,17 @@ func main() {
 	fmt.Printf("digraph %q {\n", r.FuncName)
 	fmt.Println("  rankdir=TB;")
 	fmt.Println("  node [shape=circle, fontsize=10];")
+	var legend []string
 	if len(frontier) > 0 {
-		fmt.Printf("  label=\"checkpoint: %d unexpanded frontier nodes (dashed)\";\n", len(frontier))
+		legend = append(legend, fmt.Sprintf("checkpoint: %d unexpanded frontier nodes (dashed)", len(frontier)))
+	}
+	if r.Equiv != nil {
+		legend = append(legend, fmt.Sprintf(
+			"equivalence collapse: %d raw instances -> %d classes (double ring ×k = k raw spellings)",
+			r.Equiv.Raw, r.Equiv.Raw-r.Equiv.Merged))
+	}
+	if len(legend) > 0 {
+		fmt.Printf("  label=\"%s\";\n", strings.Join(legend, "\\n"))
 		fmt.Println("  labelloc=t;")
 	}
 	for _, n := range r.Nodes {
@@ -82,6 +100,9 @@ func main() {
 		if *weights {
 			label = fmt.Sprintf("%d\\nw=%.0f", n.NumInstrs, w[n.ID])
 		}
+		if n.EquivRaw > 1 {
+			label += fmt.Sprintf("\\n×%d", n.EquivRaw)
+		}
 		attrs := fmt.Sprintf("label=\"%s\"", label)
 		switch {
 		case frontier[n.ID]:
@@ -91,6 +112,8 @@ func main() {
 		}
 		if n.ID == 0 {
 			attrs += ", shape=doublecircle"
+		} else if n.EquivRaw > 1 {
+			attrs += ", peripheries=2"
 		}
 		fmt.Printf("  n%d [%s];\n", n.ID, attrs)
 	}

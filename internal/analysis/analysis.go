@@ -29,10 +29,50 @@ func phaseIndex(id byte) int {
 	return -1
 }
 
+// Cyclic reports whether the space's transition graph contains a
+// cycle. Identical-instance spaces are acyclic in practice (the paper
+// observes no phase undoes another's effect byte-for-byte), but a
+// space collapsed by the equivalence tier (search.Options.Equiv) can
+// cycle: a phase sequence may return to an *equivalent* spelling of an
+// ancestor class, and the fold turns that into a back edge. The
+// Figure 7 weighting — and with it the Tables 4-6 mining — is
+// undefined on such graphs, so callers check here first.
+func Cyclic(r *search.Result) bool {
+	state := make([]uint8, len(r.Nodes)) // 0 new, 1 on stack, 2 done
+	var stack []int
+	for root := range r.Nodes {
+		if state[root] != 0 {
+			continue
+		}
+		// Iterative gray/black DFS: a node is pushed once, scanned, and
+		// re-visited after its children to be blackened.
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			if state[id] == 0 {
+				state[id] = 1
+				for _, e := range r.Nodes[id].Edges {
+					switch state[e.To] {
+					case 1:
+						return true
+					case 0:
+						stack = append(stack, e.To)
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			state[id] = 2
+		}
+	}
+	return false
+}
+
 // Weights computes the Figure 7 node weighting for a search result and
 // stores it on the nodes, returning the weight array indexed by node
 // ID. The space must be acyclic (the paper observes VPO's is, since no
-// phase undoes the effect of another); a cycle panics.
+// phase undoes the effect of another); a cycle panics — callers that
+// may hold an equivalence-collapsed space check Cyclic first.
 func Weights(r *search.Result) []float64 {
 	w := make([]float64, len(r.Nodes))
 	state := make([]uint8, len(r.Nodes)) // 0 new, 1 in progress, 2 done
@@ -119,8 +159,14 @@ func activeSet(n *search.Node) (mask uint32, to [16]int) {
 	return mask, to
 }
 
-// Accumulate folds one enumerated space into the statistics.
-func (x *Interactions) Accumulate(r *search.Result) {
+// Accumulate folds one enumerated space into the statistics. A cyclic
+// space (possible only after equivalence-tier collapse — see Cyclic)
+// has no well-defined Figure 7 weighting and is skipped; Accumulate
+// reports whether the space was folded in.
+func (x *Interactions) Accumulate(r *search.Result) bool {
+	if Cyclic(r) {
+		return false
+	}
 	w := Weights(r)
 	x.Functions++
 
@@ -190,6 +236,7 @@ func (x *Interactions) Accumulate(r *search.Result) {
 			}
 		}
 	}
+	return true
 }
 
 // ratio returns num/den, or -1 when no observations exist.

@@ -62,6 +62,36 @@ func TestFig7NodeWeights(t *testing.T) {
 	}
 }
 
+// TestCyclicSpaceSkipped: a space whose equivalence collapse folded a
+// spelling back into an ancestor class is cyclic; Cyclic must detect
+// it and Accumulate must skip it rather than panic in the weighting.
+func TestCyclicSpaceSkipped(t *testing.T) {
+	mk := func(id, level int, seq string, edges ...search.Edge) *search.Node {
+		return &search.Node{ID: id, Level: level, Seq: seq, Edges: edges}
+	}
+	cyclic := &search.Result{Nodes: []*search.Node{
+		mk(0, 0, "", search.Edge{Phase: 'b', To: 1}),
+		mk(1, 1, "b", search.Edge{Phase: 'c', To: 2}),
+		mk(2, 2, "bc", search.Edge{Phase: 'b', To: 1}), // back to class 1
+	}}
+	if !analysis.Cyclic(cyclic) {
+		t.Fatal("Cyclic missed the back edge")
+	}
+	if analysis.Cyclic(fig7DAG()) {
+		t.Fatal("Cyclic flagged an acyclic DAG")
+	}
+	x := analysis.NewInteractions()
+	if x.Accumulate(cyclic) {
+		t.Fatal("Accumulate folded in a cyclic space")
+	}
+	if x.Functions != 0 {
+		t.Fatalf("skipped space still counted: Functions = %d", x.Functions)
+	}
+	if !x.Accumulate(fig7DAG()) {
+		t.Fatal("Accumulate refused an acyclic DAG")
+	}
+}
+
 // TestInteractionsOnFig7 verifies the transition accounting.
 func TestInteractionsOnFig7(t *testing.T) {
 	x := analysis.NewInteractions()

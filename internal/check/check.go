@@ -17,11 +17,20 @@
 //     access outside the allocated slots, a clobbered callee-save
 //     register after the entry/exit fixup;
 //
-//   - warnings (SevWarn) are CFG hygiene lints: unreachable blocks,
-//     empty blocks, jumps to the fall-through successor and blocks that
-//     loop on themselves with no exit. These states are legal — entire
-//     candidate phases exist to clean them up — so they never fail the
-//     hooks, but cmd/rtllint surfaces them.
+//   - warnings (SevWarn) are hygiene lints: unreachable blocks, empty
+//     blocks, jumps to the fall-through successor, blocks that loop on
+//     themselves with no exit, dead stores and redundant moves. These
+//     states are legal — entire candidate phases exist to clean them
+//     up — so they never fail the hooks, but cmd/rtllint surfaces them.
+//
+// The flow-sensitive rules (must-assigned registers, condition-code
+// validity, liveness, available copies) are instances of the
+// internal/dataflow solver rather than hand-rolled fixpoints, and every
+// diagnostic on a reachable block carries a path witness: a concrete
+// block trace through the CFG demonstrating the finding (the path along
+// which the register arrives unassigned, the condition codes arrive
+// invalid, or the stored value dies). cmd/rtllint renders witnesses in
+// both its human and -json output.
 package check
 
 import (
@@ -30,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dataflow"
 	"repro/internal/machine"
 	"repro/internal/rtl"
 	"repro/internal/telemetry"
@@ -53,6 +63,25 @@ func (s Severity) String() string {
 		return "error"
 	}
 	return "warning"
+}
+
+// MarshalJSON renders the severity as its report string, so the
+// rtllint -json stream says "error"/"warning" rather than 0/1.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the severity strings MarshalJSON emits.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"error"`:
+		*s = SevError
+	case `"warning"`:
+		*s = SevWarn
+	default:
+		return fmt.Errorf("check: unknown severity %s", b)
+	}
+	return nil
 }
 
 // Rule identifiers, one per verifier rule, so tooling can aggregate
@@ -97,25 +126,40 @@ const (
 	// RuleSelfLoop flags blocks whose only successor is themselves —
 	// an inescapable loop.
 	RuleSelfLoop = "cfg-self-loop"
+	// RuleDeadStore flags assignments whose value is never read: the
+	// destination is dead immediately after the instruction (the dead
+	// assignment elimination phase 'h' removes them).
+	RuleDeadStore = "dead-store"
+	// RuleRedundantMove flags register moves that re-establish a copy
+	// already available on every path (or copy a register to itself);
+	// common subexpression elimination 'c' removes them.
+	RuleRedundantMove = "redundant-move"
 )
 
 // Diagnostic is one verifier finding, structured so tooling can
-// aggregate findings rather than fail on the first error.
+// aggregate findings rather than fail on the first error. The JSON
+// field names are the rtllint -json wire format.
 type Diagnostic struct {
 	// Fn is the function name.
-	Fn string
+	Fn string `json:"fn"`
 	// Block is the block ID (the L-label), or -1 for function-level
 	// findings.
-	Block int
+	Block int `json:"block"`
 	// Instr is the instruction index within the block, or -1 for
 	// block-level findings.
-	Instr int
+	Instr int `json:"instr"`
 	// Rule is the Rule* identifier that fired.
-	Rule string
+	Rule string `json:"rule"`
 	// Severity grades the finding.
-	Severity Severity
+	Severity Severity `json:"severity"`
 	// Msg is the human-readable explanation.
-	Msg string
+	Msg string `json:"msg"`
+	// Witness is the finding's CFG path witness as a sequence of block
+	// IDs: a concrete control-flow path demonstrating the diagnosis
+	// (entry to the fault for path-sensitive rules, the store to an
+	// exit for dead stores). Empty when no path applies — unreachable
+	// code has no witness by definition.
+	Witness []int `json:"witness,omitempty"`
 }
 
 // String renders the diagnostic as "fn: L2[3]: rule: msg (severity)".
@@ -205,6 +249,7 @@ func run(f *rtl.Func, opts Options) []Diagnostic {
 	c.checkCalleeSave()
 	if opts.Lints {
 		c.lintCFG()
+		c.lintDataflow()
 	}
 	c.sort()
 	return c.diags
@@ -261,6 +306,11 @@ type checker struct {
 }
 
 func (c *checker) report(bpos, instr int, rule string, sev Severity, format string, args ...any) {
+	c.reportW(bpos, instr, rule, sev, nil, format, args...)
+}
+
+// reportW is report with an explicit path witness (block IDs).
+func (c *checker) reportW(bpos, instr int, rule string, sev Severity, witness []int, format string, args ...any) {
 	blockID := -1
 	if bpos >= 0 {
 		blockID = c.f.Blocks[bpos].ID
@@ -268,7 +318,21 @@ func (c *checker) report(bpos, instr int, rule string, sev Severity, format stri
 	c.diags = append(c.diags, Diagnostic{
 		Fn: c.f.Name, Block: blockID, Instr: instr,
 		Rule: rule, Severity: sev, Msg: fmt.Sprintf(format, args...),
+		Witness: witness,
 	})
+}
+
+// witnessTo returns a shortest entry-to-block path witness as block
+// IDs, or nil when the block is unreachable (no path exists).
+func (c *checker) witnessTo(bpos int) []int {
+	if bpos < 0 || !c.reach[bpos] {
+		return nil
+	}
+	path := dataflow.PathTo(c.g, bpos, nil)
+	if path == nil {
+		return nil
+	}
+	return dataflow.BlockIDs(c.f, path)
 }
 
 func (c *checker) sort() {
@@ -314,75 +378,26 @@ func (c *checker) entrySeed(maxReg int) rtl.RegSet {
 	return seed
 }
 
-// checkDefBeforeUse runs a forward must-be-assigned dataflow over the
-// CFG: a block's in-set is the intersection of its predecessors'
-// out-sets (entry seeded by entrySeed), each instruction's reads must
-// be covered, and its writes extend the set. Call instructions count
-// as defining the caller-save registers, matching Instr.Defs. The
-// condition-code register is excluded here — checkCondCodes models it
-// with call-clobber precision — and the program counter is the
-// reserved-register rule's business.
+// checkDefBeforeUse runs the forward must-be-assigned dataflow
+// (dataflow.MustAssigned): a block's in-set is the intersection of its
+// predecessors' out-sets, entry seeded by entrySeed, each
+// instruction's reads must be covered, and its writes extend the set.
+// Call instructions count as defining the caller-save registers,
+// matching Instr.Defs. The condition-code register is excluded here —
+// checkCondCodes models it with call-clobber precision — and the
+// program counter is the reserved-register rule's business. Each
+// finding carries as witness a shortest entry path that reaches the
+// read without ever assigning the register.
 func (c *checker) checkDefBeforeUse() {
 	f := c.f
-	n := len(f.Blocks)
 	maxReg := int(f.NextPseudo)
-	in := make([]rtl.RegSet, n)
-	out := make([]rtl.RegSet, n)
-	top := make([]bool, n) // out[i] still at the "everything" top value
-	for i := range out {
-		out[i] = rtl.NewRegSet(maxReg)
-		out[i].Fill(maxReg)
-		in[i] = rtl.NewRegSet(maxReg)
-		top[i] = true
-	}
-	order := c.g.RPO()
+	facts := dataflow.MustAssigned(c.g, c.entrySeed(maxReg), maxReg)
 	var buf [8]rtl.Reg
-	transfer := func(bpos int, dst *rtl.RegSet) {
-		for j := range f.Blocks[bpos].Instrs {
-			ins := &f.Blocks[bpos].Instrs[j]
-			for _, r := range ins.Defs(buf[:0]) {
-				dst.Add(r)
-			}
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, bpos := range order {
-			if !c.reach[bpos] {
-				continue
-			}
-			newIn := rtl.NewRegSet(maxReg)
-			if bpos == 0 {
-				newIn = c.entrySeed(maxReg)
-			} else {
-				newIn.Fill(maxReg)
-				for _, p := range c.g.Preds[bpos] {
-					if !top[p] {
-						newIn.IntersectWith(out[p])
-					}
-				}
-			}
-			in[bpos] = newIn
-			newOut := newIn.Copy()
-			transfer(bpos, &newOut)
-			if top[bpos] {
-				top[bpos] = false
-				out[bpos] = newOut
-				changed = true
-				continue
-			}
-			if out[bpos].IntersectWith(newOut) {
-				changed = true
-			}
-		}
-	}
-	// Reporting pass: walk each reachable block with its fixed-point
-	// in-set and flag uncovered reads.
 	for bpos, b := range f.Blocks {
 		if !c.reach[bpos] {
 			continue
 		}
-		cur := in[bpos].Copy()
+		cur := facts.In[bpos].Copy()
 		for j := range b.Instrs {
 			ins := &b.Instrs[j]
 			for _, r := range ins.Uses(buf[:0]) {
@@ -390,7 +405,7 @@ func (c *checker) checkDefBeforeUse() {
 					continue
 				}
 				if !cur.Has(r) {
-					c.report(bpos, j, RuleUseBeforeDef, SevError,
+					c.reportW(bpos, j, RuleUseBeforeDef, SevError, c.unassignedWitness(bpos, r),
 						"%s read by %q but not assigned on every path from entry", r, ins.String())
 				}
 			}
@@ -401,70 +416,127 @@ func (c *checker) checkDefBeforeUse() {
 	}
 }
 
+// unassignedWitness finds a shortest path from entry to the block
+// holding an uncovered read of r that passes through no block
+// assigning r — the concrete path along which the read sees garbage.
+// Such a path exists whenever the must-assigned analysis reports the
+// read (the in-set is the intersection over paths); the unrestricted
+// fallback is defensive only.
+func (c *checker) unassignedWitness(bpos int, r rtl.Reg) []int {
+	var buf [8]rtl.Reg
+	defines := func(p int) bool {
+		for j := range c.f.Blocks[p].Instrs {
+			for _, d := range c.f.Blocks[p].Instrs[j].Defs(buf[:0]) {
+				if d == r {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	path := dataflow.PathTo(c.g, bpos, defines)
+	if path == nil {
+		path = dataflow.PathTo(c.g, bpos, nil)
+	}
+	return dataflow.BlockIDs(c.f, path)
+}
+
 // checkCondCodes enforces the condition-code discipline: every
 // conditional branch must be dominated by a reaching compare with no
 // clobber in between. A compare validates IC, a call clobbers it
 // (calls save no flags), and the meet over paths is conjunction — the
-// codes must be valid on every way to reach the branch.
+// codes must be valid on every way to reach the branch. The problem is
+// a one-bit forward instance of the dataflow solver; each finding
+// carries as witness a path along which the codes arrive invalid.
 func (c *checker) checkCondCodes() {
 	f := c.f
-	n := len(f.Blocks)
-	icIn := make([]bool, n)
-	known := make([]bool, n) // in-value computed at least once
-	transfer := func(bpos int, ic bool) bool {
-		for j := range f.Blocks[bpos].Instrs {
-			ic = transferOne(&f.Blocks[bpos].Instrs[j], ic)
-		}
-		return ic
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, bpos := range c.g.RPO() {
-			if !c.reach[bpos] {
-				continue
+	facts := dataflow.Solve(c.g, dataflow.Spec[bool]{
+		Dir:      dataflow.Forward,
+		Top:      func() bool { return true },
+		Boundary: func() bool { return false },
+		Meet:     func(acc, x bool) bool { return acc && x },
+		Transfer: func(bpos int, ic bool) bool {
+			for j := range f.Blocks[bpos].Instrs {
+				ic = transferOne(&f.Blocks[bpos].Instrs[j], ic)
 			}
-			newIn := true
-			if bpos == 0 {
-				newIn = false
-			} else {
-				any := false
-				for _, p := range c.g.Preds[bpos] {
-					if !known[p] {
-						continue
-					}
-					newIn = newIn && transfer(p, icIn[p])
-					any = true
-				}
-				if !any {
-					continue
-				}
-			}
-			if !known[bpos] || newIn != icIn[bpos] {
-				// Monotone: values only move from the optimistic true
-				// toward false, so this terminates.
-				if !known[bpos] || !newIn {
-					icIn[bpos] = newIn
-					known[bpos] = true
-					changed = true
-				}
-			}
-		}
-	}
+			return ic
+		},
+		Equal: func(a, b bool) bool { return a == b },
+	})
 	for bpos, b := range f.Blocks {
 		if !c.reach[bpos] {
 			continue
 		}
-		ic := icIn[bpos]
+		ic := facts.In[bpos]
 		for j := range b.Instrs {
 			ins := &b.Instrs[j]
 			if ins.Op == rtl.OpBranch && !ic {
-				c.report(bpos, j, RuleCondCode, SevError,
+				c.reportW(bpos, j, RuleCondCode, SevError, c.condCodeWitness(bpos, j),
 					"branch %q not reached by a compare on every path (condition codes unset or call-clobbered)",
 					ins.String())
 			}
 			ic = transferOne(ins, ic)
 		}
 	}
+}
+
+// condCodeWitness finds a shortest path from entry to the block of a
+// flagged branch along which the condition codes are invalid at the
+// branch. If the block's own prefix (the instructions before index j)
+// invalidates the codes regardless of how they arrive, any entry path
+// is a witness; otherwise the prefix preserves validity, so the path
+// must deliver the codes invalid — a breadth-first search over
+// (block, codes-valid-on-entry) states finds the shortest such path.
+func (c *checker) condCodeWitness(bpos, j int) []int {
+	f, g := c.f, c.g
+	ic := true
+	for k := 0; k < j; k++ {
+		ic = transferOne(&f.Blocks[bpos].Instrs[k], ic)
+	}
+	if !ic {
+		return c.witnessTo(bpos)
+	}
+	n := len(g.Succs)
+	// State s = 2*block + validBit, where validBit is the codes'
+	// validity on block entry. parent holds the predecessor state for
+	// path reconstruction (-1 start, -2 unvisited).
+	parent := make([]int, 2*n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	start, goal := 0, 2*bpos // entry arrives invalid; reach bpos invalid
+	parent[start] = -1
+	queue := []int{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s == goal {
+			var rev []int
+			for cur := s; cur != -1; cur = parent[cur] {
+				rev = append(rev, cur/2)
+			}
+			path := make([]int, len(rev))
+			for i, p := range rev {
+				path[len(rev)-1-i] = p
+			}
+			return dataflow.BlockIDs(f, path)
+		}
+		b, valid := s/2, s%2 == 1
+		for k := range f.Blocks[b].Instrs {
+			valid = transferOne(&f.Blocks[b].Instrs[k], valid)
+		}
+		for _, sb := range g.Succs[b] {
+			ns := 2 * sb
+			if valid {
+				ns++
+			}
+			if parent[ns] == -2 {
+				parent[ns] = s
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return nil
 }
 
 // transferOne is the single-instruction condition-code transfer
@@ -496,7 +568,7 @@ func (c *checker) checkMachine() {
 		for j := range b.Instrs {
 			ins := &b.Instrs[j]
 			if err := d.Check(ins); err != nil {
-				c.report(bpos, j, RuleImmRange, SevError, "%v in %q", err, ins.String())
+				c.reportW(bpos, j, RuleImmRange, SevError, c.witnessTo(bpos), "%v in %q", err, ins.String())
 			}
 			c.checkReserved(bpos, j, ins)
 			// Frame bounds: direct stack-pointer addressing must hit an
@@ -517,7 +589,7 @@ func (c *checker) checkMachine() {
 				continue
 			}
 			if base.IsReg(rtl.RegSP) && f.SlotAt(ins.Disp) == nil {
-				c.report(bpos, j, RuleFrameBounds, SevError,
+				c.reportW(bpos, j, RuleFrameBounds, SevError, c.witnessTo(bpos),
 					"%q addresses offset %d outside every frame slot (frame size %d)",
 					ins.String(), ins.Disp, f.FrameSize)
 			}
@@ -539,16 +611,16 @@ func (c *checker) checkReserved(bpos, j int, ins *rtl.Instr) {
 	if hasDst(ins.Op) {
 		switch ins.Dst {
 		case rtl.RegSP, rtl.RegLR, rtl.RegPC:
-			c.report(bpos, j, RuleReservedReg, SevError,
+			c.reportW(bpos, j, RuleReservedReg, SevError, c.witnessTo(bpos),
 				"%q writes reserved register %s", ins.String(), ins.Dst)
 		case rtl.RegIC:
 			if ins.Op != rtl.OpCmp {
-				c.report(bpos, j, RuleReservedReg, SevError,
+				c.reportW(bpos, j, RuleReservedReg, SevError, c.witnessTo(bpos),
 					"%q sets the condition codes outside a compare", ins.String())
 			}
 		}
 		if ins.Op == rtl.OpCmp && ins.Dst != rtl.RegIC {
-			c.report(bpos, j, RuleReservedReg, SevError,
+			c.reportW(bpos, j, RuleReservedReg, SevError, c.witnessTo(bpos),
 				"compare %q must target the condition codes, not %s", ins.String(), ins.Dst)
 		}
 	}
@@ -557,7 +629,7 @@ func (c *checker) checkReserved(bpos, j int, ins *rtl.Instr) {
 			continue
 		}
 		if o.Reg == rtl.RegPC || o.Reg == rtl.RegLR {
-			c.report(bpos, j, RuleReservedReg, SevError,
+			c.reportW(bpos, j, RuleReservedReg, SevError, c.witnessTo(bpos),
 				"%q reads reserved register %s", ins.String(), o.Reg)
 		}
 	}
@@ -599,7 +671,7 @@ func (c *checker) checkCalleeSave() {
 			}
 		}
 		if !saved {
-			c.report(0, -1, RuleCalleeSave, SevError,
+			c.reportW(0, -1, RuleCalleeSave, SevError, c.witnessTo(0),
 				"callee-save %s is modified but never saved on entry", r)
 			continue
 		}
@@ -620,14 +692,16 @@ func (c *checker) checkCalleeSave() {
 				break
 			}
 			if !restored {
-				c.report(bpos, len(b.Instrs)-1, RuleCalleeSave, SevError,
+				c.reportW(bpos, len(b.Instrs)-1, RuleCalleeSave, SevError, c.witnessTo(bpos),
 					"callee-save %s not restored from its save slot (offset %d) before return", r, saveOff)
 			}
 		}
 	}
 }
 
-// lintCFG emits the warning-tier hygiene findings.
+// lintCFG emits the warning-tier CFG hygiene findings. Findings on
+// reachable blocks carry a shortest entry path; RuleUnreachable has no
+// witness by definition.
 func (c *checker) lintCFG() {
 	f := c.f
 	for bpos, b := range f.Blocks {
@@ -635,17 +709,103 @@ func (c *checker) lintCFG() {
 			c.report(bpos, -1, RuleUnreachable, SevWarn, "block unreachable from entry")
 		}
 		if len(b.Instrs) == 0 {
-			c.report(bpos, -1, RuleEmptyBlock, SevWarn, "empty block")
+			c.reportW(bpos, -1, RuleEmptyBlock, SevWarn, c.witnessTo(bpos), "empty block")
 			continue
 		}
 		last := b.Last()
 		if last.Op == rtl.OpJmp && bpos+1 < len(f.Blocks) && f.Blocks[bpos+1].ID == last.Target {
-			c.report(bpos, len(b.Instrs)-1, RuleJumpNext, SevWarn,
+			c.reportW(bpos, len(b.Instrs)-1, RuleJumpNext, SevWarn, c.witnessTo(bpos),
 				"jump to the fall-through successor L%d", last.Target)
 		}
 		if succs := c.g.Succs[bpos]; len(succs) == 1 && succs[0] == bpos {
-			c.report(bpos, len(b.Instrs)-1, RuleSelfLoop, SevWarn,
+			c.reportW(bpos, len(b.Instrs)-1, RuleSelfLoop, SevWarn, c.witnessTo(bpos),
 				"block's only successor is itself: inescapable loop")
 		}
 	}
+}
+
+// lintDataflow emits the warning-tier flow-sensitive findings: dead
+// stores (phase 'h' deletes them) and redundant moves (phase 'c'
+// does). Both use the internal/dataflow analyses — CFG-wide liveness
+// and available copies — so a store that dies across a block boundary
+// or a copy made redundant by a different block is found, not just the
+// straight-line cases.
+func (c *checker) lintDataflow() {
+	f := c.f
+	lv := dataflow.Liveness(c.g)
+	copies := dataflow.AvailableCopies(c.g)
+	var buf [8]rtl.Reg
+	for bpos, b := range f.Blocks {
+		if !c.reach[bpos] {
+			continue
+		}
+		// Dead stores: walk the block backwards carrying the live set,
+		// exactly the traversal phase 'h' deletes with. Instructions
+		// with side effects (stores, calls, control transfers) are
+		// exempt; a compare whose condition codes are dead is not.
+		live := lv.Out[bpos].Copy()
+		for j := len(b.Instrs) - 1; j >= 0; j-- {
+			ins := &b.Instrs[j]
+			if !ins.HasSideEffects() && ins.Op != rtl.OpNop &&
+				ins.Dst != rtl.RegNone && !live.Has(ins.Dst) {
+				c.reportW(bpos, j, RuleDeadStore, SevWarn, c.deadStoreWitness(bpos, ins.Dst),
+					"%s assigned by %q but never read on any path", ins.Dst, ins.String())
+			}
+			for _, d := range ins.Defs(buf[:0]) {
+				live.Remove(d)
+			}
+			for _, u := range ins.Uses(buf[:0]) {
+				live.Add(u)
+			}
+		}
+		// Redundant moves: a register-to-register mov whose pair is
+		// already available on every path, or a copy of a register to
+		// itself. Any entry path witnesses a must-availability fact.
+		for j := range b.Instrs {
+			ins := &b.Instrs[j]
+			if ins.Op != rtl.OpMov || ins.A.Kind != rtl.OperReg || !hasDst(ins.Op) {
+				continue
+			}
+			if ins.Dst == ins.A.Reg {
+				c.reportW(bpos, j, RuleRedundantMove, SevWarn, c.witnessTo(bpos),
+					"%q copies %s to itself", ins.String(), ins.Dst)
+			} else if dataflow.CopiesAt(c.g, copies, bpos, j).Has(ins.Dst, ins.A.Reg) {
+				c.reportW(bpos, j, RuleRedundantMove, SevWarn, c.witnessTo(bpos),
+					"%q re-establishes a copy of %s and %s already available on every path",
+					ins.String(), ins.Dst, ins.A.Reg)
+			}
+		}
+	}
+}
+
+// deadStoreWitness finds a path from the dead store's block to a
+// function exit along which the stored register is never read — the
+// concrete evidence the value dies. Blocks with an upward-exposed use
+// of r are avoided; when every exit path redefines r first and later
+// reads the new value, the strict path does not exist and any exit
+// path serves (the store is still dead — the re-reader sees the new
+// definition). Functions with no reachable exit yield no witness.
+func (c *checker) deadStoreWitness(bpos int, r rtl.Reg) []int {
+	var buf [8]rtl.Reg
+	exposedUse := func(p int) bool {
+		for j := range c.f.Blocks[p].Instrs {
+			ins := &c.f.Blocks[p].Instrs[j]
+			for _, u := range ins.Uses(buf[:0]) {
+				if u == r {
+					return true
+				}
+			}
+			for _, d := range ins.Defs(buf[:0]) {
+				if d == r {
+					return false
+				}
+			}
+		}
+		return false
+	}
+	path := dataflow.PathToExit(c.g, bpos, exposedUse)
+	if path == nil {
+		path = dataflow.PathToExit(c.g, bpos, nil)
+	}
+	return dataflow.BlockIDs(c.f, path)
 }

@@ -1,0 +1,322 @@
+package check_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// findRule returns every diagnostic with the given rule.
+func findRule(diags []check.Diagnostic, rule string) []check.Diagnostic {
+	var out []check.Diagnostic
+	for _, d := range diags {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestWitnessUseBeforeDef pins the path witness of a one-path
+// use-before-def: the trace must take the branch around L1 (the block
+// that assigns r[1]), not the fall-through that defines it.
+func TestWitnessUseBeforeDef(t *testing.T) {
+	f := parse(t, `
+broken(1):
+L0:
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	r[1]=5;
+L2:
+	RET r[1];
+`)
+	diags := findRule(check.Run(f, check.Options{}), check.RuleUseBeforeDef)
+	if len(diags) != 1 {
+		t.Fatalf("want one use-before-def, got %v", diags)
+	}
+	if want := []int{0, 2}; !reflect.DeepEqual(diags[0].Witness, want) {
+		t.Fatalf("witness = %v, want %v (the path that skips the defining block L1)",
+			diags[0].Witness, want)
+	}
+}
+
+// TestWitnessCondCode pins the path witness of a one-path condition
+// code clobber: the trace must run through L1, whose call clobbers the
+// codes, not along the branch edge where they stay valid.
+func TestWitnessCondCode(t *testing.T) {
+	f := parse(t, `
+broken(1):
+L0:
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	CALL helper(0);
+L2:
+	PC=IC<0,L3;
+L3:
+	RET;
+`)
+	diags := findRule(check.Run(f, check.Options{}), check.RuleCondCode)
+	if len(diags) != 1 {
+		t.Fatalf("want one cond-code finding, got %v", diags)
+	}
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(diags[0].Witness, want) {
+		t.Fatalf("witness = %v, want %v (the path through the clobbering call)",
+			diags[0].Witness, want)
+	}
+}
+
+// TestWitnessCondCodeUnset: with no compare anywhere the codes arrive
+// invalid straight from entry.
+func TestWitnessCondCodeUnset(t *testing.T) {
+	f := parse(t, `
+broken(0):
+L0:
+	PC=IC==0,L1;
+L1:
+	RET;
+`)
+	diags := findRule(check.Run(f, check.Options{}), check.RuleCondCode)
+	if len(diags) != 1 {
+		t.Fatalf("want one cond-code finding, got %v", diags)
+	}
+	if want := []int{0}; !reflect.DeepEqual(diags[0].Witness, want) {
+		t.Fatalf("witness = %v, want %v", diags[0].Witness, want)
+	}
+}
+
+// TestLintDeadStoreStraightLine: an assignment overwritten before any
+// read is flagged, with the block itself as witness.
+func TestLintDeadStoreStraightLine(t *testing.T) {
+	f := parse(t, `
+waste(1):
+L0:
+	r[1]=7;
+	r[1]=r[0];
+	RET r[1];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	if errs := check.Errors(diags); len(errs) != 0 {
+		t.Fatalf("fixture produced errors: %v", errs)
+	}
+	dead := findRule(diags, check.RuleDeadStore)
+	if len(dead) != 1 {
+		t.Fatalf("want one dead store, got %v", dead)
+	}
+	if dead[0].Block != 0 || dead[0].Instr != 0 {
+		t.Fatalf("dead store reported at L%d[%d], want L0[0]", dead[0].Block, dead[0].Instr)
+	}
+	if dead[0].Severity != check.SevWarn {
+		t.Fatalf("dead store severity = %v, want warning", dead[0].Severity)
+	}
+	if want := []int{0}; !reflect.DeepEqual(dead[0].Witness, want) {
+		t.Fatalf("witness = %v, want %v", dead[0].Witness, want)
+	}
+}
+
+// TestLintDeadStoreCrossBlock: the store dies across a block boundary —
+// every successor redefines the register before reading it — which the
+// CFG-wide liveness catches and a block-local scan would not.
+func TestLintDeadStoreCrossBlock(t *testing.T) {
+	f := parse(t, `
+waste(1):
+L0:
+	r[1]=7;
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	r[1]=1;
+	RET r[1];
+L2:
+	r[1]=2;
+	RET r[1];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	if errs := check.Errors(diags); len(errs) != 0 {
+		t.Fatalf("fixture produced errors: %v", errs)
+	}
+	dead := findRule(diags, check.RuleDeadStore)
+	if len(dead) != 1 {
+		t.Fatalf("want one dead store, got %v", dead)
+	}
+	if dead[0].Block != 0 || dead[0].Instr != 0 {
+		t.Fatalf("dead store reported at L%d[%d], want L0[0]", dead[0].Block, dead[0].Instr)
+	}
+	if len(dead[0].Witness) < 2 || dead[0].Witness[0] != 0 {
+		t.Fatalf("witness = %v, want a path from L0 to an exit", dead[0].Witness)
+	}
+}
+
+// TestLintRedundantMove: re-establishing a copy that is still
+// available, and copying a register to itself.
+func TestLintRedundantMove(t *testing.T) {
+	f := parse(t, `
+copies(1):
+L0:
+	r[1]=r[0];
+	r[2]=r[1];
+	r[1]=r[0];
+	r[3]=r[1]+r[2];
+	RET r[3];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	if errs := check.Errors(diags); len(errs) != 0 {
+		t.Fatalf("fixture produced errors: %v", errs)
+	}
+	red := findRule(diags, check.RuleRedundantMove)
+	if len(red) != 1 {
+		t.Fatalf("want one redundant move, got %v", red)
+	}
+	if red[0].Block != 0 || red[0].Instr != 2 {
+		t.Fatalf("redundant move reported at L%d[%d], want L0[2]", red[0].Block, red[0].Instr)
+	}
+}
+
+// TestLintRedundantMoveAcrossBlocks: the copy is established in the
+// entry block and recreated in a successor — only the flow-sensitive
+// availability analysis connects the two.
+func TestLintRedundantMoveAcrossBlocks(t *testing.T) {
+	f := parse(t, `
+copies(1):
+L0:
+	r[1]=r[0];
+	IC=r[0]?0;
+	PC=IC==0,L2;
+L1:
+	r[2]=r[1]+1;
+L2:
+	r[1]=r[0];
+	RET r[1];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	red := findRule(diags, check.RuleRedundantMove)
+	if len(red) != 1 {
+		t.Fatalf("want one redundant move, got %v", red)
+	}
+	if red[0].Block != 2 || red[0].Instr != 0 {
+		t.Fatalf("redundant move reported at L%d[%d], want L2[0]", red[0].Block, red[0].Instr)
+	}
+	if len(red[0].Witness) == 0 || red[0].Witness[0] != 0 {
+		t.Fatalf("witness = %v, want a path from entry", red[0].Witness)
+	}
+}
+
+// TestLintSelfMove: a register copied to itself.
+func TestLintSelfMove(t *testing.T) {
+	f := parse(t, `
+selfm(1):
+L0:
+	r[1]=r[0];
+	r[1]=r[1];
+	RET r[1];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	red := findRule(diags, check.RuleRedundantMove)
+	if len(red) != 1 {
+		t.Fatalf("want one redundant move (self), got %v", red)
+	}
+	if red[0].Block != 0 || red[0].Instr != 1 {
+		t.Fatalf("self move reported at L%d[%d], want L0[1]", red[0].Block, red[0].Instr)
+	}
+}
+
+// TestLintCleanFunction: a function that uses everything it computes
+// draws neither of the new lints.
+func TestLintCleanFunction(t *testing.T) {
+	f := parse(t, `
+clean(2):
+L0:
+	r[2]=r[0]+r[1];
+	RET r[2];
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	if red := findRule(diags, check.RuleRedundantMove); len(red) != 0 {
+		t.Errorf("clean function drew redundant-move: %v", red)
+	}
+	if dead := findRule(diags, check.RuleDeadStore); len(dead) != 0 {
+		t.Errorf("clean function drew dead-store: %v", dead)
+	}
+}
+
+// TestWitnessUnreachableEmpty: unreachable blocks have no path from
+// entry, so their diagnostic carries no witness.
+func TestWitnessUnreachableEmpty(t *testing.T) {
+	f := parse(t, `
+messy(0):
+L0:
+	PC=L2;
+L1:
+	r[0]=1;
+	PC=L2;
+L2:
+	RET;
+`)
+	diags := check.Run(f, check.Options{Lints: true})
+	unreach := findRule(diags, check.RuleUnreachable)
+	if len(unreach) != 1 {
+		t.Fatalf("want one unreachable finding, got %v", unreach)
+	}
+	if len(unreach[0].Witness) != 0 {
+		t.Fatalf("unreachable block has witness %v, want none", unreach[0].Witness)
+	}
+	// The jump-to-fall-through sits in the unreachable block here, so
+	// it carries no witness either.
+	next := findRule(diags, check.RuleJumpNext)
+	if len(next) != 1 || len(next[0].Witness) != 0 {
+		t.Fatalf("jump-next in dead code should have no witness: %v", next)
+	}
+
+	// A reachable jump-to-fall-through does carry its entry path.
+	f2 := parse(t, `
+tidy(0):
+L0:
+	PC=L1;
+L1:
+	RET;
+`)
+	next = findRule(check.Run(f2, check.Options{Lints: true}), check.RuleJumpNext)
+	if len(next) != 1 {
+		t.Fatalf("want one jump-next finding, got %v", next)
+	}
+	if want := []int{0}; !reflect.DeepEqual(next[0].Witness, want) {
+		t.Fatalf("jump-next witness = %v, want %v", next[0].Witness, want)
+	}
+}
+
+// TestDiagnosticJSON pins the rtllint -json wire format: lower-case
+// field names, severity as a string, witness as a block-ID array that
+// is omitted when empty.
+func TestDiagnosticJSON(t *testing.T) {
+	d := check.Diagnostic{
+		Fn: "f", Block: 2, Instr: 3,
+		Rule: check.RuleCondCode, Severity: check.SevError, Msg: "boom",
+		Witness: []int{0, 1, 2},
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"fn":"f","block":2,"instr":3,"rule":"cond-code","severity":"error","msg":"boom","witness":[0,1,2]}`
+	if string(b) != want {
+		t.Fatalf("json = %s\nwant   %s", b, want)
+	}
+	var back check.Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, d) {
+		t.Fatalf("round trip changed the diagnostic: %+v vs %+v", back, d)
+	}
+	d2 := check.Diagnostic{Fn: "f", Block: -1, Instr: -1, Rule: check.RuleStructure, Severity: check.SevWarn, Msg: "m"}
+	b2, err := json.Marshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := `{"fn":"f","block":-1,"instr":-1,"rule":"structure","severity":"warning","msg":"m"}`
+	if string(b2) != want2 {
+		t.Fatalf("json = %s\nwant   %s", b2, want2)
+	}
+}

@@ -1,0 +1,133 @@
+// Package dataflow is a reusable flow-sensitive analysis framework
+// over RTL control-flow graphs. It provides the classic building
+// blocks — a dominator tree with O(1) dominance queries, a generic
+// iterative worklist solver, reaching definitions, liveness, and a
+// dominator-scoped global value numbering — plus the two consumers
+// this repository builds on them: an equivalence-class canonicalizer
+// that collapses phase-order spaces beyond register/label renumbering
+// (EquivEncode), and CFG path witnesses that make internal/check's
+// diagnostics actionable (PathTo, FormatPath).
+//
+// All analyses identify blocks by layout position (index into
+// Func.Blocks), the same convention rtl.CFG uses, so results can be
+// combined freely with the CFG's edge lists and with rtl's own
+// liveness.
+package dataflow
+
+import "repro/internal/rtl"
+
+// Dir selects the direction a dataflow problem propagates facts in.
+type Dir int
+
+const (
+	// Forward propagates facts along control-flow edges, entry first.
+	Forward Dir = iota
+	// Backward propagates facts against control-flow edges, exits
+	// first.
+	Backward
+)
+
+// Spec describes one dataflow problem for Solve. F is the fact type
+// attached to each block boundary.
+//
+// By convention Top is the identity of Meet (the empty set for a
+// may/union problem, the universal set for a must/intersection
+// problem), so that folding the facts of zero edges yields Top.
+type Spec[F any] struct {
+	// Dir is the propagation direction.
+	Dir Dir
+	// Top returns a fresh meet-identity fact. Unreachable blocks keep
+	// Top on both sides.
+	Top func() F
+	// Boundary returns the fact at the graph boundary: the entry
+	// block's input for a forward problem, the input of exit blocks
+	// (blocks without successors) for a backward one.
+	Boundary func() F
+	// Meet folds x into acc and returns the result. acc starts as a
+	// fresh Top fact and may be mutated in place; x must not be.
+	Meet func(acc, x F) F
+	// Transfer maps the fact entering the block at layout position
+	// bpos to the fact leaving it (in program order for Forward,
+	// against it for Backward). It must return a fact independent of
+	// in: the solver retains the result across iterations.
+	Transfer func(bpos int, in F) F
+	// Equal reports fact equality; it bounds the fixpoint iteration.
+	Equal func(a, b F) bool
+}
+
+// Facts carries the per-block fixpoint solution of a dataflow
+// problem, indexed by layout position. In is the fact at block entry,
+// Out the fact at block exit, regardless of the problem's direction.
+// Unreachable blocks hold Top on both sides.
+type Facts[F any] struct {
+	In, Out []F
+}
+
+// Solve runs the iterative round-robin fixpoint for the problem s
+// over g. Blocks are visited in reverse postorder for forward
+// problems and postorder for backward ones, so acyclic graphs
+// converge in one pass and loops in a few.
+func Solve[F any](g *rtl.CFG, s Spec[F]) Facts[F] {
+	n := len(g.Succs)
+	facts := Facts[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		facts.In[i] = s.Top()
+		facts.Out[i] = s.Top()
+	}
+	if n == 0 {
+		return facts
+	}
+	reach := g.Reachable()
+	rpo := g.RPO()
+	order := make([]int, 0, n)
+	for _, b := range rpo {
+		if reach[b] {
+			order = append(order, b)
+		}
+	}
+	if s.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			var cur F
+			if s.Dir == Forward {
+				if b == 0 {
+					cur = s.Boundary()
+				} else {
+					cur = s.Top()
+					for _, p := range g.Preds[b] {
+						if reach[p] {
+							cur = s.Meet(cur, facts.Out[p])
+						}
+					}
+				}
+				facts.In[b] = cur
+				next := s.Transfer(b, cur)
+				if !s.Equal(next, facts.Out[b]) {
+					facts.Out[b] = next
+					changed = true
+				}
+			} else {
+				if len(g.Succs[b]) == 0 {
+					cur = s.Boundary()
+				} else {
+					cur = s.Top()
+					for _, sb := range g.Succs[b] {
+						cur = s.Meet(cur, facts.In[sb])
+					}
+				}
+				facts.Out[b] = cur
+				next := s.Transfer(b, cur)
+				if !s.Equal(next, facts.In[b]) {
+					facts.In[b] = next
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}

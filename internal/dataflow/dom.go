@@ -1,0 +1,87 @@
+package dataflow
+
+import "repro/internal/rtl"
+
+// DomTree is the dominator tree of a CFG with constant-time dominance
+// queries via pre/post interval numbering. Nodes are layout
+// positions; unreachable blocks are not part of the tree (they
+// dominate and are dominated by nothing but themselves).
+type DomTree struct {
+	// IDom[b] is the layout position of b's immediate dominator; the
+	// entry is its own idom, unreachable blocks get -1.
+	IDom []int
+	// Children[b] lists the blocks immediately dominated by b, in
+	// layout order.
+	Children [][]int
+	// Preorder is a dominator-tree preorder over the reachable
+	// blocks: every block appears after its idom.
+	Preorder []int
+
+	pre, post []int
+}
+
+// NewDomTree builds the dominator tree for g.
+func NewDomTree(g *rtl.CFG) *DomTree {
+	idom := g.Dominators()
+	n := len(idom)
+	t := &DomTree{
+		IDom:     idom,
+		Children: make([][]int, n),
+		pre:      make([]int, n),
+		post:     make([]int, n),
+	}
+	for i := range t.pre {
+		t.pre[i], t.post[i] = -1, -1
+	}
+	for b := 1; b < n; b++ {
+		if idom[b] >= 0 {
+			t.Children[idom[b]] = append(t.Children[idom[b]], b)
+		}
+	}
+	if n == 0 {
+		return t
+	}
+	// Iterative preorder DFS; a frame is re-pushed after its children
+	// so the post number is assigned when the subtree completes.
+	type frame struct {
+		b    int
+		next int
+	}
+	clock := 0
+	stack := []frame{{b: 0}}
+	t.pre[0] = clock
+	clock++
+	t.Preorder = append(t.Preorder, 0)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(t.Children[top.b]) {
+			c := t.Children[top.b][top.next]
+			top.next++
+			t.pre[c] = clock
+			clock++
+			t.Preorder = append(t.Preorder, c)
+			stack = append(stack, frame{b: c})
+			continue
+		}
+		t.post[top.b] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// Reachable reports whether block b is reachable from entry (i.e. in
+// the dominator tree).
+func (t *DomTree) Reachable(b int) bool { return t.pre[b] != -1 }
+
+// Dominates reports whether block a dominates block b. A block
+// dominates itself; unreachable blocks dominate nothing else.
+func (t *DomTree) Dominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if t.pre[a] == -1 || t.pre[b] == -1 {
+		return false
+	}
+	return t.pre[a] < t.pre[b] && t.post[b] < t.post[a]
+}

@@ -1,0 +1,217 @@
+package dataflow
+
+import "repro/internal/rtl"
+
+// Liveness computes per-block live-in/live-out register sets with the
+// generic solver: the backward union problem whose boundary is the
+// registers live at function exit (the stack pointer). On well-formed
+// functions the result matches rtl.ComputeLiveness.
+func Liveness(g *rtl.CFG) Facts[rtl.RegSet] {
+	f := g.F
+	n := len(f.Blocks)
+	maxReg := int(f.NextPseudo)
+	use := make([]rtl.RegSet, n)
+	def := make([]rtl.RegSet, n)
+	var buf [8]rtl.Reg
+	for i, b := range f.Blocks {
+		use[i], def[i] = rtl.NewRegSet(maxReg), rtl.NewRegSet(maxReg)
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			for _, r := range in.Uses(buf[:0]) {
+				if !def[i].Has(r) {
+					use[i].Add(r)
+				}
+			}
+			for _, r := range in.Defs(buf[:0]) {
+				def[i].Add(r)
+			}
+		}
+	}
+	return Solve(g, Spec[rtl.RegSet]{
+		Dir: Backward,
+		Top: func() rtl.RegSet { return rtl.NewRegSet(maxReg) },
+		Boundary: func() rtl.RegSet {
+			s := rtl.NewRegSet(maxReg)
+			s.Add(rtl.RegSP)
+			return s
+		},
+		Meet: func(acc, x rtl.RegSet) rtl.RegSet { acc.UnionWith(x); return acc },
+		Transfer: func(bpos int, out rtl.RegSet) rtl.RegSet {
+			// in = use ∪ (out - def)
+			in := out.Copy()
+			def[bpos].ForEach(func(r rtl.Reg) { in.Remove(r) })
+			in.UnionWith(use[bpos])
+			return in
+		},
+		Equal: func(a, b rtl.RegSet) bool { return a.Equal(b) },
+	})
+}
+
+// MustAssigned computes, for every block boundary, the registers that
+// have been assigned on *every* path from function entry — the
+// forward intersection problem behind the use-before-definition
+// check. entry seeds the registers defined at function entry
+// (parameters, stack pointer, ...); maxReg bounds the register
+// universe (the meet identity is the full set [0, maxReg)).
+func MustAssigned(g *rtl.CFG, entry rtl.RegSet, maxReg int) Facts[rtl.RegSet] {
+	f := g.F
+	def := make([]rtl.RegSet, len(f.Blocks))
+	var buf [8]rtl.Reg
+	for i, b := range f.Blocks {
+		def[i] = rtl.NewRegSet(maxReg)
+		for j := range b.Instrs {
+			for _, r := range b.Instrs[j].Defs(buf[:0]) {
+				def[i].Add(r)
+			}
+		}
+	}
+	return Solve(g, Spec[rtl.RegSet]{
+		Dir: Forward,
+		Top: func() rtl.RegSet {
+			s := rtl.NewRegSet(maxReg)
+			s.Fill(maxReg)
+			return s
+		},
+		Boundary: func() rtl.RegSet { return entry.Copy() },
+		Meet:     func(acc, x rtl.RegSet) rtl.RegSet { acc.IntersectWith(x); return acc },
+		Transfer: func(bpos int, in rtl.RegSet) rtl.RegSet {
+			out := in.Copy()
+			out.UnionWith(def[bpos])
+			return out
+		},
+		Equal: func(a, b rtl.RegSet) bool { return a.Equal(b) },
+	})
+}
+
+// Copy is an unordered register pair known to hold the same value;
+// the smaller register number is A.
+type Copy struct {
+	A, B rtl.Reg
+}
+
+// NewCopy normalizes a pair into a Copy.
+func NewCopy(a, b rtl.Reg) Copy {
+	if a > b {
+		a, b = b, a
+	}
+	return Copy{A: a, B: b}
+}
+
+// CopySet is a must-availability fact over register copies: the pairs
+// that hold equal values on every path reaching a point. The meet
+// identity (Top) is the universal set, represented symbolically.
+type CopySet struct {
+	universal bool
+	pairs     map[Copy]struct{}
+}
+
+// Has reports whether the pair (a, b) is available.
+func (cs CopySet) Has(a, b rtl.Reg) bool {
+	if cs.universal {
+		return true
+	}
+	_, ok := cs.pairs[NewCopy(a, b)]
+	return ok
+}
+
+func (cs CopySet) clone() CopySet {
+	if cs.universal {
+		return CopySet{universal: true}
+	}
+	m := make(map[Copy]struct{}, len(cs.pairs))
+	for p := range cs.pairs {
+		m[p] = struct{}{}
+	}
+	return CopySet{pairs: m}
+}
+
+// transferCopies applies one instruction to the set in place.
+func transferCopies(cs *CopySet, in *rtl.Instr, buf []rtl.Reg) {
+	if cs.universal {
+		// Materialize lazily: the universal set only survives until
+		// the first kill, and a kill of r removes infinitely many
+		// pairs, so universal sets must not flow into transfer.
+		// Callers seed the entry block with an empty set instead.
+		cs.universal = false
+		cs.pairs = make(map[Copy]struct{})
+	}
+	kill := func(r rtl.Reg) {
+		for p := range cs.pairs {
+			if p.A == r || p.B == r {
+				delete(cs.pairs, p)
+			}
+		}
+	}
+	if in.Op == rtl.OpMov && in.A.Kind == rtl.OperReg && in.Dst != rtl.RegNone {
+		if in.Dst == in.A.Reg {
+			return // self-move: no new information, no kill
+		}
+		kill(in.Dst)
+		cs.pairs[NewCopy(in.Dst, in.A.Reg)] = struct{}{}
+		return
+	}
+	for _, r := range in.Defs(buf) {
+		kill(r)
+	}
+}
+
+// AvailableCopies computes, for every block boundary, the register
+// copies available on every path from entry: after "r[a]=r[b];" the
+// pair (a, b) is available until either register is redefined. The
+// redundant-move check uses it to flag copies that recreate an
+// already-available pair.
+func AvailableCopies(g *rtl.CFG) Facts[CopySet] {
+	var buf [8]rtl.Reg
+	return Solve(g, Spec[CopySet]{
+		Dir:      Forward,
+		Top:      func() CopySet { return CopySet{universal: true} },
+		Boundary: func() CopySet { return CopySet{pairs: make(map[Copy]struct{})} },
+		Meet: func(acc, x CopySet) CopySet {
+			if x.universal {
+				return acc
+			}
+			if acc.universal {
+				return x.clone()
+			}
+			for p := range acc.pairs {
+				if _, ok := x.pairs[p]; !ok {
+					delete(acc.pairs, p)
+				}
+			}
+			return acc
+		},
+		Transfer: func(bpos int, in CopySet) CopySet {
+			out := in.clone()
+			for j := range g.F.Blocks[bpos].Instrs {
+				transferCopies(&out, &g.F.Blocks[bpos].Instrs[j], buf[:0])
+			}
+			return out
+		},
+		Equal: func(a, b CopySet) bool {
+			if a.universal || b.universal {
+				return a.universal == b.universal
+			}
+			if len(a.pairs) != len(b.pairs) {
+				return false
+			}
+			for p := range a.pairs {
+				if _, ok := b.pairs[p]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	})
+}
+
+// CopiesAt returns the copy set available immediately before
+// instruction idx of the block at layout position bpos, given the
+// block-boundary solution facts.
+func CopiesAt(g *rtl.CFG, facts Facts[CopySet], bpos, idx int) CopySet {
+	cur := facts.In[bpos].clone()
+	var buf [8]rtl.Reg
+	for j := 0; j < idx; j++ {
+		transferCopies(&cur, &g.F.Blocks[bpos].Instrs[j], buf[:0])
+	}
+	return cur
+}

@@ -1,0 +1,192 @@
+package dataflow
+
+import (
+	"math/bits"
+
+	"repro/internal/rtl"
+)
+
+// Bits is a dense bitset over definition IDs.
+type Bits struct {
+	w []uint64
+}
+
+func newBits(n int) Bits { return Bits{w: make([]uint64, (n+63)/64)} }
+
+// Has reports whether id is in the set.
+func (b Bits) Has(id int) bool {
+	w := id / 64
+	return w < len(b.w) && b.w[w]&(1<<(uint(id)%64)) != 0
+}
+
+// Add inserts id (which must be below the set's capacity).
+func (b *Bits) Add(id int) { b.w[id/64] |= 1 << (uint(id) % 64) }
+
+func (b *Bits) unionWith(t Bits) {
+	for i, w := range t.w {
+		b.w[i] |= w
+	}
+}
+
+func (b *Bits) andNotWith(t Bits) {
+	for i, w := range t.w {
+		b.w[i] &^= w
+	}
+}
+
+func (b Bits) equal(t Bits) bool {
+	for i, w := range t.w {
+		if b.w[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (b Bits) clone() Bits { return Bits{w: append([]uint64(nil), b.w...)} }
+
+// ForEach invokes fn for every id in the set in increasing order.
+func (b Bits) ForEach(fn func(id int)) {
+	for i, w := range b.w {
+		for w != 0 {
+			fn(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// DefSite identifies one static definition of a register: instruction
+// Instr of the block at layout position Block writes Reg. Synthetic
+// function-entry definitions (parameters, the stack pointer) use
+// Block = -1, Instr = -1.
+type DefSite struct {
+	Block int
+	Instr int
+	Reg   rtl.Reg
+}
+
+// IsEntry reports whether the definition is a synthetic
+// function-entry one.
+func (d DefSite) IsEntry() bool { return d.Block < 0 }
+
+// ReachingDefs is the solution of the classic reaching-definitions
+// problem: for every block boundary, the set of definitions (DefSite
+// IDs) that may reach it along some path.
+type ReachingDefs struct {
+	// Defs lists every definition site; a definition's ID is its
+	// index here.
+	Defs []DefSite
+	// In and Out are the per-block reaching sets, indexed by layout
+	// position.
+	In, Out []Bits
+
+	g       *rtl.CFG
+	defsOf  map[rtl.Reg][]int
+	gen     []Bits // per-block downward-exposed definitions
+	kill    []Bits // per-block killed definitions
+	firstID []int  // per-block ID of the first contained definition
+}
+
+// ComputeReachingDefs solves reaching definitions over g. The entry
+// registers are modeled as synthetic definitions at function entry,
+// so a use reached only by an entry definition is "defined at entry",
+// and a use reached by no definition at all is uninitialized on every
+// path.
+func ComputeReachingDefs(g *rtl.CFG, entry []rtl.Reg) *ReachingDefs {
+	f := g.F
+	rd := &ReachingDefs{g: g, defsOf: make(map[rtl.Reg][]int)}
+	addDef := func(d DefSite) int {
+		id := len(rd.Defs)
+		rd.Defs = append(rd.Defs, d)
+		rd.defsOf[d.Reg] = append(rd.defsOf[d.Reg], id)
+		return id
+	}
+	entryIDs := make([]int, 0, len(entry))
+	for _, r := range entry {
+		entryIDs = append(entryIDs, addDef(DefSite{Block: -1, Instr: -1, Reg: r}))
+	}
+	// First pass assigns IDs in layout order so gen/kill sets can be
+	// sized before they are filled.
+	var buf [8]rtl.Reg
+	rd.firstID = make([]int, len(f.Blocks))
+	for bpos, b := range f.Blocks {
+		rd.firstID[bpos] = len(rd.Defs)
+		for i := range b.Instrs {
+			for _, r := range b.Instrs[i].Defs(buf[:0]) {
+				addDef(DefSite{Block: bpos, Instr: i, Reg: r})
+			}
+		}
+	}
+	nd := len(rd.Defs)
+	rd.gen = make([]Bits, len(f.Blocks))
+	rd.kill = make([]Bits, len(f.Blocks))
+	for bpos, b := range f.Blocks {
+		gen := newBits(nd)
+		kill := newBits(nd)
+		id := rd.firstID[bpos]
+		last := make(map[rtl.Reg]int)
+		for i := range b.Instrs {
+			for _, r := range b.Instrs[i].Defs(buf[:0]) {
+				for _, k := range rd.defsOf[r] {
+					kill.Add(k)
+				}
+				last[r] = id
+				id++
+			}
+		}
+		for _, d := range last {
+			gen.Add(d)
+		}
+		rd.gen[bpos], rd.kill[bpos] = gen, kill
+	}
+	facts := Solve(g, Spec[Bits]{
+		Dir: Forward,
+		Top: func() Bits { return newBits(nd) },
+		Boundary: func() Bits {
+			b := newBits(nd)
+			for _, id := range entryIDs {
+				b.Add(id)
+			}
+			return b
+		},
+		Meet: func(acc, x Bits) Bits { acc.unionWith(x); return acc },
+		Transfer: func(bpos int, in Bits) Bits {
+			out := in.clone()
+			out.andNotWith(rd.kill[bpos])
+			out.unionWith(rd.gen[bpos])
+			return out
+		},
+		Equal: func(a, b Bits) bool { return a.equal(b) },
+	})
+	rd.In, rd.Out = facts.In, facts.Out
+	return rd
+}
+
+// ReachingAt returns the IDs of the definitions of register r that
+// may reach the program point immediately before instruction idx of
+// the block at layout position bpos, appended to out.
+func (rd *ReachingDefs) ReachingAt(bpos, idx int, r rtl.Reg, out []int) []int {
+	cur := rd.In[bpos].clone()
+	b := rd.g.F.Blocks[bpos]
+	var buf [8]rtl.Reg
+	// Definition IDs within a block are consecutive in scan order;
+	// recover them by replaying the prefix.
+	id := rd.firstID[bpos]
+	for i := 0; i < idx && i < len(b.Instrs); i++ {
+		for _, dr := range b.Instrs[i].Defs(buf[:0]) {
+			for _, k := range rd.defsOf[dr] {
+				if k != id {
+					cur.w[k/64] &^= 1 << (uint(k) % 64)
+				}
+			}
+			cur.Add(id)
+			id++
+		}
+	}
+	for _, k := range rd.defsOf[r] {
+		if cur.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -89,6 +89,26 @@ func (s *RegSet) Clear() {
 	}
 }
 
+// Equal reports whether s and t contain the same registers,
+// regardless of capacity.
+func (s RegSet) Equal(t RegSet) bool {
+	a, b := s.words, t.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i, w := range b {
+		if a[i] != w {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Len returns the number of elements.
 func (s RegSet) Len() int {
 	n := 0

@@ -1,0 +1,288 @@
+package search_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mibench"
+	"repro/internal/rtl"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// mibenchFunc compiles one benchmark and returns the named function.
+func mibenchFunc(t *testing.T, bench, fn string) *rtl.Func {
+	t.Helper()
+	p, err := mibench.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func(fn)
+	if f == nil {
+		t.Fatalf("%s: no function %q", bench, fn)
+	}
+	return f
+}
+
+// TestDefaultSpaceParity pins the enumerated spaces of a spread of
+// MiBench functions, by canonical hash, to the values the engine
+// produced before the equivalence tier existed. A change to any of
+// these hashes means the default (Equiv off) enumeration is no longer
+// byte-identical to what it was — which the equivalence tier must
+// never cause.
+func TestDefaultSpaceParity(t *testing.T) {
+	cases := []struct {
+		bench, fn string
+		nodes     int
+		hash      string
+	}{
+		{"dijkstra", "enqueue", 7, "5713b396f094d43c313d6b028b7fd1ccb624c81016a9fbd6553b42f46115c5f2"},
+		{"sha", "rotl", 37, "de70226c5c516348792bcefeccb2bc9665552583cf90abbad4b8a1b19d4c8640"},
+		{"stringsearch", "tolower_c", 20, "177f61126d4f656e0f363c5aa25c41d5f68e4d868b1952c58d1c85cfa76f452a"},
+		{"sha", "sha_transform", 3844, "cfa7ea149006491c342c20e0e53678f55d978f9b27e1bbda6d060d6e61b7819b"},
+	}
+	for _, tc := range cases {
+		if testing.Short() && tc.nodes > 1000 {
+			continue
+		}
+		f := mibenchFunc(t, tc.bench, tc.fn)
+		r := search.Run(f, search.Options{MaxNodes: 6000})
+		if r.Aborted {
+			t.Fatalf("%s/%s: aborted: %s", tc.bench, tc.fn, r.AbortReason)
+		}
+		if len(r.Nodes) != tc.nodes {
+			t.Errorf("%s/%s: %d nodes, want %d", tc.bench, tc.fn, len(r.Nodes), tc.nodes)
+		}
+		h, err := r.CanonicalHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != tc.hash {
+			t.Errorf("%s/%s: canonical hash drifted\n got %s\nwant %s", tc.bench, tc.fn, h, tc.hash)
+		}
+		if r.Equiv != nil {
+			t.Errorf("%s/%s: Equiv stats present on a default run", tc.bench, tc.fn)
+		}
+		for _, n := range r.Nodes {
+			if n.EquivRaw != 0 {
+				t.Fatalf("%s/%s: node %d has EquivRaw=%d on a default run", tc.bench, tc.fn, n.ID, n.EquivRaw)
+			}
+		}
+	}
+}
+
+// checkEquivInvariants asserts the structural accounting of an
+// equivalence-collapsed space and returns the non-quarantined node
+// count.
+func checkEquivInvariants(t *testing.T, name string, r *search.Result) int {
+	t.Helper()
+	if r.Equiv == nil {
+		t.Fatalf("%s: equiv run has no Equiv stats", name)
+	}
+	live, sum := 0, 0
+	for _, n := range r.Nodes {
+		if n.Quarantine != "" {
+			if n.EquivRaw != 0 {
+				t.Fatalf("%s: quarantined node %d has EquivRaw=%d", name, n.ID, n.EquivRaw)
+			}
+			continue
+		}
+		if n.EquivRaw < 1 {
+			t.Fatalf("%s: node %d has EquivRaw=%d, want >= 1", name, n.ID, n.EquivRaw)
+		}
+		live++
+		sum += n.EquivRaw
+	}
+	if got := r.Equiv.Raw - r.Equiv.Merged; got != live {
+		t.Fatalf("%s: Raw-Merged = %d, but %d non-quarantined nodes", name, got, live)
+	}
+	if sum != r.Equiv.Raw {
+		t.Fatalf("%s: sum of EquivRaw = %d, but Raw = %d", name, sum, r.Equiv.Raw)
+	}
+	byPhase := 0
+	for _, c := range r.Equiv.RedundantByPhase {
+		byPhase += c
+	}
+	if byPhase != r.Equiv.Merged {
+		t.Fatalf("%s: RedundantByPhase sums to %d, but Merged = %d", name, byPhase, r.Equiv.Merged)
+	}
+	return live
+}
+
+// TestEquivCollapseMiBench enumerates every MiBench function whose
+// space fits a small cap twice — identical-only and equivalence-
+// collapsed — and checks the acceptance property: the collapsed node
+// count never exceeds the identical-only one, and the collapse
+// accounting is internally consistent.
+func TestEquivCollapseMiBench(t *testing.T) {
+	fns, err := mibench.AllFunctions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 400
+	compared := 0
+	for _, tf := range fns {
+		name := tf.Bench + "/" + tf.Func.Name
+		raw := search.Run(tf.Func, search.Options{MaxNodes: cap})
+		if raw.Aborted {
+			continue // too big for the test cap either way
+		}
+		eq := search.Run(tf.Func, search.Options{MaxNodes: cap, Equiv: true})
+		if eq.Aborted {
+			t.Fatalf("%s: equiv run aborted (%s) though the raw run completed", name, eq.AbortReason)
+		}
+		if len(eq.Nodes) > len(raw.Nodes) {
+			t.Errorf("%s: equiv space has %d nodes, raw space %d — collapse grew the space",
+				name, len(eq.Nodes), len(raw.Nodes))
+		}
+		checkEquivInvariants(t, name, eq)
+		compared++
+		if testing.Short() && compared >= 8 {
+			break
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no MiBench function fit the test cap")
+	}
+	t.Logf("compared %d functions", compared)
+}
+
+// TestEquivCollapseRleBlock pins the headline collapse: branch
+// chaining is active throughout jpeg/rle_block's space and each of its
+// applications only reshuffles jump spellings, so the equivalence tier
+// folds roughly half the raw-distinct instances away.
+func TestEquivCollapseRleBlock(t *testing.T) {
+	f := mibenchFunc(t, "jpeg", "rle_block")
+	raw := search.Run(f, search.Options{MaxNodes: 6000})
+	if raw.Aborted {
+		t.Fatalf("raw run aborted: %s", raw.AbortReason)
+	}
+	eq := search.Run(f, search.Options{MaxNodes: 6000, Equiv: true})
+	if eq.Aborted {
+		t.Fatalf("equiv run aborted: %s", eq.AbortReason)
+	}
+	checkEquivInvariants(t, "rle_block", eq)
+	if eq.Equiv.Merged == 0 {
+		t.Fatal("rle_block space merged no equivalence classes")
+	}
+	if len(eq.Nodes) >= len(raw.Nodes) {
+		t.Fatalf("collapse did not shrink the space: %d vs %d raw nodes", len(eq.Nodes), len(raw.Nodes))
+	}
+	if r := eq.Equiv.CollapseRatio(); r < 0.25 {
+		t.Errorf("collapse ratio %.3f, expected at least 0.25 on rle_block", r)
+	}
+	if eq.Equiv.RedundantByPhase["b"] == 0 {
+		t.Error("expected branch chaining to be attributed redundant instances")
+	}
+	t.Logf("raw %d nodes; equiv %d nodes; Raw=%d Merged=%d byPhase=%v",
+		len(raw.Nodes), len(eq.Nodes), eq.Equiv.Raw, eq.Equiv.Merged, eq.Equiv.RedundantByPhase)
+}
+
+// TestEquivDeterministicParallel checks that the collapsed enumeration
+// is deterministic regardless of worker parallelism: a -jobs style
+// concurrent run must serialize byte-identically to the serial one.
+func TestEquivDeterministicParallel(t *testing.T) {
+	f := mibenchFunc(t, "jpeg", "rle_block")
+	opts := search.Options{MaxNodes: 6000, Equiv: true, Metrics: telemetry.NewRegistry()}
+	opts.Workers = 1
+	serial := search.Run(f, opts)
+	opts.Workers = 8
+	opts.Metrics = telemetry.NewRegistry()
+	parallel := search.Run(f, opts)
+	if serial.Aborted || parallel.Aborted {
+		t.Fatalf("aborted: %q / %q", serial.AbortReason, parallel.AbortReason)
+	}
+	a, err := serial.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equiv enumeration differs between 1 and 8 workers (%d vs %d nodes)",
+			len(serial.Nodes), len(parallel.Nodes))
+	}
+	checkEquivInvariants(t, "rle_block", serial)
+	if serial.Equiv.Merged == 0 {
+		t.Error("rle_block space merged no equivalence classes — expected some collapse")
+	}
+}
+
+// TestEquivSerializeRoundTrip checks that an equivalence-collapsed
+// space survives Save/Load with its version, collapse summary and
+// per-node counts intact.
+func TestEquivSerializeRoundTrip(t *testing.T) {
+	f := mibenchFunc(t, "sha", "rotl")
+	r := search.Run(f, search.Options{Equiv: true})
+	if r.Aborted {
+		t.Fatalf("aborted: %s", r.AbortReason)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := search.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equiv == nil || got.Equiv.Raw != r.Equiv.Raw || got.Equiv.Merged != r.Equiv.Merged {
+		t.Fatalf("Equiv stats did not round-trip: %+v vs %+v", got.Equiv, r.Equiv)
+	}
+	for i, n := range r.Nodes {
+		if got.Nodes[i].EquivRaw != n.EquivRaw {
+			t.Fatalf("node %d: EquivRaw %d -> %d", i, n.EquivRaw, got.Nodes[i].EquivRaw)
+		}
+	}
+	ra, err := r.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := got.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, ga) {
+		t.Fatal("canonical bytes changed across a save/load round trip")
+	}
+}
+
+// TestEquivCheckpointInteraction checks the documented exclusions:
+// an Equiv run never writes a checkpoint even when a path is
+// configured, and Resume rejects the Equiv option outright.
+func TestEquivCheckpointInteraction(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "space.ckpt")
+	f := mibenchFunc(t, "sha", "rotl")
+	r := search.Run(f, search.Options{Equiv: true, CheckpointPath: ckpt})
+	if r.Aborted {
+		t.Fatalf("aborted: %s", r.AbortReason)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("equiv run wrote a checkpoint file (stat err: %v)", err)
+	}
+
+	// An interrupted identical-only run must refuse to resume with the
+	// equivalence tier switched on.
+	r2 := search.Run(f, search.Options{MaxNodes: 5, CheckpointPath: ckpt})
+	if !r2.Aborted {
+		t.Fatal("expected the capped run to abort")
+	}
+	loaded, err := search.LoadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Checkpoint == nil {
+		t.Fatal("loaded space has no checkpoint to resume")
+	}
+	if _, err := search.Resume(loaded, search.Options{Equiv: true}); err == nil {
+		t.Fatal("Resume accepted the Equiv option on a checkpointed space")
+	}
+}

@@ -30,6 +30,15 @@ type dedupIndex struct {
 	buckets map[indexKey][]int32
 	keys    *keyStore
 
+	// aliases is the equivalence tier's overlay (Options.Equiv only):
+	// the canonical keys of raw-distinct instances that folded into an
+	// equivalence class, mapping to the class's node ID. Alias keys
+	// never enter the keyStore — they are not node keys — and are
+	// never retired, because a later enumeration path can re-derive
+	// the same raw spelling at any level. Nil when the option is off.
+	aliases    map[indexKey][]aliasEntry
+	aliasBytes int
+
 	// Counters for the telemetry layer; plain ints because every
 	// probe happens on the serial merge path.
 	probes       int64
@@ -37,18 +46,33 @@ type dedupIndex struct {
 	fpCollisions int64
 }
 
+// aliasEntry is one folded raw spelling: its full canonical key
+// (flags byte + encoding) and the node of its equivalence class.
+type aliasEntry struct {
+	key string
+	to  int32
+}
+
 func newDedupIndex(keys *keyStore) *dedupIndex {
 	return &dedupIndex{buckets: make(map[indexKey][]int32), keys: keys}
 }
 
 // lookup returns the ID of the node whose stored key equals
-// flags+enc, if any.
+// flags+enc — directly, or through the equivalence tier's aliases.
 func (d *dedupIndex) lookup(flags byte, fp fingerprint.FP, enc []byte) (int, bool) {
 	d.probes++
-	for _, id := range d.buckets[indexKey{flags, fp}] {
+	k := indexKey{flags, fp}
+	for _, id := range d.buckets[k] {
 		d.byteCompares++
 		if d.keys.matches(int(id), flags, enc) {
 			return int(id), true
+		}
+		d.fpCollisions++
+	}
+	for _, a := range d.aliases[k] {
+		d.byteCompares++
+		if len(a.key) == len(enc)+1 && a.key[0] == flags && a.key[1:] == string(enc) {
+			return int(a.to), true
 		}
 		d.fpCollisions++
 	}
@@ -62,12 +86,26 @@ func (d *dedupIndex) insert(flags byte, fp fingerprint.FP, id int) {
 	d.buckets[k] = append(d.buckets[k], int32(id))
 }
 
+// insertAlias records key — the canonical key of a raw spelling the
+// equivalence tier folded away — as resolving to node id.
+func (d *dedupIndex) insertAlias(flags byte, fp fingerprint.FP, key string, id int) {
+	if d.aliases == nil {
+		d.aliases = make(map[indexKey][]aliasEntry)
+	}
+	k := indexKey{flags, fp}
+	d.aliases[k] = append(d.aliases[k], aliasEntry{key: key, to: int32(id)})
+	d.aliasBytes += len(key)
+}
+
 // retainedBytes estimates the live memory held by the index: the key
-// payloads (live and compressed) plus the bucket entries.
+// payloads (live, compressed and aliased) plus the bucket entries.
 func (d *dedupIndex) retainedBytes() int {
-	n := d.keys.retainedBytes()
+	n := d.keys.retainedBytes() + d.aliasBytes
 	for _, b := range d.buckets {
 		n += 4 * len(b)
+	}
+	for _, a := range d.aliases {
+		n += 4 * len(a)
 	}
 	return n
 }

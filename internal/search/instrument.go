@@ -64,6 +64,7 @@ type instruments struct {
 	timed                      bool
 	mNodes, mEdges, mAttempts  *telemetry.Counter
 	mActive, mDormant, mMerged *telemetry.Counter
+	mEquivMerged               *telemetry.Counter
 	mQuarantined               *telemetry.Counter
 	mCkptWrites, mCkptFailures *telemetry.Counter
 	mStateKey, mExpand         *telemetry.Histogram
@@ -88,6 +89,7 @@ func newInstruments(opts *Options, fnName string, start time.Time) *instruments 
 		ins.mActive = reg.Counter("search.active")
 		ins.mDormant = reg.Counter("search.dormant")
 		ins.mMerged = reg.Counter("search.merged")
+		ins.mEquivMerged = reg.Counter("search.equiv.merged")
 		ins.mQuarantined = reg.Counter("search.quarantined")
 		ins.mCkptWrites = reg.Counter("search.checkpoint.writes")
 		ins.mCkptFailures = reg.Counter("search.checkpoint.failures")
@@ -167,6 +169,14 @@ func (ins *instruments) observeOutcome(activeOut, isNew bool) {
 		ins.merged.Add(1)
 		ins.mMerged.Inc()
 	}
+}
+
+// observeEquivMerge tallies one equivalence-tier fold (a raw-distinct
+// instance merged into an existing class) on the serial path. The fold
+// already counted as a merge in observeOutcome; this counter isolates
+// the third tier's contribution.
+func (ins *instruments) observeEquivMerge() {
+	ins.mEquivMerged.Inc()
 }
 
 // observeQuarantine tallies one quarantined attempt on the serial

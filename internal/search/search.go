@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/dataflow"
 	"repro/internal/faultinject"
 	"repro/internal/fingerprint"
 	"repro/internal/machine"
@@ -86,6 +87,11 @@ type Node struct {
 	// Weight is the number of distinct active sequences at or below
 	// this node (leaves weigh 1), per Figure 7. Filled by Analyze.
 	Weight float64
+	// EquivRaw, under Options.Equiv, counts the raw-distinct instances
+	// this node's equivalence class absorbed (1 = the node alone; >1 =
+	// the class merged instances the identical tier kept apart). Zero
+	// when the search ran without Equiv and on quarantined nodes.
+	EquivRaw int
 
 	fn *rtl.Func // retained only while unexplored
 }
@@ -122,6 +128,20 @@ type Options struct {
 	// whole space's violations can be harvested in one enumeration
 	// (see Result.CheckFailures).
 	Check bool
+	// Equiv adds the third tier of the instance index: instances that
+	// survive the identical-instance tier are canonicalized by the
+	// flow-sensitive equivalence encoder (internal/dataflow) —
+	// dominator-ordered block layout, forwarder/fall-through
+	// unification, commutative operand sorting by value number — and
+	// instances with equal equivalence keys merge into one node even
+	// when their canonical encodings differ. The collapse is summarized
+	// in Result.Equiv and per node in Node.EquivRaw. Equivalence-
+	// collapsed enumerations are not checkpointable: Run ignores
+	// CheckpointPath and Resume rejects the option (the alias tables
+	// are not persisted). With Equiv unset the enumeration and its
+	// serialized space are bit-for-bit what they were before this
+	// option existed.
+	Equiv bool
 	// KeepFuncs retains every node's function instance in memory
 	// (needed by callers that walk instances afterwards; the analysis
 	// and statistics do not need it).
@@ -213,6 +233,9 @@ type Result struct {
 	// counts, merge counts, per-operation timing); it is persisted by
 	// the space serializer alongside the node table.
 	Stats RunStats
+	// Equiv summarizes the equivalence-class collapse when the search
+	// ran with Options.Equiv; nil otherwise.
+	Equiv *EquivStats
 	// Checkpoint, on a Result loaded from a checkpoint file, holds the
 	// resumable frontier; nil for completely enumerated spaces. Resume
 	// consumes it.
@@ -233,6 +256,34 @@ type Result struct {
 // flags byte followed by the canonical instance encoding ("Q"+Seq for
 // quarantined nodes). Nodes are merged exactly when these keys match.
 func (r *Result) NodeKey(n *Node) string { return r.keys.get(n.ID) }
+
+// EquivStats summarizes the equivalence-class collapse of a space
+// enumerated with Options.Equiv.
+type EquivStats struct {
+	// Raw counts the raw-distinct instances discovered — the node
+	// count an identical-instance-only enumeration of the same space
+	// would have produced (quarantined dead ends excluded).
+	Raw int `json:"raw"`
+	// Merged counts the raw-distinct instances folded into an
+	// already-known equivalence class; Raw - Merged non-quarantined
+	// nodes remain in the collapsed space.
+	Merged int `json:"merged"`
+	// RedundantByPhase attributes each fold to the phase whose
+	// application produced the redundant instance, keyed by phase ID.
+	// It answers "which phases only shuffle the representation": a
+	// phase with a high count keeps regenerating instances the
+	// equivalence tier proves nothing new.
+	RedundantByPhase map[string]int `json:"redundant_by_phase,omitempty"`
+}
+
+// CollapseRatio is Merged / Raw: the fraction of raw-distinct
+// instances the equivalence tier eliminated (0 when nothing merged).
+func (s *EquivStats) CollapseRatio() float64 {
+	if s == nil || s.Raw == 0 {
+		return 0
+	}
+	return float64(s.Merged) / float64(s.Raw)
+}
 
 // Checkpoint is the resumable state of a partially enumerated space.
 type Checkpoint struct {
@@ -290,6 +341,12 @@ type engine struct {
 	index    *dedupIndex
 	frontier []*Node
 	start    time.Time
+	// equivClasses is the third index tier (Options.Equiv): the
+	// gating-flags byte + equivalence-canonical encoding of every
+	// class representative, mapping to its node ID. Nil when the
+	// option is off. Unlike node keys, class keys are never retired:
+	// any future instance may land in any class.
+	equivClasses map[string]int32
 	// prior is the elapsed time accumulated before a resume.
 	prior time.Duration
 	done  <-chan struct{}
@@ -312,6 +369,12 @@ func Run(f *rtl.Func, opts Options) *Result {
 	rtl.Cleanup(root)
 
 	res := &Result{FuncName: f.Name, root: root.Clone(), opts: opts, keys: newKeyStore()}
+	if opts.Equiv {
+		// Equivalence-collapsed runs are not resumable (the class and
+		// alias tables are not persisted), so checkpointing is off.
+		res.opts.CheckpointPath = ""
+		res.Equiv = &EquivStats{RedundantByPhase: make(map[string]int)}
+	}
 	e := &engine{
 		res:   res,
 		opts:  &res.opts,
@@ -319,9 +382,16 @@ func Run(f *rtl.Func, opts Options) *Result {
 		index: newDedupIndex(res.keys),
 		start: start,
 	}
+	if opts.Equiv {
+		e.equivClasses = make(map[string]int32)
+	}
 	rootBuf := fingerprint.GetBuffer()
 	rootFP := fingerprint.SummarizeInto(rootBuf, root)
-	rootNode, _ := e.add(root, opt.State{}, rootFP, rootBuf, 0, "")
+	var rootEquiv []byte
+	if opts.Equiv {
+		rootEquiv = dataflow.EquivEncode(nil, root)
+	}
+	rootNode, _ := e.add(root, opt.State{}, rootFP, rootBuf, rootEquiv, 0, 0, "")
 	fingerprint.PutBuffer(rootBuf)
 	e.ins.nodes.Add(1)
 	e.ins.mNodes.Inc()
@@ -347,6 +417,9 @@ func Resume(res *Result, opts Options) (*Result, error) {
 	cp := res.Checkpoint
 	if cp == nil {
 		return res, nil
+	}
+	if opts.Equiv {
+		return nil, fmt.Errorf("search: resume does not support equivalence collapse (the class tables are not persisted); re-run the enumeration with Equiv instead")
 	}
 	mach := res.opts.Machine
 	opts.fill()
@@ -385,15 +458,51 @@ func Resume(res *Result, opts Options) (*Result, error) {
 	return e.run(), nil
 }
 
-// add interns one instance, returning its node and whether it is new.
+// mergeKind classifies how add disposed of an instance.
+type mergeKind int
+
+const (
+	// mergeDup: the canonical key matched an existing node (or an
+	// alias of one) — the classic identical-instance merge.
+	mergeDup mergeKind = iota
+	// mergeEquiv: the instance is raw-distinct but its equivalence key
+	// matched an existing class; it merged into the class node and its
+	// canonical key became an alias (Options.Equiv only).
+	mergeEquiv
+	// mergeNew: a new node was created.
+	mergeNew
+)
+
+// add interns one instance, returning its node and how it was merged.
 // The caller supplies the instance summary (fingerprint plus canonical
-// encoding and CF key in buf) computed by the workers, so this — the
-// serial merge path — does only an index probe and, for new nodes, the
-// key copy.
-func (e *engine) add(fn *rtl.Func, st opt.State, fp fingerprint.FP, buf *fingerprint.Buffer, level int, seq string) (*Node, bool) {
+// encoding and CF key in buf, and — under Options.Equiv — the
+// equivalence encoding) computed by the workers, so this — the serial
+// merge path — does only index probes and, for new nodes, the key
+// copy. phase is the producing phase's ID (0 for the root), used to
+// attribute equivalence-tier folds.
+func (e *engine) add(fn *rtl.Func, st opt.State, fp fingerprint.FP, buf *fingerprint.Buffer, equiv []byte, phase byte, level int, seq string) (*Node, mergeKind) {
 	flags := stateBits(st)
 	if id, ok := e.index.lookup(flags, fp, buf.Enc); ok {
-		return e.res.Nodes[id], false
+		return e.res.Nodes[id], mergeDup
+	}
+	if e.res.Equiv != nil {
+		e.res.Equiv.Raw++
+		ckey := string(flags) + string(equiv)
+		if id, ok := e.equivClasses[ckey]; ok {
+			// Raw-distinct instance, known class: record its canonical
+			// key as an alias so future identical duplicates of this
+			// spelling resolve to the class node too.
+			rawKey := make([]byte, 0, 1+len(buf.Enc))
+			rawKey = append(append(rawKey, flags), buf.Enc...)
+			e.index.insertAlias(flags, fp, string(rawKey), int(id))
+			n := e.res.Nodes[id]
+			n.EquivRaw++
+			e.res.Equiv.Merged++
+			if phase != 0 {
+				e.res.Equiv.RedundantByPhase[string(phase)]++
+			}
+			return n, mergeEquiv
+		}
 	}
 	n := &Node{
 		ID:        len(e.res.Nodes),
@@ -410,7 +519,11 @@ func (e *engine) add(fn *rtl.Func, st opt.State, fp fingerprint.FP, buf *fingerp
 	e.res.keys.put(n.ID, string(key))
 	e.index.insert(flags, fp, n.ID)
 	e.res.Nodes = append(e.res.Nodes, n)
-	return n, true
+	if e.res.Equiv != nil {
+		n.EquivRaw = 1
+		e.equivClasses[string(flags)+string(equiv)] = int32(n.ID)
+	}
+	return n, mergeNew
 }
 
 // addQuarantined interns the dead-end node of a quarantined attempt.
@@ -653,11 +766,14 @@ func (e *engine) run() *Result {
 					ins.observeOutcome(false, false)
 					continue
 				}
-				cn, isNew := e.add(o.fn, o.st, o.fp, o.buf, a.node.Level+1, a.node.Seq+string(a.phase.ID()))
+				cn, kind := e.add(o.fn, o.st, o.fp, o.buf, o.equiv, a.phase.ID(), a.node.Level+1, a.node.Seq+string(a.phase.ID()))
 				fingerprint.PutBuffer(o.buf)
-				ins.observeOutcome(true, isNew)
+				ins.observeOutcome(true, kind == mergeNew)
+				if kind == mergeEquiv {
+					ins.observeEquivMerge()
+				}
 				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
-				if isNew {
+				if kind == mergeNew {
 					cn.CheckErr = o.checkErr
 					next = append(next, cn)
 				} else {
@@ -748,6 +864,7 @@ type outcome struct {
 	st         opt.State
 	fp         fingerprint.FP
 	buf        *fingerprint.Buffer
+	equiv      []byte // equivalence encoding, Options.Equiv only
 	checkErr   string
 	quarantine string
 }
@@ -786,6 +903,13 @@ func evalAttempt(root *rtl.Func, a attempt, opts *Options, ins *instruments, lan
 	}
 	o.buf = fingerprint.GetBuffer()
 	o.fp = fingerprint.SummarizeInto(o.buf, o.fn)
+	if opts.Equiv {
+		// The equivalence encoding is the expensive part of the third
+		// tier (CFG + dominators + value numbering); computing it here
+		// keeps it off the serial merge path, and the rare instance the
+		// identical tier absorbs anyway just wastes one encoding.
+		o.equiv = dataflow.EquivEncode(nil, o.fn)
+	}
 	if ins.timed {
 		ins.observeStateKey(keyBegan)
 	}

@@ -34,9 +34,14 @@ import (
 //	v2  adds per-node quarantine records and an optional checkpoint
 //	    section — the live frontier with its retained instances — that
 //	    makes a partially enumerated space resumable (search.Resume)
+//	v3  adds the equivalence-collapse summary (top-level "equiv") and
+//	    per-node raw-instance counts ("equiv_raw") of spaces
+//	    enumerated with Options.Equiv
 //
-// Writers emit v2; the loader reads both. v1 files simply have no
-// quarantined nodes and no checkpoint section.
+// Writers emit v3 only for equivalence-collapsed spaces, keeping every
+// other space byte-identical to the v2 writer's output; the loader
+// reads v1-v3. v1 files simply have no quarantined nodes and no
+// checkpoint section.
 
 type fileFormat struct {
 	Version         int             `json:"version"`
@@ -46,6 +51,7 @@ type fileFormat struct {
 	AbortReason     string          `json:"abort_reason,omitempty"`
 	ElapsedNS       int64           `json:"elapsed_ns"`
 	Stats           RunStats        `json:"stats"`
+	Equiv           *EquivStats     `json:"equiv,omitempty"`
 	Root            *rtl.Func       `json:"root"`
 	Nodes           []fileNode      `json:"nodes"`
 	Machine         *machine.Desc   `json:"machine"`
@@ -59,6 +65,7 @@ type fileNode struct {
 	FP         fingerprint.FP `json:"fp"`
 	State      byte           `json:"state"`
 	NumInstrs  int            `json:"num_instrs"`
+	EquivRaw   int            `json:"equiv_raw,omitempty"`
 	CFKey      string         `json:"cf_key"` // base64
 	Edges      []Edge         `json:"edges,omitempty"`
 	CheckErr   string         `json:"check_err,omitempty"`
@@ -75,9 +82,20 @@ type fileCheckpoint struct {
 }
 
 const (
-	formatVersion    = 2
-	minFormatVersion = 1
+	formatVersion      = 2
+	formatVersionEquiv = 3
+	minFormatVersion   = 1
 )
+
+// formatVersionOf returns the version this result serializes as:
+// equivalence-collapsed spaces need v3, everything else stays v2 (and
+// byte-identical to what the v2 writer produced).
+func (r *Result) formatVersionOf() int {
+	if r.Equiv != nil {
+		return formatVersionEquiv
+	}
+	return formatVersion
+}
 
 func stateBits(st opt.State) byte {
 	var b byte
@@ -121,6 +139,7 @@ func (r *Result) encodeNodes(numNodes int, stripEdges map[int]bool) []fileNode {
 			FP:         n.FP,
 			State:      stateBits(n.State),
 			NumInstrs:  n.NumInstrs,
+			EquivRaw:   n.EquivRaw,
 			CFKey:      enc.EncodeToString([]byte(n.CFKey)),
 			Edges:      edges,
 			CheckErr:   n.CheckErr,
@@ -135,13 +154,14 @@ func (r *Result) encodeNodes(numNodes int, stripEdges map[int]bool) []fileNode {
 // unresumed space round-trips).
 func (r *Result) fileFormatFull(canonical bool) *fileFormat {
 	ff := &fileFormat{
-		Version:         formatVersion,
+		Version:         r.formatVersionOf(),
 		FuncName:        r.FuncName,
 		AttemptedPhases: r.AttemptedPhases,
 		Aborted:         r.Aborted,
 		AbortReason:     r.AbortReason,
 		ElapsedNS:       int64(r.Elapsed),
 		Stats:           r.Stats,
+		Equiv:           r.Equiv,
 		Root:            r.root,
 		Machine:         r.opts.Machine,
 		Nodes:           r.encodeNodes(len(r.Nodes), nil),
@@ -183,11 +203,12 @@ func (r *Result) fileFormatAt(snap *snapshot, savedAt time.Time) *fileFormat {
 		fc = nil
 	}
 	return &fileFormat{
-		Version:         formatVersion,
+		Version:         r.formatVersionOf(),
 		FuncName:        r.FuncName,
 		AttemptedPhases: snap.attempted,
 		ElapsedNS:       int64(snap.elapsed),
 		Stats:           snap.stats,
+		Equiv:           r.Equiv,
 		Root:            r.root,
 		Machine:         r.opts.Machine,
 		Nodes:           r.encodeNodes(snap.numNodes, strip),
@@ -336,9 +357,9 @@ func Load(rd io.Reader) (*Result, error) {
 	if err := gz.Close(); err != nil {
 		return nil, fmt.Errorf("search: space file has a corrupt gzip trailer: %w", err)
 	}
-	if ff.Version < minFormatVersion || ff.Version > formatVersion {
+	if ff.Version < minFormatVersion || ff.Version > formatVersionEquiv {
 		return nil, fmt.Errorf("search: space format version %d unsupported (this build reads v%d-v%d)",
-			ff.Version, minFormatVersion, formatVersion)
+			ff.Version, minFormatVersion, formatVersionEquiv)
 	}
 	if ff.Root == nil || len(ff.Nodes) == 0 {
 		return nil, fmt.Errorf("search: space file is empty")
@@ -350,10 +371,14 @@ func Load(rd io.Reader) (*Result, error) {
 		AbortReason:     ff.AbortReason,
 		Elapsed:         time.Duration(ff.ElapsedNS),
 		Stats:           ff.Stats,
+		Equiv:           ff.Equiv,
 		root:            ff.Root,
 		keys:            newKeyStore(),
 	}
 	res.opts.fill()
+	if ff.Equiv != nil {
+		res.opts.Equiv = true
+	}
 	if ff.Machine != nil {
 		res.opts.Machine = ff.Machine
 	}
@@ -381,6 +406,7 @@ func Load(rd io.Reader) (*Result, error) {
 			FP:         fn.FP,
 			State:      bitsState(fn.State),
 			NumInstrs:  fn.NumInstrs,
+			EquivRaw:   fn.EquivRaw,
 			CFKey:      fingerprint.Key(cf),
 			Edges:      fn.Edges,
 			CheckErr:   fn.CheckErr,

@@ -35,6 +35,12 @@ type Stats struct {
 	// Aborted marks functions whose space exceeded the search caps
 	// (the paper's "N/A" rows).
 	Aborted bool
+	// EquivRaw and EquivMerged, for spaces enumerated with
+	// Options.Equiv, count the raw-distinct instances discovered and
+	// those the equivalence tier folded into an existing class; both
+	// zero otherwise.
+	EquivRaw    int
+	EquivMerged int
 }
 
 // ComputeStats assembles the Table 3 row for a completed search.
@@ -44,6 +50,10 @@ func ComputeStats(r *Result) Stats {
 		FnInstances:     len(r.Nodes),
 		AttemptedPhases: r.AttemptedPhases,
 		Aborted:         r.Aborted,
+	}
+	if r.Equiv != nil {
+		st.EquivRaw = r.Equiv.Raw
+		st.EquivMerged = r.Equiv.Merged
 	}
 	root := r.root
 	st.Insts = root.NumInstrs()

@@ -26,12 +26,14 @@ type normOptions struct {
 	Cap      int  `json:"cap"`
 	MaxNodes int  `json:"max_nodes"`
 	Check    bool `json:"check"`
+	Equiv    bool `json:"equiv"`
 }
 
 // keyPrefix versions the key derivation: bump it when the space format
 // or the key material changes incompatibly, and old cache entries
-// simply become unreachable instead of wrong.
-const keyPrefix = "spaced/v1\x00"
+// simply become unreachable instead of wrong. v2: normOptions grew the
+// equiv field, changing the encoded key material.
+const keyPrefix = "spaced/v2\x00"
 
 // cacheKey is the hex SHA-256 identifying one (function, options)
 // enumeration request. It is content-addressed: the function enters via

@@ -137,6 +137,7 @@ type enumerateRequest struct {
 		Cap        int  `json:"cap,omitempty"`
 		MaxNodes   int  `json:"max_nodes,omitempty"`
 		Check      bool `json:"check,omitempty"`
+		Equiv      bool `json:"equiv,omitempty"`
 		DeadlineMS int  `json:"deadline_ms,omitempty"`
 	} `json:"options"`
 }
@@ -152,6 +153,13 @@ type enumerateResponse struct {
 	Edges           int    `json:"edges"`
 	Leaves          int    `json:"leaves"`
 	AttemptedPhases int    `json:"attempted_phases"`
+	// EquivRaw and EquivMerged summarize the equivalence tier of a
+	// space enumerated with options.equiv: raw-distinct instances
+	// discovered and how many of them folded into an existing class
+	// (nodes = EquivRaw - EquivMerged). Both are absent on spaces
+	// enumerated without the tier.
+	EquivRaw    int `json:"equiv_raw,omitempty"`
+	EquivMerged int `json:"equiv_merged,omitempty"`
 	// Cache reports how the request was satisfied: "mem", "disk",
 	// "miss" (this request ran the enumeration) or "coalesced" (it
 	// joined another request's in-progress flight).
@@ -217,7 +225,7 @@ func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	no := normOptions{Cap: req.Options.Cap, MaxNodes: req.Options.MaxNodes, Check: req.Options.Check}
+	no := normOptions{Cap: req.Options.Cap, MaxNodes: req.Options.MaxNodes, Check: req.Options.Check, Equiv: req.Options.Equiv}
 	key := requestKey(fn, no)
 
 	// First level: the LRU of decoded spaces answers without touching
@@ -281,7 +289,7 @@ func response(key cacheKey, ent entry, how string) *enumerateResponse {
 			leaves++
 		}
 	}
-	return &enumerateResponse{
+	resp := &enumerateResponse{
 		Func:            ent.res.FuncName,
 		Key:             string(key),
 		SpaceHash:       ent.hash,
@@ -291,6 +299,11 @@ func response(key cacheKey, ent entry, how string) *enumerateResponse {
 		AttemptedPhases: ent.res.AttemptedPhases,
 		Cache:           how,
 	}
+	if eq := ent.res.Equiv; eq != nil {
+		resp.EquivRaw = eq.Raw
+		resp.EquivMerged = eq.Merged
+	}
+	return resp
 }
 
 // resolve turns the request into the function to enumerate.
@@ -407,19 +420,28 @@ func (s *Server) runFlight(fl *flight) {
 	}
 }
 
-// enumerateFlight runs (or resumes) the search for fl.
+// enumerateFlight runs (or resumes) the search for fl. Equivalence-tier
+// enumerations never checkpoint or resume — the class tables are not
+// persisted (search.Run refuses the combination) — so a drained equiv
+// flight simply starts over on the next request.
 func (s *Server) enumerateFlight(fl *flight) (*search.Result, error) {
 	opts := search.Options{
 		MaxSeqPerLevel: fl.no.Cap,
 		MaxNodes:       fl.no.MaxNodes,
 		Check:          fl.no.Check,
+		Equiv:          fl.no.Equiv,
 		Timeout:        s.cfg.SearchTimeout,
 		Ctx:            fl.ctx,
 		Metrics:        s.reg,
 		Tracer:         s.cfg.Tracer,
-		CheckpointPath: s.store.ckptPath(fl.key),
 		Faults:         s.cfg.Faults,
 	}
+	if fl.no.Equiv {
+		s.reg.Counter("server.enumerations").Inc()
+		res := search.Run(fl.fn, opts)
+		return s.finishFlight(fl, res)
+	}
+	opts.CheckpointPath = s.store.ckptPath(fl.key)
 	var res *search.Result
 	prev, err := search.LoadFile(opts.CheckpointPath)
 	switch {
@@ -440,10 +462,18 @@ func (s *Server) enumerateFlight(fl *flight) (*search.Result, error) {
 		s.reg.Counter("server.enumerations").Inc()
 		res = search.Run(fl.fn, opts)
 	}
+	return s.finishFlight(fl, res)
+}
+
+// finishFlight maps an aborted enumeration to its HTTP failure.
+func (s *Server) finishFlight(fl *flight, res *search.Result) (*search.Result, error) {
 	if res.Aborted {
 		reason := res.AbortReason
 		if strings.HasPrefix(reason, "canceled") {
 			fl.status = http.StatusServiceUnavailable
+			if fl.no.Equiv {
+				return nil, fmt.Errorf("enumeration canceled (%v); equiv spaces are not checkpointed — retry restarts it", context.Cause(fl.ctx))
+			}
 			return nil, fmt.Errorf("enumeration canceled (%v); partial space checkpointed for resume", context.Cause(fl.ctx))
 		}
 		fl.status = http.StatusUnprocessableEntity

@@ -487,6 +487,81 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestEquivOption: options.equiv enumerates with the equivalence tier —
+// a distinct cache key, equiv_raw/equiv_merged in the response, an
+// "equiv" summary in /v1/stats — and the stats survive the disk
+// round-trip to a fresh server; a request without the option reports no
+// equiv fields at all.
+func TestEquivOption(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Dir: dir})
+
+	equivBody := `{"source":` + jsonStr(clampSrc) + `,"options":{"equiv":true}}`
+	status, doc, _ := post(t, ts, equivBody)
+	if status != http.StatusOK {
+		t.Fatalf("equiv enumerate: status %d: %v", status, doc)
+	}
+	raw, ok := doc["equiv_raw"].(float64)
+	if !ok || raw <= 0 {
+		t.Fatalf("equiv response has no equiv_raw: %v", doc)
+	}
+	merged, _ := doc["equiv_merged"].(float64) // absent when nothing folded
+	if nodes := doc["nodes"].(float64); nodes != raw-merged {
+		t.Fatalf("nodes = %v, want equiv_raw - equiv_merged = %v", nodes, raw-merged)
+	}
+
+	status, plain, _ := post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("plain enumerate: status %d: %v", status, plain)
+	}
+	if plain["key"] == doc["key"] {
+		t.Fatal("equiv and plain requests share a cache key")
+	}
+	if _, ok := plain["equiv_raw"]; ok {
+		t.Fatalf("plain response leaks equiv fields: %v", plain)
+	}
+
+	getStats := func(ts *httptest.Server) map[string]any {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	eq, ok := getStats(ts)["equiv"].(map[string]any)
+	if !ok {
+		t.Fatal("/v1/stats has no equiv summary after an equiv enumeration")
+	}
+	if eq["spaces"] != float64(1) || eq["raw"] != raw || eq["merged"] != merged {
+		t.Fatalf("stats equiv = %v, want spaces 1, raw %v, merged %v", eq, raw, merged)
+	}
+
+	// A fresh server over the same directory serves the equiv space from
+	// disk with its tier stats intact, and folds them into /v1/stats.
+	s2, ts2 := newTestServer(t, Config{Dir: dir})
+	status, doc2, _ := post(t, ts2, equivBody)
+	if status != http.StatusOK {
+		t.Fatalf("disk replay: status %d: %v", status, doc2)
+	}
+	if doc2["cache"] != "disk" {
+		t.Fatalf("disk replay served as %q, want disk", doc2["cache"])
+	}
+	if doc2["equiv_raw"] != raw {
+		t.Fatalf("disk replay lost the equiv stats: %v", doc2)
+	}
+	if got := counter(s2, "server.enumerations"); got != 0 {
+		t.Fatalf("disk replay ran %d enumerations, want 0", got)
+	}
+	if eq, ok := getStats(ts2)["equiv"].(map[string]any); !ok || eq["spaces"] != float64(1) {
+		t.Fatalf("fresh server over warm dir reports equiv = %v, want 1 space", eq)
+	}
+}
+
 // TestRequestKeyContentAddressing: textually different but semantically
 // identical sources share a key; different options or functions do not.
 func TestRequestKeyContentAddressing(t *testing.T) {
@@ -500,6 +575,9 @@ func TestRequestKeyContentAddressing(t *testing.T) {
 	}
 	if requestKey(a, normOptions{}) == requestKey(a, normOptions{MaxNodes: 10}) {
 		t.Fatal("MaxNodes does not reach the cache key")
+	}
+	if requestKey(a, normOptions{}) == requestKey(a, normOptions{Equiv: true}) {
+		t.Fatal("Equiv does not reach the cache key")
 	}
 	c := mustCompile(t, absSrc, "myabs")
 	if requestKey(a, normOptions{}) == requestKey(c, normOptions{}) {

@@ -16,6 +16,12 @@ type spaceStats struct {
 	mu   sync.Mutex
 	seen map[cacheKey]bool
 	x    *analysis.Interactions
+
+	// Corpus-wide equivalence-tier totals over the spaces that were
+	// enumerated with options.equiv (zero when none were).
+	equivSpaces int
+	equivRaw    int
+	equivMerged int
 }
 
 func newSpaceStats() *spaceStats {
@@ -29,7 +35,14 @@ func (ss *spaceStats) accumulate(k cacheKey, r *search.Result) {
 		return
 	}
 	ss.seen[k] = true
+	// A cyclic equivalence-collapsed space cannot be folded into the
+	// Tables 4-6 weighting; its collapse totals still count.
 	ss.x.Accumulate(r)
+	if r.Equiv != nil {
+		ss.equivSpaces++
+		ss.equivRaw += r.Equiv.Raw
+		ss.equivMerged += r.Equiv.Merged
+	}
 }
 
 // statsResponse is the GET /v1/stats body: the telemetry snapshot
@@ -39,12 +52,25 @@ type statsResponse struct {
 	telemetry.Snapshot
 	Spaces int      `json:"spaces"`
 	Phases []string `json:"phases"`
+	// Equiv summarizes the equivalence tier across every cached space
+	// enumerated with options.equiv: raw instances discovered, how many
+	// folded into an existing class, and the corpus-wide collapse
+	// ratio folded/raw. Absent when no cached space used the tier.
+	Equiv  *equivSummary `json:"equiv,omitempty"`
 	Tables struct {
 		Enabling           [][]float64 `json:"enabling"`
 		Disabling          [][]float64 `json:"disabling"`
 		Independence       [][]float64 `json:"independence"`
 		StartProbabilities []float64   `json:"start_probabilities"`
 	} `json:"tables"`
+}
+
+// equivSummary is the GET /v1/stats "equiv" object.
+type equivSummary struct {
+	Spaces        int     `json:"spaces"`
+	Raw           int     `json:"raw"`
+	Merged        int     `json:"merged"`
+	CollapseRatio float64 `json:"collapse_ratio"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -69,6 +95,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Snapshot = s.reg.Snapshot()
 	s.stats.mu.Lock()
 	resp.Spaces = len(s.stats.seen)
+	if s.stats.equivSpaces > 0 {
+		eq := &equivSummary{Spaces: s.stats.equivSpaces, Raw: s.stats.equivRaw, Merged: s.stats.equivMerged}
+		if eq.Raw > 0 {
+			eq.CollapseRatio = float64(eq.Merged) / float64(eq.Raw)
+		}
+		resp.Equiv = eq
+	}
 	resp.Tables.Enabling = s.stats.x.Enabling()
 	resp.Tables.Disabling = s.stats.x.Disabling()
 	resp.Tables.Independence = s.stats.x.Independence()
