@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke
+.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke obs-smoke
 
 check: fmt vet build test race lint lint-fixtures
 
@@ -140,3 +140,73 @@ serve-smoke:
 	wait $$srv || { echo "serve-smoke: spaced did not drain cleanly"; cat "$$tmp/spaced.log"; exit 1; }; \
 	srv=""; \
 	echo "serve-smoke: coalesced+cached serving matches explore/spacedot ($$got)"
+
+# Observability smoke test: start spaced with the JSON request log and
+# a hang fault that keeps enumerations open long enough to coalesce,
+# then run cold / warm / coalesced requests and require (a) /metrics
+# parses as OpenMetrics (omlint) and covers the labeled request
+# families, (b) every request's X-Request-ID is echoed and appears on
+# its access-log line, (c) the slow-flight diagnostic fired, and
+# (d) the flight recorder links the coalesced follower to its leader's
+# request ID. Needs curl and jq.
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); srv=""; \
+	trap 'kill $$srv 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/spaced" ./cmd/spaced; \
+	$(GO) build -o "$$tmp/omlint" ./cmd/omlint; \
+	"$$tmp/spaced" -addr 127.0.0.1:0 -cache "$$tmp/cache" -ready-file "$$tmp/addr" \
+		-log json -slow-flight 1ms -faults 'hang=c:100ms' \
+		2>"$$tmp/spaced.log" & srv=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "obs-smoke: spaced never became ready"; cat "$$tmp/spaced.log"; exit 1; }; \
+	addr=$$(head -n1 "$$tmp/addr"); \
+	curl -fsS -H 'X-Request-ID: obs-cold' -D "$$tmp/h1" \
+		-d '{"bench":"sha","func":"rotl"}' "http://$$addr/v1/enumerate" -o "$$tmp/r1.json"; \
+	grep -qi '^x-request-id: obs-cold' "$$tmp/h1" \
+		|| { echo "obs-smoke: client X-Request-ID not echoed"; cat "$$tmp/h1"; exit 1; }; \
+	[ "$$(jq -r .cache "$$tmp/r1.json")" = miss ] \
+		|| { echo "obs-smoke: cold request cache=$$(jq -r .cache "$$tmp/r1.json"), want miss"; exit 1; }; \
+	curl -fsS -H 'X-Request-ID: obs-warm' \
+		-d '{"bench":"sha","func":"rotl"}' "http://$$addr/v1/enumerate" -o "$$tmp/r2.json"; \
+	[ "$$(jq -r .cache "$$tmp/r2.json")" = mem ] \
+		|| { echo "obs-smoke: warm request cache=$$(jq -r .cache "$$tmp/r2.json"), want mem"; exit 1; }; \
+	curl -fsS -H 'X-Request-ID: obs-lead' \
+		-d '{"bench":"stringsearch","func":"tolower_c"}' "http://$$addr/v1/enumerate" -o "$$tmp/r3.json" & c1=$$!; \
+	sleep 0.05; \
+	curl -fsS -H 'X-Request-ID: obs-follow' \
+		-d '{"bench":"stringsearch","func":"tolower_c"}' "http://$$addr/v1/enumerate" -o "$$tmp/r4.json" & c2=$$!; \
+	wait $$c1; wait $$c2; \
+	curl -fsS "http://$$addr/metrics" -o "$$tmp/metrics.txt"; \
+	"$$tmp/omlint" -q "$$tmp/metrics.txt" \
+		|| { echo "obs-smoke: /metrics rejected by omlint"; exit 1; }; \
+	for want in \
+		'http_request_duration_ns_bucket{endpoint="/v1/enumerate",status="200"' \
+		'server_cache_requests_total{cache_tier="mem"}' \
+		'server_cache_requests_total{cache_tier="miss"}' \
+		'server_cache_requests_total{cache_tier="coalesced"}' \
+		server_queue_depth server_flight_duration_ns_count; do \
+		grep -qF "$$want" "$$tmp/metrics.txt" \
+			|| { echo "obs-smoke: /metrics missing $$want"; exit 1; }; \
+	done; \
+	for id in obs-cold obs-warm obs-lead obs-follow; do \
+		grep '"msg":"access"' "$$tmp/spaced.log" | grep -qF "\"request_id\":\"$$id\"" \
+			|| { echo "obs-smoke: no access-log line for $$id"; cat "$$tmp/spaced.log"; exit 1; }; \
+	done; \
+	grep -q '"msg":"slow flight"' "$$tmp/spaced.log" \
+		|| { echo "obs-smoke: slow-flight diagnostic never fired"; exit 1; }; \
+	curl -fsS "http://$$addr/v1/debug/flights" -o "$$tmp/flights.json"; \
+	jq -e '[.flights[] | select(.coalesced)] | length == 1' "$$tmp/flights.json" >/dev/null \
+		|| { echo "obs-smoke: expected exactly one coalesced flight"; cat "$$tmp/flights.json"; exit 1; }; \
+	leader=$$(jq -r '.flights[] | select(.coalesced) | .leader_request_id' "$$tmp/flights.json"); \
+	fid=$$(jq -r '.flights[] | select(.coalesced) | .flight_id' "$$tmp/flights.json"); \
+	jq -e --arg l "$$leader" --arg f "$$fid" \
+		'[.flights[] | select((.coalesced | not) and .request_id == $$l and .flight_id == $$f)] | length == 1' \
+		"$$tmp/flights.json" >/dev/null \
+		|| { echo "obs-smoke: follower's leader_request_id=$$leader does not match the leader's record"; cat "$$tmp/flights.json"; exit 1; }; \
+	jq -e '.flights[] | select(.cache == "miss") | .enumerate_ms > 0 and .total_ms >= .enumerate_ms' \
+		"$$tmp/flights.json" | grep -qv false \
+		|| { echo "obs-smoke: implausible timing splits"; cat "$$tmp/flights.json"; exit 1; }; \
+	kill -TERM $$srv; \
+	wait $$srv || { echo "obs-smoke: spaced did not drain cleanly"; cat "$$tmp/spaced.log"; exit 1; }; \
+	srv=""; \
+	echo "obs-smoke: request IDs, OpenMetrics, access log and flight recorder all line up"

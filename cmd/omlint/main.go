@@ -1,0 +1,57 @@
+// Command omlint validates an OpenMetrics text exposition: the strict
+// subset of the format spaced's /metrics endpoint emits (TYPE before
+// samples, counter _total suffixes, cumulative le-ordered histogram
+// buckets, terminating # EOF). It reads files or stdin and exits
+// non-zero on the first violation, so smoke tests can assert a live
+// /metrics response really parses:
+//
+//	curl -s localhost:8080/metrics | omlint
+//	omlint metrics.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("omlint", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress the per-input OK lines")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	inputs := fs.Args()
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+	rc := 0
+	for _, name := range inputs {
+		data, err := read(name)
+		if err == nil {
+			err = telemetry.ValidateOpenMetrics(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omlint: %s: %v\n", name, err)
+			rc = 1
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: OK\n", name)
+		}
+	}
+	return rc
+}
+
+func read(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}

@@ -22,7 +22,12 @@
 // Usage:
 //
 //	phasestats [-maxnodes n] [-timeout d] [-enable] [-disable] [-indep] [-equiv] [-out file]
-//	phasestats -from-metrics m1.json,m2.json [-require counter,...]
+//	phasestats -from-metrics m1.json,m2.json [-require counter,...] [-by label]
+//
+// Labeled series (family{k="v"} names, as spaced's request metrics
+// are recorded) fold into their base family for the tables and
+// -require; -by <label> additionally prints per-label-value breakdowns
+// (e.g. -by endpoint, -by cache_tier).
 package main
 
 import (
@@ -52,14 +57,15 @@ func main() {
 		loadDir     = flag.String("load", "", "analyze saved spaces from this directory (explore -save) instead of re-enumerating")
 		fromMetrics = flag.String("from-metrics", "", "aggregate per-phase costs from these metrics snapshots (comma-separated paths or globs) instead of enumerating")
 		require     = flag.String("require", "", "with -from-metrics: comma-separated counters that must be nonzero (exit 1 otherwise)")
+		by          = flag.String("by", "", "with -from-metrics: also break labeled families down by this label key (e.g. endpoint, cache_tier)")
 	)
 	flag.Parse()
 
 	if *fromMetrics != "" {
-		os.Exit(runFromMetrics(*fromMetrics, *require))
+		os.Exit(runFromMetrics(*fromMetrics, *require, *by))
 	}
-	if *require != "" {
-		fmt.Fprintln(os.Stderr, "-require only applies with -from-metrics")
+	if *require != "" || *by != "" {
+		fmt.Fprintln(os.Stderr, "-require and -by only apply with -from-metrics")
 		os.Exit(2)
 	}
 	all := !*enable && !*disable && !*indep

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -15,10 +16,14 @@ import (
 // snapshot files and render the per-phase cost table that the metric
 // names opt.attempt.<id>.{active,dormant} and
 // opt.phase.<id>.duration_ns encode, followed by the search and
-// verifier totals. requireList names counters that must be nonzero,
-// the hook "make bench-smoke" uses to assert an instrumented run
-// actually measured something.
-func runFromMetrics(patterns, requireList string) int {
+// verifier totals. Labeled series (family{k="v"} names, as spaced's
+// request metrics are recorded) are folded into their base family
+// first, so totals and -require see the aggregate across labels; by,
+// when non-empty, additionally prints a per-value breakdown over that
+// label key. requireList names counters that must be nonzero, the
+// hook "make bench-smoke" uses to assert an instrumented run actually
+// measured something.
+func runFromMetrics(patterns, requireList, by string) int {
 	var paths []string
 	for _, pat := range strings.Split(patterns, ",") {
 		pat = strings.TrimSpace(pat)
@@ -55,8 +60,12 @@ func runFromMetrics(patterns, requireList string) int {
 		}
 	}
 
+	merged = collapseLabels(merged)
 	printPhaseCosts(merged, len(paths))
 	printSearchTotals(merged)
+	if by != "" {
+		printLabelBreakdown(merged, by)
+	}
 
 	if requireList != "" {
 		missing := 0
@@ -76,6 +85,117 @@ func runFromMetrics(patterns, requireList string) int {
 		fmt.Printf("require: all of [%s] nonzero\n", requireList)
 	}
 	return 0
+}
+
+// collapseLabels folds every labeled series into its base family —
+// counters and histogram cells add, gauges keep the high-water reading
+// — while leaving the labeled series in place for breakdowns. After
+// this, code that addresses plain family names (the tables below,
+// -require) sees the label-aggregated totals.
+func collapseLabels(s telemetry.Snapshot) telemetry.Snapshot {
+	base := telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if fam, labels, ok := telemetry.ParseSeries(name); ok && len(labels) > 0 {
+			base.Counters[fam] += v
+		}
+	}
+	for name, v := range s.Gauges {
+		if fam, labels, ok := telemetry.ParseSeries(name); ok && len(labels) > 0 {
+			if cur, seen := base.Gauges[fam]; !seen || v > cur {
+				base.Gauges[fam] = v
+			}
+		}
+	}
+	for name, h := range s.Histograms {
+		if fam, labels, ok := telemetry.ParseSeries(name); ok && len(labels) > 0 {
+			base = base.Merge(telemetry.Snapshot{
+				Histograms: map[string]telemetry.HistogramSnapshot{fam: h},
+			})
+		}
+	}
+	return s.Merge(base)
+}
+
+// printLabelBreakdown renders counters and histograms that carry the
+// given label key, grouped family → label value. This is the -by view:
+// e.g. -by endpoint splits http.requests per route, -by cache_tier
+// splits server.cache.requests per tier.
+func printLabelBreakdown(s telemetry.Snapshot, key string) {
+	type cell struct{ fam, val string }
+	counters := map[cell]int64{}
+	hists := map[cell]telemetry.HistogramSnapshot{}
+	valueOf := func(series string) (string, string, bool) {
+		fam, labels, ok := telemetry.ParseSeries(series)
+		if !ok {
+			return "", "", false
+		}
+		for _, l := range labels {
+			if l.Key == key {
+				return fam, l.Value, true
+			}
+		}
+		return "", "", false
+	}
+	for name, v := range s.Counters {
+		if fam, val, ok := valueOf(name); ok {
+			counters[cell{fam, val}] += v
+		}
+	}
+	for name, h := range s.Histograms {
+		if fam, val, ok := valueOf(name); ok {
+			c := cell{fam, val}
+			merged := telemetry.Snapshot{Histograms: map[string]telemetry.HistogramSnapshot{"x": hists[c]}}.
+				Merge(telemetry.Snapshot{Histograms: map[string]telemetry.HistogramSnapshot{"x": h}})
+			hists[c] = merged.Histograms["x"]
+		}
+	}
+	if len(counters) == 0 && len(hists) == 0 {
+		fmt.Printf("\nno series carry label %q\n", key)
+		return
+	}
+
+	sortCells := func(m map[cell]bool) []cell {
+		out := make([]cell, 0, len(m))
+		for c := range m {
+			out = append(out, c)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].fam != out[j].fam {
+				return out[i].fam < out[j].fam
+			}
+			return out[i].val < out[j].val
+		})
+		return out
+	}
+	if len(counters) > 0 {
+		fmt.Printf("\nCounters by %s:\n\n", key)
+		fmt.Printf("%-32s %-24s %12s\n", "counter", key, "value")
+		keys := map[cell]bool{}
+		for c := range counters {
+			keys[c] = true
+		}
+		for _, c := range sortCells(keys) {
+			fmt.Printf("%-32s %-24s %12d\n", c.fam, c.val, counters[c])
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Printf("\nHistograms by %s:\n\n", key)
+		fmt.Printf("%-32s %-24s %10s %12s %12s\n", "histogram", key, "count", "mean", "total")
+		keys := map[cell]bool{}
+		for c := range hists {
+			keys[c] = true
+		}
+		for _, c := range sortCells(keys) {
+			h := hists[c]
+			fmt.Printf("%-32s %-24s %10d %12s %12s\n", c.fam, c.val, h.Count,
+				time.Duration(int64(h.Mean())).Round(time.Nanosecond),
+				time.Duration(h.Sum).Round(time.Microsecond))
+		}
+	}
 }
 
 // printPhaseCosts renders the per-phase attempt/cost table aggregated

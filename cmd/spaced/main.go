@@ -6,10 +6,18 @@
 // v2 space files) serves repeats, and identical concurrent requests
 // coalesce onto one enumeration.
 //
-//	spaced -addr localhost:8080 -cache ./spacecache
+//	spaced -addr localhost:8080 -cache ./spacecache -log json
 //	curl -s localhost:8080/v1/enumerate -d '{"bench":"sha","func":"rotl"}'
 //	curl -s localhost:8080/v1/space/<key> -o rotl.space.gz
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/debug/flights
+//
+// Every response carries an X-Request-ID (client-supplied or minted)
+// that also tags the access-log line and any flight logs the request
+// caused; /metrics serves the registry in the OpenMetrics text format
+// and /v1/debug/flights replays the last -flights enumerate requests
+// with queue-wait/enumerate/serialize timing splits.
 //
 // Served space files are byte-identical to cmd/explore -save output
 // for the same function and options; spacedot -hash audits them.
@@ -54,6 +62,11 @@ func run() int {
 	grace := fs.Duration("grace", 15*time.Second, "shutdown grace period for draining and checkpointing")
 	faults := fs.String("faults", "", "fault injection spec (falls back to $"+faultinject.EnvVar+")")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once listening")
+	logFormat := fs.String("log", "off", `structured request log format: "json", "text" or "off"`)
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	slowFlight := fs.Duration("slow-flight", 30*time.Second, "log a per-phase latency breakdown for enumerate requests slower than this (0 = never)")
+	flightLogSize := fs.Int("flights", 128, "requests replayed by GET /v1/debug/flights")
+	debugPprof := fs.Bool("debug-pprof", false, "serve net/http/pprof under /debug/pprof/")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
@@ -82,6 +95,7 @@ func run() int {
 		// /v1/stats serves counters whether or not -metrics is on.
 		reg = telemetry.NewRegistry()
 	}
+	logger := telemetry.NewLogger(os.Stderr, *logFormat, telemetry.ParseLogLevel(*logLevel))
 	srv, err := server.New(server.Config{
 		Dir:             *cacheDir,
 		MemEntries:      *memEntries,
@@ -92,6 +106,10 @@ func run() int {
 		Registry:        reg,
 		Tracer:          session.Tracer,
 		Faults:          plan,
+		Logger:          logger,
+		SlowFlight:      *slowFlight,
+		FlightLogSize:   *flightLogSize,
+		EnablePprof:     *debugPprof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spaced:", err)

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,11 @@ type instruments struct {
 	fnName string
 	start  time.Time
 
+	// log receives the structured control-path events Options.Logger
+	// promises. Nil when no logger is attached; every call site guards,
+	// so the worker hot paths stay log-free either way.
+	log *slog.Logger
+
 	nodes, edges, attempts, active, dormant, merged atomic.Int64
 	quarantined                                     atomic.Int64
 	level, frontier, levelPending, levelDone        atomic.Int64
@@ -80,7 +86,7 @@ type instruments struct {
 }
 
 func newInstruments(opts *Options, fnName string, start time.Time) *instruments {
-	ins := &instruments{fnName: fnName, start: start, tracer: opts.Tracer}
+	ins := &instruments{fnName: fnName, start: start, tracer: opts.Tracer, log: opts.Logger}
 	if reg := opts.Metrics; reg != nil {
 		ins.timed = true
 		ins.mNodes = reg.Counter("search.nodes")

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
@@ -161,6 +162,13 @@ type Options struct {
 	// with a "canceled" reason. Because Run returns normally, deferred
 	// metric/trace writers still flush on interruption.
 	Ctx context.Context
+	// Logger, when non-nil, receives structured progress events on the
+	// serial control path: one record per completed level, checkpoint
+	// writes and failures, quarantined attempts and aborts. A server
+	// passes a logger pre-stamped with the flight ID, so a long
+	// enumeration's progress is attributable to the request that started
+	// it. Nil logs nothing; the worker hot paths never log.
+	Logger *slog.Logger
 	// Metrics, when non-nil, receives the search counters, gauges and
 	// duration histograms (search.nodes, search.dormant,
 	// search.statekey.duration_ns, ...). Nil keeps the hot paths free
@@ -560,11 +568,27 @@ func (e *engine) elapsed() time.Duration {
 	return e.prior + time.Since(e.start)
 }
 
+// logCtx is the context handed to structured log records so a
+// context-stamping handler can attach the request and flight IDs the
+// server planted on Options.Ctx.
+func (e *engine) logCtx() context.Context {
+	if e.opts.Ctx != nil {
+		return e.opts.Ctx
+	}
+	return context.Background()
+}
+
 // abort marks the result aborted, traces it, and persists the last
 // consistent boundary so the interrupted enumeration can resume.
 func (e *engine) abort(reason string) {
 	e.res.abort(reason)
 	e.ins.tracer.Instant("search.abort", "search", 0, map[string]any{"reason": reason})
+	if e.ins.log != nil {
+		e.ins.log.WarnContext(e.logCtx(), "search aborted",
+			"fn", e.ins.fnName, "reason", reason,
+			"level", e.ins.level.Load(), "nodes", len(e.res.Nodes),
+			"elapsed", e.elapsed().Round(time.Millisecond).String())
+	}
 	e.writeCheckpoint(&e.snap)
 }
 
@@ -581,9 +605,18 @@ func (e *engine) writeCheckpoint(snap *snapshot) {
 	if err != nil {
 		e.res.CheckpointErr = err.Error()
 		e.ins.mCkptFailures.Inc()
+		if e.ins.log != nil {
+			e.ins.log.WarnContext(e.logCtx(), "checkpoint write failed",
+				"fn", e.ins.fnName, "path", e.opts.CheckpointPath, "err", err.Error())
+		}
 		return
 	}
 	e.ins.mCkptWrites.Inc()
+	if e.ins.log != nil {
+		e.ins.log.DebugContext(e.logCtx(), "checkpoint written",
+			"fn", e.ins.fnName, "path", e.opts.CheckpointPath,
+			"nodes", snap.numNodes, "frontier", len(snap.frontier))
+	}
 	e.levelsSinceCkpt = 0
 	e.lastCkpt = time.Now()
 }
@@ -760,6 +793,11 @@ func (e *engine) run() *Result {
 					qn := e.addQuarantined(a.node, a.phase.ID(), o.quarantine)
 					a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: qn.ID})
 					ins.observeQuarantine()
+					if ins.log != nil {
+						ins.log.WarnContext(e.logCtx(), "attempt quarantined",
+							"fn", ins.fnName, "seq", a.node.Seq+string(a.phase.ID()),
+							"reason", o.quarantine)
+					}
 					continue
 				}
 				if !o.active {
@@ -792,6 +830,13 @@ func (e *engine) run() *Result {
 			break
 		}
 		ins.nodesExpanded += len(frontier)
+		if ins.log != nil {
+			ins.log.InfoContext(e.logCtx(), "level complete",
+				"fn", ins.fnName, "level", level,
+				"frontier", len(frontier), "attempts", len(work),
+				"nodes", len(res.Nodes), "next_frontier", len(next),
+				"elapsed", e.elapsed().Round(time.Millisecond).String())
+		}
 		e.frontier = next
 		if !opts.KeepFuncs {
 			for _, n := range frontier {

@@ -3,9 +3,14 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/rtl"
+	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // Pool errors, mapped to HTTP statuses by the handlers.
@@ -29,6 +34,20 @@ type flight struct {
 	fn  *rtl.Func
 	no  normOptions
 
+	// id names the flight in logs and the flight recorder ("f1", "f2",
+	// …); leaderReq is the request ID that created it, so a coalesced
+	// follower can report whose flight it rode.
+	id        string
+	leaderReq string
+
+	// enqueuedAt is stamped on creation; startedAt when a worker picks
+	// the flight up (their difference is the queue wait); finishedAt
+	// just before done closes. Waiters read startedAt/finishedAt only
+	// after done is closed.
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
 	// ctx cancels the flight's enumeration. It is derived from the
 	// pool's base context (canceled on drain) and additionally canceled
 	// when the last waiter leaves, so an enumeration nobody is waiting
@@ -48,6 +67,15 @@ type flight struct {
 	waiters int // guarded by pool.mu
 }
 
+// stats returns the resolved enumeration's statistics, or zeros when
+// the flight produced no space. Call only after done has closed.
+func (fl *flight) stats() search.RunStats {
+	if fl.ent.res == nil {
+		return search.RunStats{}
+	}
+	return fl.ent.res.Stats
+}
+
 // pool runs flights through a fixed set of workers fed by a bounded
 // queue. Backpressure is explicit: when the queue is full, join sheds
 // instead of blocking, so a burst degrades into fast 429s rather than
@@ -64,6 +92,8 @@ type pool struct {
 	baseCancel context.CancelCauseFunc
 	wg         sync.WaitGroup
 	depthGauge func(int64)
+	nextID     atomic.Int64
+	workers    int
 }
 
 func newPool(workers, depth int, run func(*flight), depthGauge func(int64)) *pool {
@@ -81,6 +111,7 @@ func newPool(workers, depth int, run func(*flight), depthGauge func(int64)) *poo
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		depthGauge: depthGauge,
+		workers:    workers,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -93,15 +124,18 @@ func (p *pool) worker() {
 	defer p.wg.Done()
 	for fl := range p.queue {
 		p.depthGauge(int64(len(p.queue)))
+		fl.startedAt = time.Now()
 		p.run(fl)
 	}
 }
 
 // join attaches the caller to the flight for key, creating and
 // enqueueing one if none is in progress. It reports whether the caller
-// coalesced onto an existing flight. The caller must balance every
-// successful join with leave.
-func (p *pool) join(key cacheKey, fn *rtl.Func, no normOptions) (fl *flight, coalesced bool, err error) {
+// coalesced onto an existing flight. reqID is the caller's request ID;
+// when a new flight is created it becomes the flight's leader and the
+// flight's context carries both IDs for the search engine's logs. The
+// caller must balance every successful join with leave.
+func (p *pool) join(key cacheKey, fn *rtl.Func, no normOptions, reqID string) (fl *flight, coalesced bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
@@ -112,13 +146,20 @@ func (p *pool) join(key cacheKey, fn *rtl.Func, no normOptions) (fl *flight, coa
 		return fl, true, nil
 	}
 	fl = &flight{
-		key:     key,
-		fn:      fn,
-		no:      no,
-		done:    make(chan struct{}),
-		waiters: 1,
+		key:        key,
+		fn:         fn,
+		no:         no,
+		id:         "f" + strconv.FormatInt(p.nextID.Add(1), 10),
+		leaderReq:  reqID,
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+		waiters:    1,
 	}
 	fl.ctx, fl.cancel = context.WithCancelCause(p.baseCtx)
+	fl.ctx = telemetry.WithFlightID(fl.ctx, fl.id)
+	if reqID != "" {
+		fl.ctx = telemetry.WithRequestID(fl.ctx, reqID)
+	}
 	select {
 	case p.queue <- fl:
 	default:
@@ -158,9 +199,13 @@ func (p *pool) finish(fl *flight) {
 	p.mu.Lock()
 	delete(p.flights, fl.key)
 	p.mu.Unlock()
+	fl.finishedAt = time.Now()
 	fl.cancel(nil)
 	close(fl.done)
 }
+
+// queued reports the number of flights waiting for a worker.
+func (p *pool) queued() int { return len(p.queue) }
 
 // isDraining reports whether close has begun.
 func (p *pool) isDraining() bool {

@@ -20,7 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"sync"
@@ -60,17 +63,75 @@ type Config struct {
 	// Faults injects deterministic failures into the enumerations for
 	// robustness testing; nil injects nothing.
 	Faults *faultinject.Plan
+	// Logger receives the structured request and flight records (access
+	// lines, slow-flight diagnostics, search progress). Nil logs
+	// nothing.
+	Logger *slog.Logger
+	// SlowFlight, when positive, logs a per-phase latency breakdown for
+	// any enumerate request slower than this threshold.
+	SlowFlight time.Duration
+	// FlightLogSize bounds the /v1/debug/flights ring buffer (default
+	// 128 records).
+	FlightLogSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: the profiles expose internals,
+	// so the operator opts in per process.
+	EnablePprof bool
+
+	// noObs builds the server without the observability middleware —
+	// the pre-plane configuration the overhead benchmark compares
+	// against. Internal: tests only.
+	noObs bool
 }
 
 // Server is the enumeration service.
 type Server struct {
-	cfg   Config
-	reg   *telemetry.Registry
-	mem   *memCache
-	store *diskStore
-	pool  *pool
-	stats *spaceStats
-	mux   *http.ServeMux
+	cfg     Config
+	reg     *telemetry.Registry
+	logger  *slog.Logger
+	mem     *memCache
+	store   *diskStore
+	pool    *pool
+	stats   *spaceStats
+	flights *flightLog
+	mux     *http.ServeMux
+	handler http.Handler
+
+	// Access lines are encoded off the request's critical path: the
+	// middleware appends the attributes to logBuf — without waking
+	// anyone, so the append costs a mutex and a slice slot — and a
+	// single consumer goroutine drains the buffer on a short ticker
+	// (or on a logKick from flushLogs/Close). Batching keeps both the
+	// line serialization and the consumer's scheduler wakeup out of
+	// every response's flush window; the price is that lines reach the
+	// sink up to accessLogFlushEvery late. A full buffer drops the
+	// line and counts it (server.accesslog.dropped) rather than
+	// backpressuring requests on a stuck log sink. logPending tracks
+	// appended-but-unwritten lines so Close (and tests) can drain
+	// deterministically.
+	logBuf     []accessJob
+	logPending sync.WaitGroup
+	logMu      sync.Mutex
+	logClosed  bool
+	logKick    chan struct{} // nudges the consumer (flushLogs); never closed
+	logQuit    chan struct{} // closed by Close; consumer drains and exits
+	logDone    chan struct{}
+	logDropped *telemetry.Counter
+
+	// Labeled request instruments, maintained by the middleware.
+	// series/gauges cache the resolved per-combination handles so the
+	// request path skips the vec key construction (see seriesFor).
+	httpReqs     *telemetry.CounterVec
+	httpDur      *telemetry.HistogramVec
+	httpInFlight *telemetry.GaugeVec
+	seriesMu     sync.RWMutex
+	series       map[[2]string]reqSeries
+	gauges       map[string]*telemetry.Gauge
+	// cacheTier counts enumerate resolutions by tier
+	// (mem/disk/miss/coalesced/corrupt); flightDur feeds the
+	// Retry-After estimate with the mean flight latency.
+	cacheTier *telemetry.CounterVec
+	flightDur *telemetry.Histogram
 
 	corpusOnce sync.Once
 	corpus     map[string]*rtl.Func // "bench/func" and bare "func" when unambiguous
@@ -98,12 +159,26 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		mem:   newMemCache(cfg.MemEntries),
-		store: store,
-		stats: newSpaceStats(),
+		cfg:     cfg,
+		reg:     reg,
+		logger:  logger,
+		mem:     newMemCache(cfg.MemEntries),
+		store:   store,
+		stats:   newSpaceStats(),
+		flights: newFlightLog(cfg.FlightLogSize),
+
+		httpReqs:     reg.CounterVec("http.requests", "endpoint", "status"),
+		httpDur:      reg.HistogramVec("http.request.duration_ns", "endpoint", "status"),
+		httpInFlight: reg.GaugeVec("http.in_flight", "endpoint"),
+		series:       make(map[[2]string]reqSeries),
+		gauges:       make(map[string]*telemetry.Gauge),
+		cacheTier:    reg.CounterVec("server.cache.requests", "cache_tier"),
+		flightDur:    reg.Histogram("server.flight.duration_ns"),
 	}
 	depth := reg.Gauge("server.queue.depth")
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runFlight, depth.Set)
@@ -112,17 +187,126 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/space/{hash}", s.handleSpace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/flights", s.handleFlights)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	if cfg.noObs {
+		s.handler = s.mux
+	} else {
+		s.handler = s.withObservability(s.mux)
+		s.logBuf = make([]accessJob, 0, 64)
+		s.logKick = make(chan struct{}, 1)
+		s.logQuit = make(chan struct{})
+		s.logDone = make(chan struct{})
+		s.logDropped = reg.Counter("server.accesslog.dropped")
+		go s.accessLogLoop()
+	}
 	return s, nil
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// accessJob is one deferred access-log line: the request context (for
+// the request/flight ID stamps) plus the prebuilt attributes. The
+// attrs live in a fixed array so the middleware can build the job on
+// its stack and hand it over by value — no per-line heap allocation.
+type accessJob struct {
+	ctx   context.Context
+	n     int
+	attrs [8]slog.Attr
+}
+
+const (
+	// accessLogFlushEvery bounds how stale a buffered access line can
+	// get before the consumer writes it out.
+	accessLogFlushEvery = 25 * time.Millisecond
+	// accessLogCap bounds the buffer; lines beyond it are dropped and
+	// counted rather than growing without limit or blocking requests.
+	accessLogCap = 256
+)
+
+func (s *Server) accessLogLoop() {
+	defer close(s.logDone)
+	tick := time.NewTicker(accessLogFlushEvery)
+	defer tick.Stop()
+	var batch []accessJob
+	for {
+		closing := false
+		select {
+		case <-tick.C:
+		case <-s.logKick:
+		case <-s.logQuit:
+			closing = true
+		}
+		s.logMu.Lock()
+		batch, s.logBuf = s.logBuf, batch[:0]
+		s.logMu.Unlock()
+		for i := range batch {
+			job := &batch[i]
+			s.logger.LogAttrs(job.ctx, slog.LevelInfo, "access", job.attrs[:job.n]...)
+			job.ctx = nil // release the request context promptly
+			s.logPending.Done()
+		}
+		if closing {
+			return
+		}
+	}
+}
+
+// logAccess buffers an access line for the consumer goroutine, falling
+// back to a synchronous write once the server is closing and dropping
+// (counted) when the buffer is full. The job is copied by value into
+// the buffer, so the caller may build it on its stack.
+func (s *Server) logAccess(job *accessJob) {
+	s.logMu.Lock()
+	if s.logClosed || s.logKick == nil {
+		s.logMu.Unlock()
+		s.logger.LogAttrs(job.ctx, slog.LevelInfo, "access", job.attrs[:job.n]...)
+		return
+	}
+	if len(s.logBuf) >= accessLogCap {
+		s.logMu.Unlock()
+		s.logDropped.Inc()
+		return
+	}
+	s.logPending.Add(1)
+	s.logBuf = append(s.logBuf, *job)
+	s.logMu.Unlock()
+}
+
+// flushLogs kicks the consumer and blocks until every buffered access
+// line has been written.
+func (s *Server) flushLogs() {
+	select {
+	case s.logKick <- struct{}{}:
+	default:
+	}
+	s.logPending.Wait()
+}
+
+// Handler returns the HTTP handler tree, wrapped in the observability
+// middleware (request IDs, access log, labeled request metrics).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close drains the server: new requests are refused, in-flight
 // enumerations are canceled and checkpoint themselves, and Close
 // returns once every worker has retired.
 func (s *Server) Close() {
 	s.pool.close()
+	s.logMu.Lock()
+	closed := s.logClosed
+	s.logClosed = true
+	s.logMu.Unlock()
+	if !closed && s.logQuit != nil {
+		// logClosed is already set, so nothing can be appended behind
+		// the consumer's final drain.
+		close(s.logQuit)
+		<-s.logDone
+	}
 }
 
 // enumerateRequest is the POST /v1/enumerate body. Exactly one of
@@ -193,11 +377,12 @@ func writeError(w http.ResponseWriter, err error) {
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Counter("server.requests").Inc()
+	ri := infoFrom(r.Context())
 	var span telemetry.Span
 	if s.cfg.Tracer != nil {
 		span = s.cfg.Tracer.Begin("http.enumerate", "server", 0)
 	}
-	resp, err := s.enumerate(r)
+	resp, fl, err := s.enumerate(r)
 	if span.Active() {
 		args := map[string]any{}
 		if err != nil {
@@ -210,20 +395,30 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeError(w, err)
+		he := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		errors.As(err, &he)
+		s.recordFlight(r, ri, fl, he.status, he.msg, 0, time.Since(start))
 		return
 	}
 	resp.ElapsedMS = time.Since(start).Milliseconds()
+	serStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	s.recordFlight(r, ri, fl, http.StatusOK, "", time.Since(serStart), time.Since(start))
 }
 
-func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
+func (s *Server) enumerate(r *http.Request) (*enumerateResponse, *flight, error) {
+	ri := infoFrom(r.Context())
+	reqID := ""
+	if ri != nil {
+		reqID = ri.id
+	}
 	var req enumerateRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		return nil, &httpError{status: http.StatusBadRequest, msg: "decoding request: " + err.Error()}
+		return nil, nil, &httpError{status: http.StatusBadRequest, msg: "decoding request: " + err.Error()}
 	}
 	fn, err := s.resolve(&req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	no := normOptions{Cap: req.Options.Cap, MaxNodes: req.Options.MaxNodes, Check: req.Options.Check, Equiv: req.Options.Equiv}
 	key := requestKey(fn, no)
@@ -232,21 +427,32 @@ func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
 	// the pool at all.
 	if ent, ok := s.mem.get(key); ok {
 		s.reg.Counter("server.cache.hit_mem").Inc()
-		return response(key, ent, "mem"), nil
+		s.cacheTier.With("mem").Inc()
+		if ri != nil {
+			ri.cache = "mem"
+		}
+		return response(key, ent, "mem"), nil, nil
 	}
 
-	fl, coalesced, err := s.pool.join(key, fn, no)
+	fl, coalesced, err := s.pool.join(key, fn, no, reqID)
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.reg.Counter("server.shed").Inc()
-		return nil, &httpError{status: http.StatusTooManyRequests, msg: err.Error(), retryAfter: 1}
+		return nil, nil, &httpError{status: http.StatusTooManyRequests, msg: err.Error(),
+			retryAfter: s.retryAfterEstimate()}
 	case errors.Is(err, errDraining):
-		return nil, &httpError{status: http.StatusServiceUnavailable, msg: err.Error(), retryAfter: 5}
+		return nil, nil, &httpError{status: http.StatusServiceUnavailable, msg: err.Error(), retryAfter: 5}
 	case err != nil:
-		return nil, err
+		return nil, nil, err
 	}
 	if coalesced {
 		s.reg.Counter("server.coalesced").Inc()
+		s.cacheTier.With("coalesced").Inc()
+	}
+	if ri != nil {
+		ri.flightID = fl.id
+		ri.leaderReq = fl.leaderReq
+		ri.coalesced = coalesced
 	}
 	defer s.pool.leave(fl)
 
@@ -259,10 +465,19 @@ func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
 	select {
 	case <-fl.done:
 	case <-timer.C:
-		return nil, &httpError{status: http.StatusGatewayTimeout,
+		return nil, fl, &httpError{status: http.StatusGatewayTimeout,
 			msg: fmt.Sprintf("enumeration still running after %v; retry to resume from its checkpoint", deadline), retryAfter: 1}
 	case <-r.Context().Done():
-		return nil, &httpError{status: 499, msg: "client went away"}
+		return nil, fl, &httpError{status: 499, msg: "client went away"}
+	}
+	how := fl.cacheHow
+	if coalesced {
+		how = "coalesced"
+	}
+	if ri != nil {
+		ri.cache = how
+		ri.queueWait = fl.startedAt.Sub(fl.enqueuedAt)
+		ri.enumerate = fl.finishedAt.Sub(fl.startedAt)
 	}
 	if fl.err != nil {
 		status := fl.status
@@ -273,13 +488,36 @@ func (s *Server) enumerate(r *http.Request) (*enumerateResponse, error) {
 		if status == http.StatusServiceUnavailable {
 			he.retryAfter = 1
 		}
-		return nil, he
+		return nil, fl, he
 	}
-	how := fl.cacheHow
-	if coalesced {
-		how = "coalesced"
+	return response(key, fl.ent, how), fl, nil
+}
+
+// retryAfterEstimate converts the current backlog into the Retry-After
+// a shed client receives: the queued flights plus the one just refused,
+// spread across the workers, each costing the mean observed flight
+// latency.
+func (s *Server) retryAfterEstimate() int {
+	return retryAfterSeconds(s.pool.queued(), s.flightDur.Mean(), s.pool.workers)
+}
+
+// retryAfterSeconds is the pure backoff arithmetic: ceil((queued+1) ×
+// meanFlightNS / workers), clamped to [1, 60] seconds so an empty
+// history still backs off a little and a deep backlog cannot demand an
+// hour.
+func retryAfterSeconds(queued int, meanFlightNS float64, workers int) int {
+	if workers <= 0 {
+		workers = 1
 	}
-	return response(key, fl.ent, how), nil
+	est := float64(queued+1) * meanFlightNS / float64(workers) / float64(time.Second)
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
 }
 
 func response(key cacheKey, ent entry, how string) *enumerateResponse {
@@ -377,16 +615,19 @@ func (s *Server) compileCorpus() {
 // enumerated exactly once no matter how requests interleave.
 func (s *Server) runFlight(fl *flight) {
 	defer s.pool.finish(fl)
+	defer s.flightDur.ObserveSince(fl.startedAt)
 	if s.beforeEnumerate != nil {
 		s.beforeEnumerate(fl)
 	}
 	if ent, ok := s.mem.get(fl.key); ok {
 		s.reg.Counter("server.cache.hit_mem").Inc()
+		s.cacheTier.With("mem").Inc()
 		fl.ent, fl.cacheHow = ent, "mem"
 		return
 	}
 	if res, err := s.store.load(fl.key); err == nil {
 		s.reg.Counter("server.cache.hit_disk").Inc()
+		s.cacheTier.With("disk").Inc()
 		if fl.err = s.admit(fl.key, res, &fl.ent); fl.err != nil {
 			return
 		}
@@ -396,9 +637,11 @@ func (s *Server) runFlight(fl *flight) {
 		// A damaged entry is a miss, not an outage: drop it and let the
 		// enumeration below rebuild the slot.
 		s.reg.Counter("server.cache.corrupt").Inc()
+		s.cacheTier.With("corrupt").Inc()
 		s.store.remove(fl.key)
 	}
 	s.reg.Counter("server.cache.miss").Inc()
+	s.cacheTier.With("miss").Inc()
 	fl.cacheHow = "miss"
 	if fl.ctx.Err() != nil {
 		fl.err = fmt.Errorf("canceled before enumeration: %w", context.Cause(fl.ctx))
@@ -432,6 +675,7 @@ func (s *Server) enumerateFlight(fl *flight) (*search.Result, error) {
 		Equiv:          fl.no.Equiv,
 		Timeout:        s.cfg.SearchTimeout,
 		Ctx:            fl.ctx,
+		Logger:         s.logger,
 		Metrics:        s.reg,
 		Tracer:         s.cfg.Tracer,
 		Faults:         s.cfg.Faults,
@@ -515,8 +759,12 @@ func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.pool.isDraining() {
-		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "draining", retryAfter: 5})
+		// 503 flips load-balancer checks the moment SIGTERM drain
+		// begins; the body says why so a human probing the endpoint is
+		// not left guessing.
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "draining": true})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": false})
 }

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drainJSONLine decodes the single line h wrote into buf and resets it.
+func drainJSONLine(t *testing.T, buf *bytes.Buffer) map[string]any {
+	t.Helper()
+	line := buf.String()
+	buf.Reset()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("invalid JSON %q: %v", line, err)
+	}
+	return m
+}
+
+// TestFastJSONMatchesSlogJSON runs the same records through the fast
+// handler and slog.JSONHandler and requires the decoded objects to be
+// identical — the obs tooling (obs-smoke greps, jq filters) must not
+// care which handler produced a line.
+func TestFastJSONMatchesSlogJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		log  func(l *slog.Logger)
+	}{
+		{"plain", func(l *slog.Logger) { l.Info("hello") }},
+		{"string attrs", func(l *slog.Logger) {
+			l.Info("access", "method", "POST", "route", "/v1/enumerate")
+		}},
+		{"mixed kinds", func(l *slog.Logger) {
+			l.Warn("m", "i", 42, "u", uint64(7), "f", 1.5, "b", true,
+				"d", 250*time.Millisecond, "neg", -3)
+		}},
+		{"escaping", func(l *slog.Logger) {
+			l.Info("quote\"back\\slash", "k", "tab\there\nnewline\x1bescape", "uni", "héllo ☃")
+		}},
+		{"error level", func(l *slog.Logger) { l.Error("boom", "err", "bad input") }},
+		{"debug dropped", func(l *slog.Logger) { l.Debug("invisible") }},
+		{"group value", func(l *slog.Logger) {
+			l.Info("m", slog.Group("g", slog.String("a", "1"), slog.Int("b", 2)))
+		}},
+		{"empty group elided", func(l *slog.Logger) {
+			l.Info("m", slog.Group("g"), "after", "x")
+		}},
+		{"inline empty-key group", func(l *slog.Logger) {
+			l.Info("m", slog.Group("", slog.String("a", "1")), "after", "x")
+		}},
+		{"with attrs", func(l *slog.Logger) {
+			l.With("component", "search", "n", 9).Info("m", "k", "v")
+		}},
+		{"with group", func(l *slog.Logger) {
+			l.WithGroup("req").Info("m", "k", "v", "n", 1)
+		}},
+		{"nested with group", func(l *slog.Logger) {
+			l.WithGroup("a").WithGroup("b").Info("m", "k", "v", "n", 1)
+		}},
+		{"logvaluer", func(l *slog.Logger) {
+			l.Info("m", "v", deferredValue{})
+		}},
+		{"any fallback", func(l *slog.Logger) {
+			l.Info("m", "list", []int{1, 2, 3}, "err", errors.New("wrapped"))
+		}},
+	}
+
+	var fastBuf, refBuf bytes.Buffer
+	fast := slog.New(NewFastJSONHandler(&fastBuf, slog.LevelInfo))
+	ref := slog.New(slog.NewJSONHandler(&refBuf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fastBuf.Reset()
+			refBuf.Reset()
+			tc.log(fast)
+			tc.log(ref)
+			if fastBuf.Len() == 0 && refBuf.Len() == 0 {
+				return // both dropped it (below level)
+			}
+			got := drainJSONLine(t, &fastBuf)
+			want := drainJSONLine(t, &refBuf)
+			// Timestamps differ between the two calls; compare format
+			// shape separately and drop them from the deep compare.
+			gt, _ := got["time"].(string)
+			if _, err := time.Parse("2006-01-02T15:04:05.000Z07:00", gt); err != nil {
+				t.Errorf("time %q not RFC3339-millis: %v", gt, err)
+			}
+			delete(got, "time")
+			delete(want, "time")
+			if !deepEqualJSON(got, want) {
+				t.Errorf("fast handler diverged\n got: %#v\nwant: %#v", got, want)
+			}
+		})
+	}
+}
+
+// deferredValue exercises the LogValuer resolve path.
+type deferredValue struct{}
+
+func (deferredValue) LogValue() slog.Value { return slog.StringValue("resolved") }
+
+func deepEqualJSON(a, b any) bool {
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ab, bb)
+}
+
+func TestFastJSONLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(NewFastJSONHandler(&buf, slog.LevelWarn))
+	l.Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("info line emitted under warn level: %q", buf.String())
+	}
+	l.Warn("kept")
+	m := drainJSONLine(t, &buf)
+	if m["level"] != "WARN" || m["msg"] != "kept" {
+		t.Fatalf("unexpected record: %v", m)
+	}
+}
+
+func TestFastJSONControlCharEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(NewFastJSONHandler(&buf, slog.LevelInfo))
+	l.Info("m", "k", "a\x00b\x1fc")
+	line := buf.String()
+	if !strings.Contains(line, `a\u0000b\u001fc`) {
+		t.Fatalf("control chars not \\u-escaped: %q", line)
+	}
+	m := drainJSONLine(t, &buf)
+	if m["k"] != "a\x00b\x1fc" {
+		t.Fatalf("round trip lost bytes: %q", m["k"])
+	}
+}
+
+// TestFastJSONConcurrentWriters checks the handler's internal write
+// lock keeps whole lines atomic: all goroutines share one handler, so
+// the bytes.Buffer is only touched under that lock.
+func TestFastJSONConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(NewFastJSONHandler(&buf, slog.LevelInfo))
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				l.Info("concurrent", "goroutine", g, "i", i)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("expected 400 lines, got %d", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved or corrupt line %q: %v", line, err)
+		}
+	}
+}
+
+func BenchmarkJSONHandlerAccessLine(b *testing.B) {
+	attrs := func(l *slog.Logger, ctx context.Context) {
+		l.LogAttrs(ctx, slog.LevelInfo, "access",
+			slog.String("method", "POST"),
+			slog.String("route", "/v1/enumerate"),
+			slog.Int("status", 200),
+			slog.Int64("bytes", 4096),
+			slog.Int64("duration_ms", 3),
+			slog.String("cache", "mem"),
+		)
+	}
+	ctx := WithRequestID(context.Background(), "bench0123456789ab")
+	b.Run("fast", func(b *testing.B) {
+		l := slog.New(NewStampHandler(NewFastJSONHandler(io.Discard, slog.LevelInfo)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			attrs(l, ctx)
+		}
+	})
+	b.Run("slog", func(b *testing.B) {
+		l := slog.New(NewStampHandler(slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelInfo})))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			attrs(l, ctx)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families.
+//
+// A family is a named instrument plus a small fixed set of label keys
+// ("endpoint", "status", "cache_tier"); each distinct combination of
+// label values is one series with its own Counter/Gauge/Histogram.
+// Series are interned in the owning Registry under a canonical series
+// name — the family name followed by the sorted, escaped label pairs,
+// e.g.
+//
+//	http.requests{endpoint="/v1/enumerate",status="200"}
+//
+// so the existing Snapshot / Merge / WriteFile machinery carries
+// labeled families unchanged (a series is just a name), snapshots from
+// pre-label binaries stay loadable, and aggregation across labels is a
+// ParseSeries away. The OpenMetrics encoder recovers the family
+// structure from the same encoding.
+
+// SeriesName renders the canonical series name for a family with the
+// given label keys and values. Pairs sort by key; values are escaped
+// (\\, \" and \n) the way OpenMetrics escapes label values. A family
+// with no labels is its bare name.
+func SeriesName(family string, keys, values []string) string {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("telemetry: family %s: %d label keys but %d values", family, len(keys), len(values)))
+	}
+	if len(keys) == 0 {
+		return family
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, len(keys))
+	for i := range keys {
+		pairs[i] = pair{keys[i], values[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Label is one key="value" pair of a parsed series name.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// ParseSeries splits a canonical series name into its family name and
+// label pairs. A name without labels parses as (name, nil, true).
+// Malformed names report ok=false; callers typically fall back to
+// treating the whole string as an unlabeled name.
+func ParseSeries(series string) (family string, labels []Label, ok bool) {
+	open := strings.IndexByte(series, '{')
+	if open < 0 {
+		return series, nil, true
+	}
+	if open == 0 || series[len(series)-1] != '}' {
+		return "", nil, false
+	}
+	family = series[:open]
+	body := series[open+1 : len(series)-1]
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq <= 0 {
+			return "", nil, false
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return "", nil, false // unterminated value
+			}
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", nil, false
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		body = rest[i+1:]
+		if len(body) > 0 {
+			if body[0] != ',' {
+				return "", nil, false
+			}
+			body = body[1:]
+		}
+	}
+	return family, labels, true
+}
+
+// vec is the shared intern table of a labeled family: a family-local
+// cache in front of the Registry so the hot path joins values and does
+// one map lookup instead of re-encoding the series name every time.
+type vec[T any] struct {
+	reg    *Registry
+	family string
+	keys   []string
+	lookup func(r *Registry, series string) T
+
+	mu     sync.RWMutex
+	series map[string]T
+}
+
+func (v *vec[T]) with(values []string) T {
+	if v == nil {
+		var zero T
+		return zero
+	}
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("telemetry: family %s has labels %v; got %d values", v.family, v.keys, len(values)))
+	}
+	ck := strings.Join(values, "\x00")
+	v.mu.RLock()
+	inst, ok := v.series[ck]
+	v.mu.RUnlock()
+	if ok {
+		return inst
+	}
+	inst = v.lookup(v.reg, SeriesName(v.family, v.keys, values))
+	v.mu.Lock()
+	if prev, ok := v.series[ck]; ok {
+		inst = prev
+	} else {
+		v.series[ck] = inst
+	}
+	v.mu.Unlock()
+	return inst
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ v *vec[*Counter] }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ v *vec[*Gauge] }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ v *vec[*Histogram] }
+
+// CounterVec returns a counter family with the given label keys. A nil
+// registry returns a vec whose series are all the nil no-op counter.
+// The keys are part of the family identity: every With call must
+// supply exactly one value per key, in the same order.
+func (r *Registry) CounterVec(family string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{newVec(r, family, keys, (*Registry).Counter)}
+}
+
+// GaugeVec returns a gauge family with the given label keys.
+func (r *Registry) GaugeVec(family string, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{newVec(r, family, keys, (*Registry).Gauge)}
+}
+
+// HistogramVec returns a histogram family with the given label keys.
+func (r *Registry) HistogramVec(family string, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{newVec(r, family, keys, (*Registry).Histogram)}
+}
+
+func newVec[T any](r *Registry, family string, keys []string, lookup func(*Registry, string) T) *vec[T] {
+	return &vec[T]{reg: r, family: family, keys: keys, lookup: lookup, series: make(map[string]T)}
+}
+
+// With returns the series counter for the given label values
+// (nil — and therefore no-op — on a nil vec).
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	return cv.v.with(values)
+}
+
+// With returns the series gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	return gv.v.with(values)
+}
+
+// With returns the series histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	if hv == nil {
+		return nil
+	}
+	return hv.v.with(values)
+}

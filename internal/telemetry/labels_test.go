@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSeriesNameCanonical(t *testing.T) {
+	got := SeriesName("http.requests", []string{"status", "endpoint"}, []string{"200", "/v1/enumerate"})
+	want := `http.requests{endpoint="/v1/enumerate",status="200"}`
+	if got != want {
+		t.Fatalf("SeriesName = %q, want %q (labels must sort by key)", got, want)
+	}
+	if got := SeriesName("x", nil, nil); got != "x" {
+		t.Fatalf("label-free series = %q, want bare name", got)
+	}
+	esc := SeriesName("x", []string{"k"}, []string{"a\"b\\c\nd"})
+	if esc != `x{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaping: %q", esc)
+	}
+}
+
+func TestParseSeriesRoundTrip(t *testing.T) {
+	cases := []struct {
+		keys, values []string
+	}{
+		{nil, nil},
+		{[]string{"endpoint"}, []string{"/v1/space/{hash}"}},
+		{[]string{"a", "b"}, []string{`quote"ba\ck`, "line\nbreak"}},
+		{[]string{"cache_tier"}, []string{"mem"}},
+	}
+	for _, c := range cases {
+		series := SeriesName("fam.name", c.keys, c.values)
+		fam, labels, ok := ParseSeries(series)
+		if !ok || fam != "fam.name" {
+			t.Fatalf("ParseSeries(%q) = %q, ok=%v", series, fam, ok)
+		}
+		if len(labels) != len(c.keys) {
+			t.Fatalf("ParseSeries(%q): %d labels, want %d", series, len(labels), len(c.keys))
+		}
+		for i, l := range labels {
+			if l.Key != c.keys[i] || l.Value != c.values[i] {
+				t.Fatalf("ParseSeries(%q)[%d] = %+v, want %s=%q", series, i, l, c.keys[i], c.values[i])
+			}
+		}
+	}
+	for _, bad := range []string{`{k="v"}`, `x{k=v}`, `x{k="v"`, `x{k="v"}tail`, `x{k="v`} {
+		if _, _, ok := ParseSeries(bad); ok {
+			t.Errorf("ParseSeries(%q) accepted a malformed series", bad)
+		}
+	}
+}
+
+func TestVecsInternInRegistry(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("http.requests", "endpoint", "status")
+	cv.With("/v1/enumerate", "200").Add(3)
+	cv.With("/v1/enumerate", "200").Inc() // same series
+	cv.With("/v1/enumerate", "429").Inc()
+	reg.GaugeVec("http.in_flight", "endpoint").With("/v1/enumerate").Set(2)
+	reg.HistogramVec("http.request.duration_ns", "endpoint").With("/metrics").Observe(100)
+
+	s := reg.Snapshot()
+	if got := s.Counters[`http.requests{endpoint="/v1/enumerate",status="200"}`]; got != 4 {
+		t.Fatalf("series counter = %d, want 4", got)
+	}
+	if got := s.Counters[`http.requests{endpoint="/v1/enumerate",status="429"}`]; got != 1 {
+		t.Fatalf("second series = %d, want 1", got)
+	}
+	if got := s.Gauges[`http.in_flight{endpoint="/v1/enumerate"}`]; got != 2 {
+		t.Fatalf("gauge series = %d, want 2", got)
+	}
+	if h := s.Histograms[`http.request.duration_ns{endpoint="/metrics"}`]; h.Count != 1 {
+		t.Fatalf("histogram series count = %d, want 1", h.Count)
+	}
+
+	// The same instrument is reachable by its canonical series name.
+	if reg.Counter(`http.requests{endpoint="/v1/enumerate",status="200"}`).Value() != 4 {
+		t.Fatal("vec series and direct registry lookup disagree")
+	}
+}
+
+func TestNilVecsNoOp(t *testing.T) {
+	var reg *Registry
+	reg.CounterVec("a", "k").With("v").Inc()
+	reg.GaugeVec("b", "k").With("v").Set(1)
+	reg.HistogramVec("c", "k").With("v").Observe(1)
+	var cv *CounterVec
+	cv.With("v").Inc() // must not panic
+}
+
+// TestSnapshotMergeLabeledFamilies is the labeled-family contract of
+// Snapshot.Merge: disjoint families pass through, the same family with
+// different labels keeps both series, the same series adds, and
+// histogram cells align bucket by bucket. Run under -race via the
+// concurrent section below.
+func TestSnapshotMergeLabeledFamilies(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+
+	// Disjoint: family only in a, family only in b.
+	ra.CounterVec("only.a", "k").With("1").Add(7)
+	rb.CounterVec("only.b", "k").With("2").Add(9)
+	// Same family, different labels — and one shared series.
+	ca := ra.CounterVec("http.requests", "endpoint", "status")
+	cb := rb.CounterVec("http.requests", "endpoint", "status")
+	ca.With("/v1/enumerate", "200").Add(10)
+	cb.With("/v1/enumerate", "200").Add(5) // same series: adds
+	cb.With("/v1/enumerate", "429").Add(2) // new series in b
+	ca.With("/metrics", "200").Add(1)      // series only in a
+	// Labeled gauges: high-water semantics per series.
+	ra.GaugeVec("queue.depth", "pool").With("main").Set(3)
+	rb.GaugeVec("queue.depth", "pool").With("main").Set(8)
+	// Labeled histograms with overlapping and disjoint cells.
+	ha := ra.HistogramVec("lat", "endpoint").With("/x")
+	hb := rb.HistogramVec("lat", "endpoint").With("/x")
+	ha.Observe(1) // pow 1
+	ha.Observe(4) // pow 3
+	hb.Observe(1) // pow 1: aligns with a's cell
+	hb.Observe(9) // pow 4: new cell
+
+	m := ra.Snapshot().Merge(rb.Snapshot())
+	if m.Counters[`only.a{k="1"}`] != 7 || m.Counters[`only.b{k="2"}`] != 9 {
+		t.Fatalf("disjoint families lost: %v", m.Counters)
+	}
+	if got := m.Counters[`http.requests{endpoint="/v1/enumerate",status="200"}`]; got != 15 {
+		t.Fatalf("shared series = %d, want 15", got)
+	}
+	if got := m.Counters[`http.requests{endpoint="/v1/enumerate",status="429"}`]; got != 2 {
+		t.Fatalf("b-only series = %d, want 2", got)
+	}
+	if got := m.Counters[`http.requests{endpoint="/metrics",status="200"}`]; got != 1 {
+		t.Fatalf("a-only series = %d, want 1", got)
+	}
+	if got := m.Gauges[`queue.depth{pool="main"}`]; got != 8 {
+		t.Fatalf("gauge high-water = %d, want 8", got)
+	}
+	h := m.Histograms[`lat{endpoint="/x"}`]
+	if h.Count != 4 || h.Sum != 15 {
+		t.Fatalf("histogram merge count/sum = %d/%d, want 4/15", h.Count, h.Sum)
+	}
+	wantCells := []Bucket{{Pow: 1, Count: 2}, {Pow: 3, Count: 1}, {Pow: 4, Count: 1}}
+	if !reflect.DeepEqual(h.Buckets, wantCells) {
+		t.Fatalf("histogram cells = %v, want %v (pow-aligned adds, sorted)", h.Buckets, wantCells)
+	}
+
+	// Merge must be symmetric on this data.
+	m2 := rb.Snapshot().Merge(ra.Snapshot())
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("labeled merge is not commutative")
+	}
+
+	// Concurrent observation + snapshot + merge: the -race payoff.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ca.With("/v1/enumerate", fmt.Sprintf("%d", 200+w)).Inc()
+				ha.Observe(int64(i))
+				_ = ra.Snapshot().Merge(rb.Snapshot())
+			}
+		}(w)
+	}
+	wg.Wait()
+}

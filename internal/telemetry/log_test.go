@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestStampHandlerStampsContextIDs(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, "json", slog.LevelInfo)
+	ctx := WithFlightID(WithRequestID(context.Background(), "req-1"), "f7")
+	log.InfoContext(ctx, "access", "route", "/v1/enumerate")
+	log.InfoContext(context.Background(), "plain")
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), b.String())
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["request_id"] != "req-1" || first["flight_id"] != "f7" {
+		t.Fatalf("context IDs not stamped: %v", first)
+	}
+	if first["route"] != "/v1/enumerate" {
+		t.Fatalf("explicit attrs lost: %v", first)
+	}
+	if _, ok := second["request_id"]; ok {
+		t.Fatalf("ID stamped without context value: %v", second)
+	}
+}
+
+func TestLoggerFromDefaultsToNop(t *testing.T) {
+	l := LoggerFrom(context.Background())
+	if l == nil {
+		t.Fatal("LoggerFrom returned nil")
+	}
+	l.Info("must not panic")
+	if LoggerFrom(nil) == nil {
+		t.Fatal("LoggerFrom(nil ctx) returned nil")
+	}
+	var b strings.Builder
+	want := NewLogger(&b, "text", slog.LevelDebug)
+	if got := LoggerFrom(WithLogger(context.Background(), want)); got != want {
+		t.Fatal("LoggerFrom did not return the attached logger")
+	}
+	if NewLogger(&b, "off", slog.LevelInfo).Enabled(context.Background(), slog.LevelError) {
+		t.Fatal(`NewLogger("off") still enabled`)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "WARN": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo,
+	} {
+		if got := ParseLogLevel(in); got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -110,6 +110,21 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// Mean returns the live arithmetic mean of the observations (0 when
+// empty or on a nil receiver). Count and sum are read separately, so
+// under concurrent observation the mean is approximate — fine for the
+// load estimates it feeds.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
 // ObserveSince records the nanoseconds elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {

@@ -1,0 +1,430 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics text export of a Snapshot.
+//
+// The registry's dotted names sanitize to OpenMetrics metric names
+// (dots become underscores), labeled series re-group under their
+// family, counters gain the mandated _total sample suffix, and the
+// log₂ histograms render as cumulative le-bucketed histogram families
+// (bucket i of the registry covers integer values 2^(i-1)..2^i-1, so
+// its inclusive upper bound is 2^i-1). The exposition ends with the
+// required "# EOF" terminator, so a strict parser accepts it.
+
+// OpenMetricsContentType is the Content-Type of the exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// omFamily is one metric family being assembled for exposition.
+type omFamily struct {
+	name string // sanitized family name
+	typ  string // "counter", "gauge", "histogram"
+	rows []omRow
+}
+
+type omRow struct {
+	series string // canonical registry series name (sort key)
+	labels []Label
+	value  int64
+	hist   *HistogramSnapshot
+}
+
+// WriteOpenMetrics renders s as OpenMetrics text.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	fams := map[string]*omFamily{}
+	add := func(series, typ string, value int64, hist *HistogramSnapshot) {
+		base, labels, ok := ParseSeries(series)
+		if !ok {
+			base, labels = series, nil
+		}
+		name := sanitizeMetricName(base)
+		f := fams[name+" "+typ]
+		if f == nil {
+			f = &omFamily{name: name, typ: typ}
+			fams[name+" "+typ] = f
+		}
+		f.rows = append(f.rows, omRow{series: series, labels: labels, value: value, hist: hist})
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", v, nil)
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", v, nil)
+	}
+	for name := range s.Histograms {
+		h := s.Histograms[name]
+		add(name, "histogram", 0, &h)
+	}
+
+	ordered := make([]*omFamily, 0, len(fams))
+	for _, f := range fams {
+		sort.Slice(f.rows, func(i, j int) bool { return f.rows[i].series < f.rows[j].series })
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].typ < ordered[j].typ
+	})
+
+	var b strings.Builder
+	for _, f := range ordered {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, row := range f.rows {
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s_total%s %d\n", f.name, renderLabels(row.labels, "", 0), row.value)
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(row.labels, "", 0), row.value)
+			case "histogram":
+				writeHistogram(&b, f.name, row.labels, row.hist)
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative non-empty
+// buckets, the +Inf bucket, then _count and _sum.
+func writeHistogram(b *strings.Builder, name string, labels []Label, h *HistogramSnapshot) {
+	cum := int64(0)
+	for _, cell := range h.Buckets {
+		cum += cell.Count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels, bucketLE(cell.Pow), 1), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels, "+Inf", 1), h.Count)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(labels, "", 0), h.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, renderLabels(labels, "", 0), h.Sum)
+}
+
+// bucketLE is the inclusive upper bound of registry bucket pow:
+// bucket 0 counts values <= 0, bucket i counts 2^(i-1) <= v < 2^i.
+func bucketLE(pow int) string {
+	if pow <= 0 {
+		return "0"
+	}
+	return strconv.FormatUint(uint64(1)<<uint(pow)-1, 10)
+}
+
+// renderLabels renders a label set, optionally with an le label
+// appended (leMode 1). An empty set with no le renders as nothing.
+func renderLabels(labels []Label, le string, leMode int) string {
+	if len(labels) == 0 && leMode == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if leMode == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sanitizeMetricName(s string) string {
+	return sanitizeName(s, true)
+}
+
+func sanitizeLabelName(s string) string {
+	return sanitizeName(s, false)
+}
+
+func sanitizeName(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9') || (allowColon && r == ':')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ValidateOpenMetrics checks that data is a well-formed OpenMetrics
+// text exposition: metric and label name grammar, one TYPE per family
+// declared before its samples, un-interleaved family blocks, sample
+// suffixes matching the family type, numeric sample values, cumulative
+// histogram buckets whose +Inf equals _count, and the mandatory # EOF
+// terminator. It is the parser the tests and `omlint` run against
+// /metrics — deliberately strict on everything the encoder emits.
+func ValidateOpenMetrics(data []byte) error {
+	text := string(data)
+	if !strings.HasSuffix(text, "# EOF\n") && text != "# EOF" {
+		return fmt.Errorf("openmetrics: missing final \"# EOF\" terminator")
+	}
+	lines := strings.Split(text, "\n")
+	types := map[string]string{} // family -> type
+	closed := map[string]bool{}  // family blocks already ended
+	var curFam string
+	// histogram bookkeeping, keyed by family + non-le label set
+	histPrevLE := map[string]float64{}
+	histPrevCum := map[string]int64{}
+	histInf := map[string]int64{}
+	histCount := map[string]int64{}
+	histInfSeen := map[string]bool{}
+	sawEOF := false
+
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", ln+1)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "TYPE" {
+				if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "UNIT") {
+					continue
+				}
+				return fmt.Errorf("openmetrics: line %d: malformed metadata line %q", ln+1, line)
+			}
+			fam, typ := fields[2], fields[3]
+			if !validMetricName(fam) {
+				return fmt.Errorf("openmetrics: line %d: invalid family name %q", ln+1, fam)
+			}
+			if _, dup := types[fam]; dup {
+				return fmt.Errorf("openmetrics: line %d: duplicate TYPE for family %q", ln+1, fam)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "unknown", "info", "stateset", "gaugehistogram":
+			default:
+				return fmt.Errorf("openmetrics: line %d: unknown type %q", ln+1, typ)
+			}
+			if curFam != "" && curFam != fam {
+				closed[curFam] = true
+			}
+			if closed[fam] {
+				return fmt.Errorf("openmetrics: line %d: family %q block interleaved", ln+1, fam)
+			}
+			types[fam] = typ
+			curFam = fam
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %v", ln+1, err)
+		}
+		fam, suffix := sampleFamily(name, types)
+		if fam == "" {
+			return fmt.Errorf("openmetrics: line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		if fam != curFam {
+			if closed[fam] {
+				return fmt.Errorf("openmetrics: line %d: family %q block interleaved", ln+1, fam)
+			}
+			closed[curFam] = true
+			curFam = fam
+		}
+		typ := types[fam]
+		switch typ {
+		case "counter":
+			if suffix != "_total" && suffix != "_created" {
+				return fmt.Errorf("openmetrics: line %d: counter sample %q must end in _total", ln+1, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("openmetrics: line %d: negative counter %q", ln+1, name)
+			}
+		case "gauge":
+			if suffix != "" {
+				return fmt.Errorf("openmetrics: line %d: gauge sample %q has a suffix", ln+1, name)
+			}
+		case "histogram":
+			key := fam + renderLabels(stripLE(labels), "", 0)
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("openmetrics: line %d: histogram bucket without le", ln+1)
+				}
+				leV := math.Inf(1)
+				if le != "+Inf" {
+					leV, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("openmetrics: line %d: bad le %q", ln+1, le)
+					}
+				}
+				if prev, ok := histPrevLE[key]; ok && leV <= prev {
+					return fmt.Errorf("openmetrics: line %d: le %q out of order for %s", ln+1, le, key)
+				}
+				if int64(value) < histPrevCum[key] {
+					return fmt.Errorf("openmetrics: line %d: bucket counts of %s not cumulative", ln+1, key)
+				}
+				histPrevLE[key], histPrevCum[key] = leV, int64(value)
+				if math.IsInf(leV, 1) {
+					histInf[key], histInfSeen[key] = int64(value), true
+				}
+			case "_count":
+				histCount[key] = int64(value)
+			case "_sum", "_created":
+			default:
+				return fmt.Errorf("openmetrics: line %d: bad histogram sample suffix on %q", ln+1, name)
+			}
+		}
+	}
+	for key, inf := range histInf {
+		if c, ok := histCount[key]; ok && c != inf {
+			return fmt.Errorf("openmetrics: histogram %s: +Inf bucket %d != count %d", key, inf, c)
+		}
+	}
+	for key := range histCount {
+		if !histInfSeen[key] {
+			return fmt.Errorf("openmetrics: histogram %s has no +Inf bucket", key)
+		}
+	}
+	return nil
+}
+
+// sampleFamily resolves a sample name to its declared family: the
+// longest declared family the name extends with a known suffix.
+func sampleFamily(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_total", "_bucket", "_count", "_sum", "_created"} {
+		if strings.HasSuffix(name, suf) {
+			if base := strings.TrimSuffix(name, suf); types[base] != "" {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+func stripLE(labels []Label) []Label {
+	out := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Key != "le" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func labelValue(labels []Label, key string) (string, bool) {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		_, labels, ok := ParseSeries(name + rest[brace:end+1])
+		if !ok {
+			return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.Key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", l.Key)
+			}
+		}
+		valuePart := strings.TrimSpace(rest[end+1:])
+		v, err := parseSampleValue(valuePart)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		if !validMetricName(name) {
+			return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		}
+		return name, labels, v, nil
+	}
+	if sp < 0 {
+		return "", nil, 0, fmt.Errorf("no value in sample %q", line)
+	}
+	name = rest[:sp]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v, err := parseSampleValue(strings.TrimSpace(rest[sp+1:]))
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, nil, v, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields) > 2 {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	return v, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

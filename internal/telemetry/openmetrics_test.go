@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func exampleSnapshot() Snapshot {
+	reg := NewRegistry()
+	reg.Counter("server.requests").Add(12)
+	cv := reg.CounterVec("http.requests", "endpoint", "status")
+	cv.With("/v1/enumerate", "200").Add(9)
+	cv.With("/v1/enumerate", "429").Add(1)
+	cv.With("/metrics", "200").Add(2)
+	reg.CounterVec("server.cache.requests", "cache_tier").With("mem").Add(5)
+	reg.Gauge("server.queue.depth").Set(3)
+	reg.GaugeVec("http.in_flight", "endpoint").With("/v1/enumerate").Set(1)
+	h := reg.HistogramVec("http.request.duration_ns", "endpoint", "status").With("/v1/enumerate", "200")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(1000)
+	h.Observe(1 << 40)
+	return reg.Snapshot()
+}
+
+func TestWriteOpenMetricsValidates(t *testing.T) {
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, exampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := ValidateOpenMetrics([]byte(text)); err != nil {
+		t.Fatalf("encoder output rejected by validator: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE server_requests counter\n",
+		"server_requests_total 12\n",
+		`http_requests_total{endpoint="/v1/enumerate",status="200"} 9`,
+		`http_requests_total{endpoint="/v1/enumerate",status="429"} 1`,
+		`server_cache_requests_total{cache_tier="mem"} 5`,
+		"# TYPE server_queue_depth gauge\n",
+		"server_queue_depth 3\n",
+		`http_in_flight{endpoint="/v1/enumerate"} 1`,
+		"# TYPE http_request_duration_ns histogram\n",
+		`http_request_duration_ns_bucket{endpoint="/v1/enumerate",status="200",le="0"} 1`,
+		`http_request_duration_ns_bucket{endpoint="/v1/enumerate",status="200",le="+Inf"} 4`,
+		`http_request_duration_ns_count{endpoint="/v1/enumerate",status="200"} 4`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("exposition does not end with # EOF")
+	}
+}
+
+func TestOpenMetricsHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d.ns")
+	for _, v := range []int64{1, 1, 2, 3, 8, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := ValidateOpenMetrics([]byte(text)); err != nil {
+		t.Fatalf("validator: %v\n%s", err, text)
+	}
+	// pow 1 (v=1, x2) -> le 1 cum 2; pow 2 (2,3) -> le 3 cum 4;
+	// pow 4 (8) -> le 15 cum 5; pow 7 (100) -> le 127 cum 6.
+	for _, want := range []string{
+		`d_ns_bucket{le="1"} 2`,
+		`d_ns_bucket{le="3"} 4`,
+		`d_ns_bucket{le="15"} 5`,
+		`d_ns_bucket{le="127"} 6`,
+		`d_ns_bucket{le="+Inf"} 6`,
+		"d_ns_count 6",
+		"d_ns_sum 115",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in\n%s", want, text)
+		}
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"no EOF":              "# TYPE x counter\nx_total 1\n",
+		"content after EOF":   "# EOF\nx 1\n# EOF\n",
+		"sample without TYPE": "x_total 1\n# EOF\n",
+		"counter no _total":   "# TYPE x counter\nx 1\n# EOF\n",
+		"bad value":           "# TYPE x gauge\nx forty\n# EOF\n",
+		"interleaved":         "# TYPE a gauge\na 1\n# TYPE b gauge\nb 1\na 2\n# EOF\n",
+		"bad name":            "# TYPE 9x gauge\n9x 1\n# EOF\n",
+		"bucket order": "# TYPE h histogram\n" +
+			`h_bucket{le="8"} 3` + "\n" + `h_bucket{le="2"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_count 3\nh_sum 9\n# EOF\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 3` + "\n" + `h_bucket{le="8"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_count 3\nh_sum 9\n# EOF\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_count 4\nh_sum 9\n# EOF\n",
+		"no inf bucket": "# TYPE h histogram\nh_count 4\nh_sum 9\n# EOF\n",
+	}
+	for name, text := range cases {
+		if err := ValidateOpenMetrics([]byte(text)); err == nil {
+			t.Errorf("%s: validator accepted\n%s", name, text)
+		}
+	}
+	if err := ValidateOpenMetrics([]byte("# EOF\n")); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}
