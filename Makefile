@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke obs-smoke
+.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke obs-smoke cluster-smoke chaos
 
 check: fmt vet build test race lint lint-fixtures
 
@@ -27,11 +27,12 @@ test:
 # faults fire on the enumerator's worker goroutines, so the panic /
 # hang / corrupt paths must be race-clean too, fingerprint because
 # workers summarize instances concurrently through its pooled buffers,
-# and dataflow because the equivalence tier canonicalizes instances on
+# dataflow because the equivalence tier canonicalizes instances on
 # those same workers (the -jobs + -equiv combination in the search
-# suite exercises it end to end).
+# suite exercises it end to end), and distcl because the fleet worker
+# runs assignments, heartbeats and drains on separate goroutines.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/ ./internal/dataflow/
+	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/ ./internal/dataflow/ ./internal/distcl/
 
 # Static analysis beyond go vet. staticcheck and govulncheck run when
 # installed and are skipped with a note otherwise, so the target stays
@@ -210,3 +211,18 @@ obs-smoke:
 	wait $$srv || { echo "obs-smoke: spaced did not drain cleanly"; cat "$$tmp/spaced.log"; exit 1; }; \
 	srv=""; \
 	echo "obs-smoke: request IDs, OpenMetrics, access log and flight recorder all line up"
+
+# Distributed-enumeration crash test: coordinator + two workers, the
+# lease holder SIGKILLed mid-space, hash parity with a single-node run
+# and clean TERM drains required. scripts/cluster_smoke.sh has the
+# details. Needs curl and jq.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+# cluster-smoke under injected network chaos: both workers run with a
+# budgeted fault plan (dropped responses, stalled requests) on top of
+# the SIGKILL, and the served bytes still may not change. Override the
+# plan with REPRO_FAULTS, e.g.
+# REPRO_FAULTS='httpdrop=4,httpslow=4:200ms' make chaos.
+chaos:
+	CLUSTER_FAULTS="$${REPRO_FAULTS:-httpdrop=2,httpslow=2:100ms}" sh scripts/cluster_smoke.sh

@@ -26,6 +26,18 @@
 // enumerations are canceled and checkpoint their partial spaces into
 // the cache directory, and the next request of the same key resumes
 // from the checkpoint instead of starting over.
+//
+// With -worker -join <url> the same binary runs as a member of a
+// coordinator's fleet instead of serving HTTP: it registers, long-polls
+// /v1/dist/* for assignments, heartbeats its leases with progress
+// checkpoints, and uploads finished spaces keyed by canonical hash.
+// A coordinator is just a normal spaced with workers joined — requests
+// that miss the cache are dispatched to the fleet and fall back to
+// local enumeration when no worker is live.
+//
+//	spaced -addr localhost:8080 -cache ./coordcache        # terminal 1
+//	spaced -worker -join http://localhost:8080 -scratch w1 # terminal 2
+//	spaced -worker -join http://localhost:8080 -scratch w2 # terminal 3
 package main
 
 import (
@@ -41,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/distcl"
 	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -67,6 +80,15 @@ func run() int {
 	slowFlight := fs.Duration("slow-flight", 30*time.Second, "log a per-phase latency breakdown for enumerate requests slower than this (0 = never)")
 	flightLogSize := fs.Int("flights", 128, "requests replayed by GET /v1/debug/flights")
 	debugPprof := fs.Bool("debug-pprof", false, "serve net/http/pprof under /debug/pprof/")
+	diskMax := fs.Int64("disk-max-bytes", 0, "disk cache budget; least-recently-used spaces are evicted above it (0 = unbounded)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "coordinator: assignment lease; a worker silent this long is re-dispatched")
+	pollWait := fs.Duration("poll-wait", 5*time.Second, "coordinator: how long a worker long-poll parks before answering 204")
+	dispatchAttempts := fs.Int("dispatch-attempts", 3, "coordinator: dispatches per assignment before falling back to local enumeration")
+	workerMode := fs.Bool("worker", false, "run as a fleet worker instead of serving HTTP (requires -join)")
+	join := fs.String("join", "", "worker: coordinator base URL, e.g. http://localhost:8080")
+	workerID := fs.String("worker-id", "", "worker: stable identity to register under (default: coordinator-minted)")
+	scratch := fs.String("scratch", "", "worker: scratch directory for in-flight checkpoints (default: <cache>/worker-scratch)")
+	jobs := fs.Int("jobs", 1, "worker: concurrent assignments")
 	var tf telemetry.Flags
 	tf.Register(fs)
 	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
@@ -96,6 +118,44 @@ func run() int {
 		reg = telemetry.NewRegistry()
 	}
 	logger := telemetry.NewLogger(os.Stderr, *logFormat, telemetry.ParseLogLevel(*logLevel))
+
+	if *workerMode {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "spaced: -worker requires -join <coordinator url>")
+			return 2
+		}
+		dir := *scratch
+		if dir == "" {
+			dir = *cacheDir + "/worker-scratch"
+		}
+		wk, err := distcl.NewWorker(distcl.WorkerConfig{
+			Client: distcl.NewClient(distcl.Config{
+				BaseURL: *join,
+				Faults:  plan,
+				Logger:  logger,
+			}),
+			ID:            *workerID,
+			ScratchDir:    dir,
+			Jobs:          *jobs,
+			SearchWorkers: *workers,
+			DrainTimeout:  *grace,
+			Faults:        plan,
+			Logger:        logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spaced:", err)
+			return 1
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "spaced: worker joining %s (scratch %s, %d jobs)\n", *join, dir, *jobs)
+		if err := wk.Run(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "spaced:", err)
+			return 1
+		}
+		return 0
+	}
+
 	srv, err := server.New(server.Config{
 		Dir:             *cacheDir,
 		MemEntries:      *memEntries,
@@ -110,6 +170,10 @@ func run() int {
 		SlowFlight:      *slowFlight,
 		FlightLogSize:   *flightLogSize,
 		EnablePprof:     *debugPprof,
+		DiskMaxBytes:    *diskMax,
+		DistLeaseTTL:    *leaseTTL,
+		DistPollWait:    *pollWait,
+		DistMaxAttempts: *dispatchAttempts,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spaced:", err)

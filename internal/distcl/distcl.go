@@ -1,0 +1,250 @@
+// Package distcl is the shared HTTP client of the distributed
+// enumeration plane: the worker fleet talks to the spaced coordinator
+// exclusively through it. The client owns the failure discipline the
+// protocol's idempotent design assumes — per-attempt timeouts,
+// capped-exponential-backoff retries with jitter, Retry-After
+// honoring on 429/503 — so every caller survives dropped connections,
+// slow links and coordinator restarts the same way. The fault plan's
+// network directives (httpdrop, httpslow) are injected here, making
+// chaos runs deterministic: a dropped request really sends a
+// truncated body and loses its response, exactly once per budget
+// unit.
+//
+// Requests are JSON in, JSON out, and every mutating request is safe
+// to resend: completions are keyed by the space's content hash and
+// checkpoint uploads are validated and monotonic on the coordinator,
+// so the client retries without coordination.
+package distcl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Client.
+type Config struct {
+	// BaseURL is the coordinator's base URL (required), e.g.
+	// "http://localhost:8080".
+	BaseURL string
+	// Timeout bounds one attempt (default 15s). A call whose context
+	// already carries an earlier deadline keeps it.
+	Timeout time.Duration
+	// MaxAttempts bounds the attempts per call, first try included
+	// (default 5).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the retry delays: attempt n
+	// sleeps an equal-jittered base*2^n, capped (defaults 100ms / 5s).
+	// A Retry-After header stretches the sleep further, never shrinks
+	// it.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Faults injects deterministic network failures (httpdrop,
+	// httpslow directives); nil injects nothing.
+	Faults *faultinject.Plan
+	// Logger receives one warn per retried attempt; nil logs nothing.
+	Logger *slog.Logger
+	// HTTPClient overrides the transport (tests); nil uses a default
+	// client without its own timeout (the per-attempt context bounds
+	// every request).
+	HTTPClient *http.Client
+}
+
+// Client is a retrying JSON-over-HTTP client for the dist protocol.
+type Client struct {
+	cfg     Config
+	hc      *http.Client
+	logger  *slog.Logger
+	retries atomic.Int64
+}
+
+// StatusError is a non-2xx response the server actually sent, carrying
+// the decoded error message. Transport failures are not StatusErrors.
+type StatusError struct {
+	Status int
+	Msg    string
+	// retryAfter is the server's Retry-After hint, folded into the
+	// retry backoff.
+	retryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Msg)
+}
+
+// NewClient creates a Client for the coordinator at cfg.BaseURL.
+func NewClient(cfg Config) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	return &Client{cfg: cfg, hc: hc, logger: logger}
+}
+
+// Retries reports the attempts beyond the first across every call —
+// how hard the client has had to fight the network.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// retryableStatus reports whether the server's answer invites another
+// try: overload shedding and transient server errors do, anything else
+// the server meant.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the sleep before retry attempt (0-based), an
+// equal-jittered exponential: half the capped base*2^attempt plus a
+// random half, so synchronized workers fan out instead of stampeding.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BackoffBase << attempt
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	d = d/2 + rand.N(d/2+1) //nolint:gosec // jitter, not crypto
+	if retryAfter > d {
+		// The server named its price; honoring it beats hammering a
+		// coordinator that just said it is overloaded.
+		d = retryAfter
+	}
+	return d
+}
+
+// Call POSTs in as JSON to path and decodes the response into out (out
+// may be nil; 204 responses decode nothing). Transport errors, 5xx and
+// 429 are retried with backoff until MaxAttempts or the context ends;
+// other statuses return immediately. The returned status is the last
+// HTTP status received (0 when no response ever arrived); err is nil
+// exactly when the status is 2xx.
+func (c *Client) Call(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, fmt.Errorf("distcl: encoding %s request: %w", path, err)
+	}
+	var lastStatus int
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			var ra time.Duration
+			se := &StatusError{}
+			if errors.As(lastErr, &se) && se.retryAfter > 0 {
+				ra = se.retryAfter
+			}
+			sleep := c.backoff(attempt-1, ra)
+			c.logger.Warn("dist call retrying", "path", path, "attempt", attempt,
+				"backoff_ms", sleep.Milliseconds(), "err", lastErr.Error())
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return lastStatus, fmt.Errorf("distcl: %s: %w (last: %v)", path, ctx.Err(), lastErr)
+			}
+		}
+		status, err := c.do(ctx, path, body, out)
+		lastStatus = status
+		if err == nil {
+			return status, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastStatus, fmt.Errorf("distcl: %s: %w (last: %v)", path, ctx.Err(), lastErr)
+		}
+		se := &StatusError{}
+		if errors.As(err, &se) && !retryableStatus(se.Status) {
+			return status, err
+		}
+	}
+	return lastStatus, fmt.Errorf("distcl: %s failed after %d attempts: %w", path, c.cfg.MaxAttempts, lastErr)
+}
+
+// do runs one attempt: inject the fault plan's network directives,
+// bound the attempt with the per-attempt timeout, send, decode.
+func (c *Client) do(ctx context.Context, path string, body []byte, out any) (int, error) {
+	fault := c.cfg.Faults.HTTPFault()
+	if fault.SlowFor > 0 {
+		select {
+		case <-time.After(fault.SlowFor):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader = bytes.NewReader(body)
+	if fault.Drop {
+		// The injected drop really sends a truncated request — the
+		// coordinator sees the partial upload it must reject — and the
+		// response, if any, is lost to this client.
+		rd = faultinject.TruncateBody(rd, 64)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("distcl: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("distcl: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if fault.Drop {
+		// Body may have gone through whole (small payloads fit the
+		// truncation window): the response is still lost.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck // simulating a dead connection
+		return 0, fmt.Errorf("distcl: %s: %w", path, faultinject.ErrHTTPDrop)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, fmt.Errorf("distcl: decoding %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	se := &StatusError{Status: resp.StatusCode, Msg: http.StatusText(resp.StatusCode)}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&apiErr) == nil && apiErr.Error != "" {
+		se.Msg = apiErr.Error
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		se.retryAfter = time.Duration(ra) * time.Second
+	}
+	return resp.StatusCode, se
+}

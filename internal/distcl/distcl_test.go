@@ -1,0 +1,199 @@
+package distcl
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+type echoResp struct {
+	N int `json:"n"`
+}
+
+// fastClient builds a Client with millisecond backoffs so retry tests
+// run in test time, not wall time.
+func fastClient(t *testing.T, ts *httptest.Server, cfg Config) *Client {
+	t.Helper()
+	cfg.BaseURL = ts.URL
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 5 * time.Millisecond
+	}
+	return NewClient(cfg)
+}
+
+// TestCallRetriesTransientStatus: 503s are retried with backoff until
+// the server recovers; the eventual success decodes normally and the
+// retry counter reflects the extra attempts.
+func TestCallRetriesTransientStatus(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"overloaded"}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{"n":7}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts, Config{})
+	var out echoResp
+	status, err := c.Call(context.Background(), "/x", map[string]int{"a": 1}, &out)
+	if err != nil || status != http.StatusOK || out.N != 7 {
+		t.Fatalf("Call = (%d, %v), out %+v; want 200 ok n=7", status, err, out)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// TestCallDoesNotRetryClientErrors: a 404 is an answer, not a transient
+// — one attempt, surfaced as a StatusError with the decoded message.
+func TestCallDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown worker; re-register"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts, Config{})
+	status, err := c.Call(context.Background(), "/x", nil, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", status)
+	}
+	se := &StatusError{}
+	if !errors.As(err, &se) || se.Status != 404 || se.Msg != "unknown worker; re-register" {
+		t.Fatalf("err = %v, want StatusError 404 with decoded message", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", got)
+	}
+}
+
+// TestCallHonorsRetryAfter: a 429 naming its price stretches the next
+// backoff to at least the advertised delay.
+func TestCallHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"shed"}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts, Config{MaxAttempts: 2})
+	start := time.Now()
+	if _, err := c.Call(context.Background(), "/x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, Retry-After promised 1s", elapsed)
+	}
+}
+
+// TestCallInjectsHTTPDrop: a budgeted httpdrop really reaches the
+// server (possibly truncated) but loses the response; the retry, budget
+// spent, goes through clean.
+func TestCallInjectsHTTPDrop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"n":1}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts, Config{Faults: faultinject.MustParse("httpdrop=1")})
+	var out echoResp
+	status, err := c.Call(context.Background(), "/x", map[string]int{"a": 1}, &out)
+	if err != nil || status != http.StatusOK || out.N != 1 {
+		t.Fatalf("Call = (%d, %v), want eventual success", status, err)
+	}
+	if got := c.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d, want 1 (the dropped attempt)", got)
+	}
+}
+
+// TestCallGivesUpAfterMaxAttempts: a server that never recovers costs
+// exactly MaxAttempts requests and reports the last failure.
+func TestCallGivesUpAfterMaxAttempts(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	c := fastClient(t, ts, Config{MaxAttempts: 3})
+	status, err := c.Call(context.Background(), "/x", nil, nil)
+	if err == nil {
+		t.Fatal("Call succeeded against a permanently failing server")
+	}
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", status)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestCallStopsOnContextCancel: a canceled context ends the retry loop
+// promptly instead of burning the remaining attempts.
+func TestCallStopsOnContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := fastClient(t, ts, Config{MaxAttempts: 1000, BackoffBase: 20 * time.Millisecond, BackoffCap: 20 * time.Millisecond})
+	start := time.Now()
+	_, err := c.Call(ctx, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("Call succeeded with a canceled context")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v to notice the canceled context", elapsed)
+	}
+}
+
+// TestBackoffShape: the schedule is exponential, capped, jittered
+// within [d/2, d], and stretched (never shrunk) by Retry-After.
+func TestBackoffShape(t *testing.T) {
+	c := NewClient(Config{BaseURL: "http://x", BackoffBase: 100 * time.Millisecond, BackoffCap: 400 * time.Millisecond})
+	for attempt, wantMax := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond} {
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, 0)
+			if d < wantMax/2 || d > wantMax {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", attempt, d, wantMax/2, wantMax)
+			}
+		}
+	}
+	if d := c.backoff(0, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("backoff with Retry-After 3s = %v, want 3s", d)
+	}
+}

@@ -1,0 +1,130 @@
+package distcl
+
+import "repro/internal/rtl"
+
+// The dist protocol endpoints, mounted by the coordinator under
+// /v1/dist/. Every request is a POST with a JSON body; every mutating
+// request is idempotent (see the package comment), so the Client can
+// retry any of them blindly.
+const (
+	PathRegister   = "/v1/dist/register"
+	PathPoll       = "/v1/dist/poll"
+	PathHeartbeat  = "/v1/dist/heartbeat"
+	PathComplete   = "/v1/dist/complete"
+	PathDeregister = "/v1/dist/deregister"
+)
+
+// RegisterRequest announces a worker to the coordinator. Registering
+// an already-known WorkerID is idempotent and revives a worker the
+// coordinator had declared dead — the re-registration path after a
+// coordinator restart or a long partition.
+type RegisterRequest struct {
+	// WorkerID is the worker's preferred identity; empty lets the
+	// coordinator mint one. Stable IDs keep per-worker metric series
+	// continuous across reconnects.
+	WorkerID string `json:"worker_id,omitempty"`
+	// Jobs advertises how many assignments the worker runs at once.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// RegisterResponse fixes the worker's identity and the protocol
+// cadence: the worker must heartbeat every HeartbeatMillis to keep its
+// leases (LeaseTTLMillis) alive, and poll requests block up to
+// PollWaitMillis before returning empty.
+type RegisterResponse struct {
+	WorkerID        string `json:"worker_id"`
+	LeaseTTLMillis  int64  `json:"lease_ttl_ms"`
+	HeartbeatMillis int64  `json:"heartbeat_ms"`
+	PollWaitMillis  int64  `json:"poll_wait_ms"`
+}
+
+// PollRequest asks for work. The coordinator long-polls: the response
+// is either 200 with an Assignment or 204 after PollWaitMillis with
+// nothing to do.
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// SearchOptions is the enumeration-shaping subset of the server's
+// request options, mirrored onto the wire with the same field names so
+// the cache key derivation agrees on both ends.
+type SearchOptions struct {
+	Cap      int  `json:"cap,omitempty"`
+	MaxNodes int  `json:"max_nodes,omitempty"`
+	Check    bool `json:"check,omitempty"`
+	Equiv    bool `json:"equiv,omitempty"`
+}
+
+// Assignment is one unit of leased work: enumerate Func under Options
+// and report back under AssignmentID. The rtl.Func crosses the wire as
+// its plain JSON encoding (every field is exported), which round-trips
+// exactly — hash parity with single-node enumeration depends on it.
+type Assignment struct {
+	AssignmentID string        `json:"assignment_id"`
+	Key          string        `json:"key"`
+	Func         *rtl.Func     `json:"func"`
+	Options      SearchOptions `json:"options"`
+	// CheckpointB64 carries the last checkpoint uploaded for this work
+	// (space format v2, base64) when the assignment is a re-dispatch
+	// after a lease expiry: the new worker resumes where the dead one
+	// stopped instead of starting over.
+	CheckpointB64 string `json:"checkpoint_b64,omitempty"`
+	// SearchTimeoutMillis bounds the worker-side search wall time
+	// (0 = unlimited), mirroring the coordinator's local limit.
+	SearchTimeoutMillis int64 `json:"search_timeout_ms,omitempty"`
+}
+
+// HeartbeatAssignment reports progress on one in-flight assignment.
+// CheckpointB64, when non-empty, is the worker's latest checkpoint;
+// the coordinator validates it (same function, node count never
+// shrinking) and keeps it as the assignment's recovery point.
+type HeartbeatAssignment struct {
+	AssignmentID  string `json:"assignment_id"`
+	CheckpointB64 string `json:"checkpoint_b64,omitempty"`
+}
+
+// HeartbeatRequest renews the worker's leases. Draining announces a
+// graceful shutdown: the coordinator stops offering the worker new
+// work and treats the attached checkpoints as final.
+type HeartbeatRequest struct {
+	WorkerID    string                `json:"worker_id"`
+	Draining    bool                  `json:"draining,omitempty"`
+	Assignments []HeartbeatAssignment `json:"assignments,omitempty"`
+}
+
+// HeartbeatResponse lists assignments the coordinator no longer wants
+// from this worker (reassigned after a lease expiry the worker
+// outlived, or a drained flight); the worker cancels them and uploads
+// nothing further.
+type HeartbeatResponse struct {
+	Abandon []string `json:"abandon,omitempty"`
+}
+
+// CompleteRequest delivers a finished assignment. SpaceB64 is the
+// serialized space (format v2, base64) and SpaceHash its CanonicalHash
+// — the idempotency key: re-submitting the same completion is
+// acknowledged as a duplicate, and a conflicting hash for an already
+// completed assignment is rejected. An Aborted completion (cap or
+// timeout hit on the worker) carries the reason instead of a space.
+type CompleteRequest struct {
+	WorkerID     string `json:"worker_id"`
+	AssignmentID string `json:"assignment_id"`
+	Key          string `json:"key"`
+	SpaceHash    string `json:"space_hash,omitempty"`
+	SpaceB64     string `json:"space_b64,omitempty"`
+	Aborted      bool   `json:"aborted,omitempty"`
+	AbortReason  string `json:"abort_reason,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion: "accepted" the first
+// time, "duplicate" for an idempotent re-submission.
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// DeregisterRequest removes the worker cleanly; its remaining leases
+// are released for immediate re-dispatch rather than waiting out the
+// TTL.
+type DeregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}

@@ -14,6 +14,18 @@
 //	ckptfail=<n>                  the next n checkpoint writes fail short
 //	dirsyncfail=<n>               the next n checkpoint directory fsyncs
 //	                              fail (rename durability lost)
+//	httpdrop=<n>                  the next n HTTP requests through the
+//	                              dist client send a truncated body and
+//	                              lose their response (connection reset)
+//	httpslow=<n>[:<dur>]          the next n HTTP requests stall for dur
+//	                              before being sent (default 250ms)
+//	workerdie=<n>                 the worker process kills itself (no
+//	                              drain, no checkpoint upload) at its
+//	                              nth heartbeat opportunity
+//
+// The http* and workerdie directives are budgeted like ckptfail: each
+// consultation consumes one unit of the budget, so a chaos run injects
+// an exact, reproducible number of network failures.
 //
 // A directive without @<seq> fires on every attempt of the phase; with
 // @<seq> it fires only when the phase is attempted at the node whose
@@ -83,7 +95,17 @@ type Plan struct {
 	// dirSyncFails is the number of remaining checkpoint directory
 	// fsyncs to fail.
 	dirSyncFails atomic.Int64
-	spec         string
+	// httpDrops is the number of remaining HTTP requests to drop
+	// (truncated request body, response lost).
+	httpDrops atomic.Int64
+	// httpSlows is the number of remaining HTTP requests to stall by
+	// httpSlowFor before sending.
+	httpSlows   atomic.Int64
+	httpSlowFor time.Duration
+	// workerDie counts down the worker's heartbeat opportunities; when
+	// it reaches zero the worker process exits without draining.
+	workerDie atomic.Int64
+	spec      string
 }
 
 // Parse builds a plan from the spec grammar above. An empty spec yields
@@ -103,15 +125,40 @@ func Parse(spec string) (*Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("faultinject: directive %q: want op=arg", dir)
 		}
-		if op == "ckptfail" || op == "dirsyncfail" {
+		if op == "ckptfail" || op == "dirsyncfail" || op == "httpdrop" || op == "workerdie" {
 			n, err := strconv.Atoi(arg)
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("faultinject: %s wants a count, got %q", op, arg)
 			}
-			if op == "ckptfail" {
+			switch op {
+			case "ckptfail":
 				p.ckptFails.Add(int64(n))
-			} else {
+			case "dirsyncfail":
 				p.dirSyncFails.Add(int64(n))
+			case "httpdrop":
+				p.httpDrops.Add(int64(n))
+			case "workerdie":
+				if n == 0 {
+					return nil, fmt.Errorf("faultinject: workerdie wants a count >= 1 (the nth heartbeat kills the worker)")
+				}
+				p.workerDie.Add(int64(n))
+			}
+			continue
+		}
+		if op == "httpslow" {
+			head, dur, hasDur := strings.Cut(arg, ":")
+			n, err := strconv.Atoi(head)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: httpslow wants a count, got %q", head)
+			}
+			p.httpSlows.Add(int64(n))
+			p.httpSlowFor = 250 * time.Millisecond
+			if hasDur {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: httpslow duration %q: %v", dur, err)
+				}
+				p.httpSlowFor = d
 			}
 			continue
 		}
@@ -218,15 +265,7 @@ func (p *Plan) DirSyncFault() bool {
 	if p == nil {
 		return false
 	}
-	for {
-		n := p.dirSyncFails.Load()
-		if n <= 0 {
-			return false
-		}
-		if p.dirSyncFails.CompareAndSwap(n, n-1) {
-			return true
-		}
-	}
+	return consume(&p.dirSyncFails)
 }
 
 // WrapCheckpoint wraps one checkpoint write. While the plan has
@@ -237,15 +276,88 @@ func (p *Plan) WrapCheckpoint(w io.Writer) io.Writer {
 	if p == nil {
 		return w
 	}
+	if consume(&p.ckptFails) {
+		return &shortWriter{w: w, left: 64}
+	}
+	return w
+}
+
+// consume decrements a budget counter if it is still positive,
+// reporting whether a unit was consumed.
+func consume(n *atomic.Int64) bool {
 	for {
-		n := p.ckptFails.Load()
-		if n <= 0 {
-			return w
+		v := n.Load()
+		if v <= 0 {
+			return false
 		}
-		if p.ckptFails.CompareAndSwap(n, n-1) {
-			return &shortWriter{w: w, left: 64}
+		if n.CompareAndSwap(v, v-1) {
+			return true
 		}
 	}
+}
+
+// HTTPFault describes the network fault to inject into one HTTP
+// request through the dist client: stall it for SlowFor before
+// sending, and/or Drop it — send a truncated request body and lose the
+// response, the observable shape of a connection reset mid-upload.
+type HTTPFault struct {
+	SlowFor time.Duration
+	Drop    bool
+}
+
+// HTTPFault consumes the network-fault budgets for one outgoing HTTP
+// request. The slow and drop budgets are independent: a request can be
+// both stalled and dropped. Returns the zero fault (inject nothing)
+// when no budget remains or the plan is nil.
+func (p *Plan) HTTPFault() HTTPFault {
+	if p == nil {
+		return HTTPFault{}
+	}
+	var f HTTPFault
+	if consume(&p.httpSlows) {
+		f.SlowFor = p.httpSlowFor
+	}
+	f.Drop = consume(&p.httpDrops)
+	return f
+}
+
+// WorkerDieFault consumes one heartbeat opportunity of the workerdie
+// budget, reporting whether the worker process should now kill itself
+// (exit without draining or uploading a final checkpoint). With
+// workerdie=<n> the nth consultation fires; without the directive it
+// never does.
+func (p *Plan) WorkerDieFault() bool {
+	if p == nil {
+		return false
+	}
+	if !consume(&p.workerDie) {
+		return false
+	}
+	return p.workerDie.Load() == 0
+}
+
+// ErrHTTPDrop is the synthetic transport error an injected httpdrop
+// fault surfaces to the dist client after truncating the request.
+var ErrHTTPDrop = errors.New("faultinject: simulated connection drop mid-request")
+
+// TruncateBody bounds an HTTP request body to the first max bytes; the
+// reader then fails with ErrHTTPDrop, so the server sees a partial
+// upload and the client a transport error — both sides of a connection
+// torn mid-request.
+func TruncateBody(r io.Reader, max int) io.Reader {
+	return &truncReader{r: io.LimitReader(r, int64(max))}
+}
+
+type truncReader struct {
+	r io.Reader
+}
+
+func (t *truncReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		return n, ErrHTTPDrop
+	}
+	return n, err
 }
 
 // shortWriter writes at most left bytes through, then fails every

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 	"time"
 
@@ -121,5 +122,69 @@ func TestDirSyncFailureBudget(t *testing.T) {
 	}
 	if _, err := Parse("dirsyncfail=x"); err == nil {
 		t.Fatal("dirsyncfail with a non-numeric count parsed")
+	}
+}
+
+func TestHTTPFaultBudgets(t *testing.T) {
+	p := MustParse("httpdrop=2, httpslow=1:50ms")
+	// First request: both budgets have units, independently consumed.
+	f := p.HTTPFault()
+	if f.SlowFor != 50*time.Millisecond || !f.Drop {
+		t.Fatalf("first request fault = %+v, want slow 50ms + drop", f)
+	}
+	// Second: the slow budget is spent, one drop remains.
+	f = p.HTTPFault()
+	if f.SlowFor != 0 || !f.Drop {
+		t.Fatalf("second request fault = %+v, want drop only", f)
+	}
+	// Third: both budgets are dry.
+	if f = p.HTTPFault(); f != (HTTPFault{}) {
+		t.Fatalf("exhausted budgets still injected %+v", f)
+	}
+	var nilPlan *Plan
+	if f = nilPlan.HTTPFault(); f != (HTTPFault{}) {
+		t.Fatalf("nil plan injected %+v", f)
+	}
+	// Default stall duration.
+	if p := MustParse("httpslow=1"); p.HTTPFault().SlowFor != 250*time.Millisecond {
+		t.Fatal("httpslow without a duration did not default to 250ms")
+	}
+	for _, bad := range []string{"httpdrop=x", "httpslow=x", "httpslow=1:xyz", "workerdie=x", "workerdie=0"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q parsed", bad)
+		}
+	}
+}
+
+func TestWorkerDieFiresAtNthHeartbeat(t *testing.T) {
+	p := MustParse("workerdie=3")
+	for i := 1; i <= 2; i++ {
+		if p.WorkerDieFault() {
+			t.Fatalf("workerdie=3 fired at heartbeat %d", i)
+		}
+	}
+	if !p.WorkerDieFault() {
+		t.Fatal("workerdie=3 did not fire at the third heartbeat")
+	}
+	if p.WorkerDieFault() {
+		t.Fatal("workerdie fired twice")
+	}
+	var nilPlan *Plan
+	if nilPlan.WorkerDieFault() {
+		t.Fatal("nil plan killed the worker")
+	}
+	if MustParse("").WorkerDieFault() {
+		t.Fatal("empty plan killed the worker")
+	}
+}
+
+func TestTruncateBody(t *testing.T) {
+	src := bytes.Repeat([]byte("z"), 1024)
+	got, err := io.ReadAll(TruncateBody(bytes.NewReader(src), 64))
+	if !errors.Is(err, ErrHTTPDrop) {
+		t.Fatalf("truncated body err = %v, want ErrHTTPDrop", err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("truncated body passed %d bytes, want 64", len(got))
 	}
 }

@@ -9,11 +9,13 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"sync"
 
 	"repro/internal/fingerprint"
 	"repro/internal/rtl"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // normOptions is the canonical form of the request options that shape
@@ -131,8 +133,30 @@ func (c *memCache) len() int {
 // entry may live a checkpoint file (<key>.ckpt.space.gz) holding a
 // partially enumerated space a drained or abandoned request left
 // behind; the next enumeration of the key resumes from it.
+//
+// With maxBytes set the store is bounded: complete space entries are
+// tracked with sizes and a use clock, and every put sweeps the
+// least-recently-used entries until the total fits again. An entry
+// with in-flight readers (a /v1/space download streaming it, a load
+// decoding it) is never evicted — the sweep skips it and takes the
+// next oldest. Checkpoint files are transient work state, not cache
+// entries; they are outside the budget and never swept.
 type diskStore struct {
-	dir string
+	dir      string
+	maxBytes int64
+	gauge    *telemetry.Gauge // cache_disk_bytes
+
+	mu      sync.Mutex
+	entries map[cacheKey]*diskEntry
+	total   int64
+	seq     int64 // LRU use clock; higher = more recent
+}
+
+// diskEntry is the eviction bookkeeping for one complete space file.
+type diskEntry struct {
+	size    int64
+	lastUse int64
+	readers int
 }
 
 const (
@@ -140,11 +164,124 @@ const (
 	ckptSuffix  = ".ckpt.space.gz"
 )
 
-func newDiskStore(dir string) (*diskStore, error) {
+func newDiskStore(dir string, maxBytes int64, gauge *telemetry.Gauge) (*diskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: cache dir: %w", err)
 	}
-	return &diskStore{dir: dir}, nil
+	st := &diskStore{dir: dir, maxBytes: maxBytes, gauge: gauge,
+		entries: make(map[cacheKey]*diskEntry)}
+	if err := st.scan(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// scan seeds the accounting from entries a previous process left
+// behind, ordering the use clock by file mtime so eviction starts from
+// genuinely old entries.
+func (st *diskStore) scan() error {
+	des, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("server: cache dir: %w", err)
+	}
+	type seed struct {
+		key   cacheKey
+		size  int64
+		mtime int64
+	}
+	var seeds []seed
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !hasSuffix(name, spaceSuffix) || hasSuffix(name, ckptSuffix) {
+			continue
+		}
+		k := cacheKey(name[:len(name)-len(spaceSuffix)])
+		if !keyPattern.MatchString(string(k)) {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		seeds = append(seeds, seed{k, fi.Size(), fi.ModTime().UnixNano()})
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mtime < seeds[j].mtime })
+	for _, sd := range seeds {
+		st.seq++
+		st.entries[sd.key] = &diskEntry{size: sd.size, lastUse: st.seq}
+		st.total += sd.size
+	}
+	st.setGauge()
+	return nil
+}
+
+// setGauge publishes the current byte total; callers hold st.mu (or
+// have exclusive access during construction).
+func (st *diskStore) setGauge() {
+	if st.gauge != nil {
+		st.gauge.Set(st.total)
+	}
+}
+
+// acquire marks k used and pins it against eviction; the caller must
+// balance with release. Unknown keys (not yet in the store) are still
+// pinned so a concurrent put+sweep cannot race the reader.
+func (st *diskStore) acquire(k cacheKey) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entries[k]
+	if e == nil {
+		e = &diskEntry{}
+		st.entries[k] = e
+	}
+	st.seq++
+	e.lastUse = st.seq
+	e.readers++
+}
+
+// release unpins k.
+func (st *diskStore) release(k cacheKey) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.entries[k]; e != nil {
+		e.readers--
+		if e.readers <= 0 && e.size == 0 {
+			// A placeholder pinned by acquire for a key that never
+			// materialized; drop it rather than leak the slot.
+			delete(st.entries, k)
+		}
+	}
+}
+
+// sweepLocked evicts least-recently-used complete entries until the
+// budget fits, skipping entries with in-flight readers and the key
+// just written. Callers hold st.mu.
+func (st *diskStore) sweepLocked(justWrote cacheKey) (evicted int) {
+	if st.maxBytes <= 0 || st.total <= st.maxBytes {
+		return 0
+	}
+	type cand struct {
+		key cacheKey
+		e   *diskEntry
+	}
+	var cands []cand
+	for k, e := range st.entries {
+		if e.size > 0 && e.readers == 0 && k != justWrote {
+			cands = append(cands, cand{k, e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].e.lastUse < cands[j].e.lastUse })
+	for _, c := range cands {
+		if st.total <= st.maxBytes {
+			break
+		}
+		os.Remove(st.path(c.key)) //nolint:errcheck // accounting proceeds; a stray file is re-scanned next boot
+		st.total -= c.e.size
+		delete(st.entries, c.key)
+		evicted++
+	}
+	st.setGauge()
+	return evicted
 }
 
 func (st *diskStore) path(k cacheKey) string {
@@ -158,8 +295,12 @@ func (st *diskStore) ckptPath(k cacheKey) string {
 // load reads the cached space for k. A missing file reports
 // os.IsNotExist; a damaged one reports the load error, and the caller
 // treats both as misses (deleting the damaged file so the slot can be
-// re-enumerated rather than failing every request).
+// re-enumerated rather than failing every request). The entry is
+// pinned for the duration of the decode so an eviction sweep cannot
+// unlink it mid-read.
 func (st *diskStore) load(k cacheKey) (*search.Result, error) {
+	st.acquire(k)
+	defer st.release(k)
 	res, err := search.LoadFile(st.path(k))
 	if err != nil {
 		return nil, err
@@ -172,8 +313,31 @@ func (st *diskStore) load(k cacheKey) (*search.Result, error) {
 	return res, nil
 }
 
+// open returns the raw space file for streaming (GET /v1/space). The
+// entry stays pinned until the returned release func runs, so a
+// download in flight can never lose its file to the eviction sweep.
+func (st *diskStore) open(k cacheKey) (*os.File, func(), error) {
+	st.acquire(k)
+	f, err := os.Open(st.path(k))
+	if err != nil {
+		st.release(k)
+		return nil, nil, err
+	}
+	return f, func() { f.Close(); st.release(k) }, nil
+}
+
 // remove deletes a (damaged) cache entry.
 func (st *diskStore) remove(k cacheKey) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.entries[k]; e != nil && e.size > 0 {
+		st.total -= e.size
+		e.size = 0
+		if e.readers <= 0 {
+			delete(st.entries, k)
+		}
+		st.setGauge()
+	}
 	os.Remove(st.path(k))
 }
 
@@ -212,6 +376,55 @@ func (st *diskStore) put(k cacheKey, r *search.Result) error {
 		return fmt.Errorf("server: cache write: %w", err)
 	}
 	os.Remove(st.ckptPath(k))
+
+	var size int64
+	if fi, serr := os.Stat(path); serr == nil {
+		size = fi.Size()
+	}
+	st.mu.Lock()
+	e := st.entries[k]
+	if e == nil {
+		e = &diskEntry{}
+		st.entries[k] = e
+	}
+	st.total += size - e.size
+	e.size = size
+	st.seq++
+	e.lastUse = st.seq
+	st.sweepLocked(k)
+	st.setGauge()
+	st.mu.Unlock()
+	return nil
+}
+
+// diskBytes reports the tracked byte total (tests).
+func (st *diskStore) diskBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}
+
+// readCkpt returns the raw checkpoint bytes for k (os.IsNotExist when
+// none).
+func (st *diskStore) readCkpt(k cacheKey) ([]byte, error) {
+	return os.ReadFile(st.ckptPath(k))
+}
+
+// writeCkpt atomically replaces k's checkpoint file with b — the
+// coordinator mirroring a worker's uploaded checkpoint into the slot
+// the local resume path and re-dispatch seeding both read. Plain
+// rename atomicity without the full durability discipline: a
+// checkpoint lost to power failure only costs re-enumeration.
+func (st *diskStore) writeCkpt(k cacheKey, b []byte) error {
+	path := st.ckptPath(k)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("server: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: checkpoint write: %w", err)
+	}
 	return nil
 }
 

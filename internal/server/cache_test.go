@@ -1,0 +1,249 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// testSpaces enumerates distinct small functions and returns their keys
+// in put order, oldest first.
+func putSpaces(t *testing.T, st *diskStore, srcs map[string]string, order []string) []cacheKey {
+	t.Helper()
+	var keys []cacheKey
+	for _, name := range order {
+		fn := mustCompile(t, srcs[name], name)
+		res := search.Run(fn, search.Options{})
+		k := requestKey(fn, normOptions{})
+		if err := st.put(k, res); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var lruSrcs = map[string]string{
+	"clamp": clampSrc,
+	"myabs": absSrc,
+	"neg":   negSrc,
+}
+
+// TestDiskStoreEvictsLRU bounds the store below three entries and
+// checks the sweep removes exactly the least-recently-used ones,
+// keeping the accounting and the cache_disk_bytes gauge in step with
+// the files actually on disk.
+func TestDiskStoreEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	gauge := reg.Gauge("cache_disk_bytes")
+	st, err := newDiskStore(dir, 0, gauge) // unbounded while seeding
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putSpaces(t, st, lruSrcs, []string{"clamp", "myabs", "neg"})
+	total := st.diskBytes()
+	if total <= 0 {
+		t.Fatal("no bytes tracked after three puts")
+	}
+	if gauge.Value() != total {
+		t.Fatalf("gauge %d != tracked total %d", gauge.Value(), total)
+	}
+
+	// Touch the oldest entry so "myabs" becomes the LRU victim, then
+	// bound the store just below the full total: one eviction suffices.
+	if _, err := st.load(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.maxBytes = total - 1
+	evicted := st.sweepLocked("")
+	st.mu.Unlock()
+	if evicted != 1 {
+		t.Fatalf("evicted %d entries, want 1", evicted)
+	}
+	if _, err := os.Stat(st.path(keys[1])); !os.IsNotExist(err) {
+		t.Fatalf("LRU entry %s still on disk (err=%v)", keys[1], err)
+	}
+	for _, k := range []cacheKey{keys[0], keys[2]} {
+		if _, err := os.Stat(st.path(k)); err != nil {
+			t.Fatalf("recently used entry %s evicted: %v", k, err)
+		}
+	}
+	if st.diskBytes() > total-1 {
+		t.Fatalf("tracked bytes %d still over budget %d", st.diskBytes(), total-1)
+	}
+	if gauge.Value() != st.diskBytes() {
+		t.Fatalf("gauge %d != tracked total %d after sweep", gauge.Value(), st.diskBytes())
+	}
+}
+
+// TestDiskStorePinnedEntriesSurviveSweep opens a reader on the oldest
+// entry and forces a sweep: the pinned entry must be skipped (the
+// download in flight keeps its file) and the next-oldest evicted
+// instead; once released, the former victim goes first.
+func TestDiskStorePinnedEntriesSurviveSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putSpaces(t, st, lruSrcs, []string{"clamp", "myabs", "neg"})
+
+	f, release, err := st.open(keys[0]) // pin the LRU entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	st.mu.Lock()
+	st.maxBytes = 1 // evict everything evictable
+	st.sweepLocked("")
+	st.mu.Unlock()
+
+	if _, err := os.Stat(st.path(keys[0])); err != nil {
+		t.Fatalf("pinned entry was evicted: %v", err)
+	}
+	for _, k := range keys[1:] {
+		if _, err := os.Stat(st.path(k)); !os.IsNotExist(err) {
+			t.Fatalf("unpinned entry %s survived a 1-byte budget (err=%v)", k, err)
+		}
+	}
+	// The pinned file is still readable end to end.
+	if _, err := search.LoadFile(st.path(keys[0])); err != nil {
+		t.Fatalf("pinned entry unreadable mid-pin: %v", err)
+	}
+
+	release()
+	st.mu.Lock()
+	st.sweepLocked("")
+	st.mu.Unlock()
+	if _, err := os.Stat(st.path(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("released entry not evicted by the next sweep (err=%v)", err)
+	}
+	if got := st.diskBytes(); got != 0 {
+		t.Fatalf("tracked bytes %d after full eviction, want 0", got)
+	}
+}
+
+// TestDiskStoreScanSeedsAccounting restarts the store over an existing
+// directory and checks the budget applies to inherited entries too.
+func TestDiskStoreScanSeedsAccounting(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putSpaces(t, st, lruSrcs, []string{"clamp", "myabs", "neg"})
+	total := st.diskBytes()
+
+	// Checkpoint files are work state, not cache entries: outside the
+	// accounting and never swept.
+	ck := st.ckptPath(cacheKey(strings.Repeat("a", 64)))
+	if err := os.WriteFile(ck, []byte("checkpoint bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := newDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.diskBytes(); got != total {
+		t.Fatalf("rescan tracked %d bytes, want %d", got, total)
+	}
+	st2.mu.Lock()
+	st2.maxBytes = 1
+	st2.sweepLocked("")
+	st2.mu.Unlock()
+	if got := st2.diskBytes(); got != 0 {
+		t.Fatalf("inherited entries not evictable: %d bytes left", got)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("sweep touched a checkpoint file: %v", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if name := de.Name(); hasSuffix(name, spaceSuffix) && !hasSuffix(name, ckptSuffix) {
+			t.Fatalf("space file %s survived a 1-byte budget", name)
+		}
+	}
+}
+
+// TestServerDiskMaxBytes drives eviction through the public surface:
+// a server with a tiny disk budget keeps serving correct spaces while
+// old entries fall off disk, and re-serves an evicted key by
+// re-enumerating it rather than failing.
+func TestServerDiskMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	// One cached space for these functions is ~1-3 KB; 4 KB holds one
+	// or two but never all three.
+	s, ts := newTestServer(t, Config{Dir: dir, DiskMaxBytes: 4 << 10, MemEntries: 1})
+	hashes := map[string]string{}
+	for name, src := range lruSrcs {
+		status, doc, _ := post(t, ts, srcBody(src))
+		if status != 200 {
+			t.Fatalf("%s: status %d: %v", name, status, doc)
+		}
+		hashes[name] = doc["space_hash"].(string)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spaceFiles int
+	var onDisk int64
+	for _, de := range des {
+		if hasSuffix(de.Name(), spaceSuffix) && !hasSuffix(de.Name(), ckptSuffix) {
+			fi, _ := de.Info()
+			spaceFiles++
+			onDisk += fi.Size()
+		}
+	}
+	if spaceFiles >= 3 {
+		t.Fatalf("all %d entries on disk; budget evicted nothing", spaceFiles)
+	}
+	if onDisk > 4<<10 {
+		t.Fatalf("%d bytes on disk, budget is %d", onDisk, 4<<10)
+	}
+	if got := s.store.diskBytes(); got != onDisk {
+		t.Fatalf("tracked %d bytes, disk holds %d", got, onDisk)
+	}
+
+	// An evicted key is a miss, not an error: it re-enumerates to the
+	// same hash. (MemEntries=1 keeps the memory tier from masking the
+	// disk miss for at least the oldest key.)
+	for name, src := range lruSrcs {
+		status, doc, _ := post(t, ts, srcBody(src))
+		if status != 200 || doc["space_hash"] != hashes[name] {
+			t.Fatalf("%s after eviction: status %d hash %v, want 200 %s",
+				name, status, doc["space_hash"], hashes[name])
+		}
+	}
+}
+
+// TestDiskStoreRemoveAccounting checks remove (the corrupt-entry path)
+// releases the entry's bytes.
+func TestDiskStoreRemoveAccounting(t *testing.T) {
+	st, err := newDiskStore(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := putSpaces(t, st, lruSrcs, []string{"clamp"})
+	if st.diskBytes() <= 0 {
+		t.Fatal("nothing tracked after put")
+	}
+	st.remove(keys[0])
+	if got := st.diskBytes(); got != 0 {
+		t.Fatalf("tracked %d bytes after remove, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(st.dir, string(keys[0])+spaceSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("file survived remove (err=%v)", err)
+	}
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/distcl"
+	"repro/internal/faultinject"
+	"repro/internal/search"
+)
+
+// gatedTransport simulates a network partition: once killed, every new
+// round trip fails at the transport layer — the coordinator hears
+// nothing, exactly like a SIGKILLed or partitioned worker.
+type gatedTransport struct{ dead atomic.Bool }
+
+func (g *gatedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if g.dead.Load() {
+		return nil, errors.New("injected partition")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// startWorker runs an in-process fleet worker against ts and arranges
+// its clean shutdown at test end (before the coordinator's).
+func startWorker(t *testing.T, ts *httptest.Server, id string, transport http.RoundTripper, faults *faultinject.Plan) {
+	t.Helper()
+	hc := &http.Client{}
+	if transport != nil {
+		hc.Transport = transport
+	}
+	wk, err := distcl.NewWorker(distcl.WorkerConfig{
+		Client: distcl.NewClient(distcl.Config{
+			BaseURL:     ts.URL,
+			Timeout:     5 * time.Second,
+			MaxAttempts: 2,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+			HTTPClient:  hc,
+		}),
+		ID:            id,
+		ScratchDir:    t.TempDir(),
+		SearchWorkers: 2,
+		DrainTimeout:  5 * time.Second,
+		Faults:        faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- wk.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Errorf("worker %s did not drain", id)
+		}
+	})
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+}
+
+func fleetLive(s *Server) int {
+	fs := s.dist.fleet()
+	if fs == nil {
+		return 0
+	}
+	return fs.WorkersLive
+}
+
+// TestDistributedEnumerationMatchesLocal: with a worker joined, a cache
+// miss is dispatched to the fleet, and the space the coordinator serves
+// is byte-identical (canonical hash) to a single-node enumeration. The
+// per-worker observability trail must exist end to end.
+func TestDistributedEnumerationMatchesLocal(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DistLeaseTTL: 2 * time.Second, DistPollWait: 200 * time.Millisecond,
+	})
+	startWorker(t, ts, "w1", nil, nil)
+	waitFor(t, "worker to register", func() bool { return fleetLive(s) == 1 })
+
+	status, doc, _ := post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("dispatched request: status %d: %v", status, doc)
+	}
+	if doc["cache"] != "miss" {
+		t.Fatalf("cache = %v, want miss", doc["cache"])
+	}
+	want, err := search.Run(mustCompile(t, clampSrc, "clamp"), search.Options{}).CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["space_hash"] != want {
+		t.Fatalf("distributed hash %v != single-node hash %s", doc["space_hash"], want)
+	}
+
+	// The enumeration ran on the worker, not the local pool.
+	if got := counter(s, "server.enumerations"); got != 0 {
+		t.Fatalf("local enumerations = %d, want 0 (the fleet should have run it)", got)
+	}
+	if got := s.dist.assignVec.With("w1").Value(); got != 1 {
+		t.Fatalf(`dist.assignments{worker="w1"} = %d, want 1`, got)
+	}
+	if got := s.dist.completeVec.With("w1").Value(); got != 1 {
+		t.Fatalf(`dist.completions{worker="w1"} = %d, want 1`, got)
+	}
+
+	// The repeat is a plain cache hit; the fleet is not consulted again.
+	status, doc, _ = post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK || doc["cache"] != "mem" {
+		t.Fatalf("repeat: status %d cache %v, want 200 mem", status, doc["cache"])
+	}
+	if got := s.dist.assignVec.With("w1").Value(); got != 1 {
+		t.Fatalf("repeat re-dispatched: assignments = %d", got)
+	}
+
+	// The flight recorder saw the dispatch and the completion.
+	var dispatched, completed bool
+	for _, rec := range s.flights.snapshot() {
+		switch rec.Event {
+		case "dispatch":
+			dispatched = dispatched || rec.Worker == "w1"
+		case "complete":
+			completed = completed || rec.Worker == "w1"
+		}
+	}
+	if !dispatched || !completed {
+		t.Fatalf("flight recorder missing dispatch/complete events (dispatch=%v complete=%v)", dispatched, completed)
+	}
+}
+
+// TestLeaseExpiryRecoversOnSecondWorker is the crash-recovery path in
+// miniature: worker w1 takes the assignment, uploads a progress
+// checkpoint, then partitions away without a goodbye. Its lease expires,
+// the assignment is re-dispatched to w2 seeded with w1's checkpoint,
+// and the final space still hashes identically to a clean local run.
+func TestLeaseExpiryRecoversOnSecondWorker(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DistLeaseTTL: 600 * time.Millisecond, DistPollWait: 100 * time.Millisecond,
+	})
+	gate := &gatedTransport{}
+	// w1's searches stall 60ms per application of phase c: slow enough
+	// to heartbeat checkpoints mid-enumeration and to still be running
+	// when the partition hits.
+	startWorker(t, ts, "w1", gate, faultinject.MustParse("hang=c:60ms"))
+	waitFor(t, "w1 to register", func() bool { return fleetLive(s) == 1 })
+
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		st, doc, _ := post(t, ts, srcBody(sumSrc))
+		replies <- reply{st, doc}
+	}()
+
+	// Wait until w1 holds the lease and has uploaded at least one
+	// validated checkpoint, then cut the network.
+	waitFor(t, "a checkpoint upload from w1", func() bool {
+		s.dist.mu.Lock()
+		defer s.dist.mu.Unlock()
+		for _, a := range s.dist.assignments {
+			if a.worker == "w1" && a.ckptNodes > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	gate.dead.Store(true)
+	startWorker(t, ts, "w2", nil, nil)
+
+	r := <-replies
+	if r.status != http.StatusOK {
+		t.Fatalf("recovered request: status %d: %v", r.status, r.doc)
+	}
+	want, err := search.Run(mustCompile(t, sumSrc, "sum"), search.Options{}).CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.doc["space_hash"] != want {
+		t.Fatalf("recovered hash %v != clean single-node hash %s", r.doc["space_hash"], want)
+	}
+	if got := s.dist.expiryVec.With("w1").Value(); got < 1 {
+		t.Fatalf(`dist.lease_expiries{worker="w1"} = %d, want >= 1`, got)
+	}
+	if got := s.dist.recoverVec.With("w2").Value(); got < 1 {
+		t.Fatalf(`dist.recoveries{worker="w2"} = %d, want >= 1 (re-dispatch was not checkpoint-seeded)`, got)
+	}
+	if got := s.dist.completeVec.With("w2").Value(); got != 1 {
+		t.Fatalf(`dist.completions{worker="w2"} = %d, want 1`, got)
+	}
+}
+
+// TestWorkerAbortPropagates: a cap abort on the worker comes back to
+// the requesting client as the same 422 a local abort produces.
+func TestWorkerAbortPropagates(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DistLeaseTTL: 2 * time.Second, DistPollWait: 100 * time.Millisecond,
+	})
+	startWorker(t, ts, "w1", nil, nil)
+	waitFor(t, "worker to register", func() bool { return fleetLive(s) == 1 })
+
+	status, doc, _ := post(t, ts, `{"source":`+jsonStr(sumSrc)+`,"options":{"max_nodes":3}}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("capped request: status %d (%v), want 422", status, doc)
+	}
+	if got := s.dist.assignVec.With("w1").Value(); got != 1 {
+		t.Fatalf("abort was not produced by the fleet: assignments = %d", got)
+	}
+}
+
+// TestFleetStatsAndHealth: /v1/stats and /healthz report the fleet.
+func TestFleetStatsAndHealth(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DistLeaseTTL: 2 * time.Second, DistPollWait: 100 * time.Millisecond,
+	})
+
+	// Before any worker registers, the fleet section is absent.
+	var stats struct {
+		Fleet *fleetSummary `json:"fleet"`
+	}
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Fleet != nil {
+		t.Fatalf("fleet reported with no workers ever: %+v", stats.Fleet)
+	}
+
+	startWorker(t, ts, "w1", nil, nil)
+	waitFor(t, "worker to register", func() bool { return fleetLive(s) == 1 })
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Fleet == nil || stats.Fleet.WorkersLive != 1 {
+		t.Fatalf("stats fleet = %+v, want 1 live worker", stats.Fleet)
+	}
+	if len(stats.Fleet.Workers) != 1 || stats.Fleet.Workers[0].ID != "w1" {
+		t.Fatalf("stats fleet workers = %+v, want [w1]", stats.Fleet.Workers)
+	}
+
+	var health struct {
+		Status string        `json:"status"`
+		Fleet  *fleetSummary `json:"fleet"`
+	}
+	getJSON(t, ts, "/healthz", &health)
+	if health.Status != "ok" || health.Fleet == nil || health.Fleet.WorkersLive != 1 {
+		t.Fatalf("healthz = %+v, want ok with 1 live worker", health)
+	}
+}

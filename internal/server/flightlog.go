@@ -12,11 +12,19 @@ import (
 // whose flight it attached to, so a latency complaint can be traced
 // to the enumeration that actually ran.
 type flightRecord struct {
-	RequestID string `json:"request_id"`
+	RequestID string `json:"request_id,omitempty"`
 	FlightID  string `json:"flight_id,omitempty"`
 	Func      string `json:"func,omitempty"`
 	Cache     string `json:"cache,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
+	// Event distinguishes distribution-plane records ("dispatch",
+	// "lease-expire", "complete") from the default request records
+	// (empty Event); AssignmentID/Worker/Attempt carry the dist
+	// context so a recovery can be replayed from the ring alone.
+	Event        string `json:"event,omitempty"`
+	AssignmentID string `json:"assignment_id,omitempty"`
+	Worker       string `json:"worker,omitempty"`
+	Attempt      int    `json:"attempt,omitempty"`
 	// LeaderRequestID is the request that created the flight. For a
 	// coalesced follower it differs from RequestID; for the leader the
 	// two match.

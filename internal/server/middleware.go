@@ -56,6 +56,8 @@ func routeLabel(r *http.Request) string {
 		return "/v1/stats"
 	case p == "/v1/debug/flights":
 		return "/v1/debug/flights"
+	case strings.HasPrefix(p, "/v1/dist/"):
+		return "/v1/dist"
 	case p == "/healthz":
 		return "/healthz"
 	case p == "/metrics":

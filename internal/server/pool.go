@@ -20,9 +20,6 @@ var (
 	errQueueFull = errors.New("server: enumeration queue is full")
 	// errDraining rejects work arriving after shutdown began (503).
 	errDraining = errors.New("server: draining")
-	// errAbandoned cancels a flight whose last waiter gave up; it
-	// becomes the context cause the search reports in its abort reason.
-	errAbandoned = errors.New("server: request abandoned by all waiters")
 )
 
 // flight is one in-progress resolution of a cache key — the unit of
@@ -49,10 +46,12 @@ type flight struct {
 	finishedAt time.Time
 
 	// ctx cancels the flight's enumeration. It is derived from the
-	// pool's base context (canceled on drain) and additionally canceled
-	// when the last waiter leaves, so an enumeration nobody is waiting
-	// for stops at the next attempt boundary — checkpointing first, so
-	// the work is not lost.
+	// pool's base context and cancels only on server drain — never
+	// because a waiter went away. The enumeration's lifetime belongs
+	// to the flight, not to any request: a leader that disconnects
+	// must not cancel the work a follower is (or will be) waiting on,
+	// and a fully abandoned flight still runs to completion and lands
+	// in the cache, where the inevitable retry finds it.
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
@@ -171,24 +170,16 @@ func (p *pool) join(key cacheKey, fn *rtl.Func, no normOptions, reqID string) (f
 	return fl, false, nil
 }
 
-// leave detaches one waiter. When the last waiter leaves an unresolved
-// flight, the flight's context is canceled: the search aborts at the
-// next attempt boundary, writes its checkpoint, and the partial work
-// waits on disk for the next request of the same key.
+// leave detaches one waiter. The flight keeps running even when its
+// last waiter leaves: canceling it would let a coalescing race leak
+// the cancellation to a follower that joins between the leader's
+// departure and the flight's retirement, and the finished space is
+// about to be cached anyway — the retry that follows an abandoned
+// request is exactly the request that profits from it.
 func (p *pool) leave(fl *flight) {
 	p.mu.Lock()
 	fl.waiters--
-	last := fl.waiters == 0
 	p.mu.Unlock()
-	if !last {
-		return
-	}
-	select {
-	case <-fl.done:
-		// Resolved; nothing to cancel.
-	default:
-		fl.cancel(errAbandoned)
-	}
 }
 
 // finish publishes the flight's resolution and retires it. The caller

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/distcl"
 	"repro/internal/faultinject"
 	"repro/internal/mc"
 	"repro/internal/mibench"
@@ -78,6 +79,25 @@ type Config struct {
 	// so the operator opts in per process.
 	EnablePprof bool
 
+	// DiskMaxBytes bounds the disk cache: when the complete space
+	// entries exceed it, a put sweeps the least-recently-used entries
+	// (never one with in-flight readers) until the total fits again
+	// (0 = unbounded). Checkpoint files are outside the budget.
+	DiskMaxBytes int64
+
+	// DistLeaseTTL is the distributed-assignment lease duration: a
+	// worker that misses heartbeats for this long loses the assignment
+	// to re-dispatch (default 10s). Workers are told to heartbeat at a
+	// third of it.
+	DistLeaseTTL time.Duration
+	// DistPollWait bounds how long a worker's /v1/dist/poll blocks
+	// waiting for work (default 5s).
+	DistPollWait time.Duration
+	// DistMaxAttempts bounds how many workers an assignment is tried
+	// on before the flight falls back to local enumeration, resuming
+	// from the last uploaded checkpoint (default 3).
+	DistMaxAttempts int
+
 	// noObs builds the server without the observability middleware —
 	// the pre-plane configuration the overhead benchmark compares
 	// against. Internal: tests only.
@@ -92,6 +112,7 @@ type Server struct {
 	mem     *memCache
 	store   *diskStore
 	pool    *pool
+	dist    *dispatcher
 	stats   *spaceStats
 	flights *flightLog
 	mux     *http.ServeMux
@@ -148,10 +169,6 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("server: Config.Dir is required")
 	}
-	store, err := newDiskStore(cfg.Dir)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = 60 * time.Second
 	}
@@ -162,6 +179,10 @@ func New(cfg Config) (*Server, error) {
 	logger := cfg.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()
+	}
+	store, err := newDiskStore(cfg.Dir, cfg.DiskMaxBytes, reg.Gauge("cache_disk_bytes"))
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -182,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	depth := reg.Gauge("server.queue.depth")
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runFlight, depth.Set)
+	s.dist = newDispatcher(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
 	s.mux.HandleFunc("GET /v1/space/{hash}", s.handleSpace)
@@ -189,6 +211,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/flights", s.handleFlights)
+	s.mux.HandleFunc("POST "+distcl.PathRegister, s.handleDistRegister)
+	s.mux.HandleFunc("POST "+distcl.PathPoll, s.handleDistPoll)
+	s.mux.HandleFunc("POST "+distcl.PathHeartbeat, s.handleDistHeartbeat)
+	s.mux.HandleFunc("POST "+distcl.PathComplete, s.handleDistComplete)
+	s.mux.HandleFunc("POST "+distcl.PathDeregister, s.handleDistDeregister)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -297,6 +324,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // returns once every worker has retired.
 func (s *Server) Close() {
 	s.pool.close()
+	s.dist.close()
 	s.logMu.Lock()
 	closed := s.logClosed
 	s.logClosed = true
@@ -648,7 +676,7 @@ func (s *Server) runFlight(fl *flight) {
 		fl.status = http.StatusServiceUnavailable
 		return
 	}
-	res, err := s.enumerateFlight(fl)
+	res, err := s.resolveFlight(fl)
 	if err != nil {
 		fl.err = err
 		return
@@ -661,6 +689,18 @@ func (s *Server) runFlight(fl *flight) {
 		// enumeration.
 		s.reg.Counter("server.cache.write_errors").Inc()
 	}
+}
+
+// resolveFlight produces fl's space: offered to the worker fleet first
+// when one is registered, locally otherwise. The fallback composes
+// with recovery — a dispatch that exhausted its attempts has already
+// mirrored the fleet's last checkpoint into the disk slot the local
+// path resumes from, so no enumeration work is repeated either way.
+func (s *Server) resolveFlight(fl *flight) (*search.Result, error) {
+	if res, handled := s.dist.enumerate(fl); handled {
+		return s.finishFlight(fl, res)
+	}
+	return s.enumerateFlight(fl)
 }
 
 // enumerateFlight runs (or resumes) the search for fl. Equivalence-tier
@@ -745,12 +785,12 @@ func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{status: http.StatusBadRequest, msg: "malformed space key"})
 		return
 	}
-	f, err := os.Open(s.store.path(cacheKey(hash)))
+	f, release, err := s.store.open(cacheKey(hash))
 	if err != nil {
 		writeError(w, &httpError{status: http.StatusNotFound, msg: "no cached space for that key"})
 		return
 	}
-	defer f.Close()
+	defer release()
 	w.Header().Set("Content-Type", "application/gzip")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", hash[:12]+spaceSuffix))
@@ -758,13 +798,21 @@ func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok", "draining": false}
+	if fs := s.dist.fleet(); fs != nil {
+		// Degraded-but-serving is visible here: a probe sees dead
+		// workers and recovering assignments while the endpoint stays
+		// 200, because the coordinator still answers (fleet or local).
+		body["fleet"] = fs
+	}
 	if s.pool.isDraining() {
 		// 503 flips load-balancer checks the moment SIGTERM drain
 		// begins; the body says why so a human probing the endpoint is
 		// not left guessing.
 		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "draining": true})
+		body["status"], body["draining"] = "draining", true
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": false})
+	writeJSON(w, http.StatusOK, body)
 }

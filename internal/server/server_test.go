@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -264,6 +265,55 @@ func TestCorruptDiskEntryReEnumerates(t *testing.T) {
 	}
 }
 
+// TestCorruptDiskEntryConcurrentRequests hammers a damaged disk entry
+// with N identical concurrent requests (meant for -race): exactly one
+// flight forms, discovers the corruption, and re-enumerates exactly
+// once; every response carries the healed space.
+func TestCorruptDiskEntryConcurrentRequests(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{Dir: dir})
+	status, doc, _ := post(t, ts1, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("seed request: status %d: %v", status, doc)
+	}
+	key := doc["key"].(string)
+	wantHash := doc["space_hash"].(string)
+	if err := os.WriteFile(filepath.Join(dir, key+spaceSuffix), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server has a cold LRU, so every request races toward the
+	// damaged disk entry.
+	s2, ts2 := newTestServer(t, Config{Dir: dir, Workers: 2, QueueDepth: 32})
+	const n = 8
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			st, doc, _ := post(t, ts2, srcBody(clampSrc))
+			replies <- reply{st, doc}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %v", i, r.status, r.doc)
+		}
+		if r.doc["space_hash"] != wantHash {
+			t.Fatalf("request %d: hash %v, want %v", i, r.doc["space_hash"], wantHash)
+		}
+	}
+	if got := counter(s2, "server.enumerations"); got != 1 {
+		t.Fatalf("%d concurrent requests over a corrupt entry ran %d enumerations, want exactly 1", n, got)
+	}
+	if got := counter(s2, "server.cache.corrupt"); got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+}
+
 // TestDrainCheckpointsInFlight is the SIGTERM path: Close cancels an
 // in-flight enumeration (held slow by an injected hang fault), which
 // must checkpoint its partial space; a fresh server over the same
@@ -335,10 +385,12 @@ func TestDrainCheckpointsInFlight(t *testing.T) {
 	}
 }
 
-// TestDeadlineAbandonsAndResumes: a request whose deadline expires gets
-// 504 while its flight is canceled (last waiter gone) and checkpoints;
-// a later identical request picks the work back up and completes.
-func TestDeadlineAbandonsAndResumes(t *testing.T) {
+// TestDeadlineDetachesRequestFromFlight: a request whose deadline
+// expires gets 504, but its flight is NOT canceled — the enumeration's
+// lifetime belongs to the flight, not to any request — so it runs to
+// completion and caches its space, and the inevitable retry is a cache
+// hit instead of a second enumeration.
+func TestDeadlineDetachesRequestFromFlight(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		Workers: 1,
 		Faults:  faultinject.MustParse("hang=c:100ms"),
@@ -347,23 +399,103 @@ func TestDeadlineAbandonsAndResumes(t *testing.T) {
 	if status != http.StatusGatewayTimeout {
 		t.Fatalf("impatient request: status %d (%v), want 504", status, doc)
 	}
-	// Let the abandoned flight cancel, checkpoint and retire.
-	waitFor(t, "abandoned flight to retire", func() bool { return s.pool.flightCount() == 0 })
+	// The abandoned flight keeps running and retires into the cache.
+	waitFor(t, "abandoned flight to finish", func() bool { return s.pool.flightCount() == 0 })
 
-	var last map[string]any
-	waitFor(t, "patient retry to succeed", func() bool {
-		st, doc, _ := post(t, ts, srcBody(clampSrc))
-		last = doc
-		return st == http.StatusOK
-	})
+	status, doc, _ = post(t, ts, srcBody(clampSrc))
+	if status != http.StatusOK {
+		t.Fatalf("retry: status %d (%v), want 200", status, doc)
+	}
+	if doc["cache"] != "mem" {
+		t.Fatalf("retry served as %q, want mem (the abandoned flight should have cached its space)", doc["cache"])
+	}
+	if got := counter(s, "server.enumerations"); got != 1 {
+		t.Fatalf("enumerations = %d, want exactly 1 (the retry must not re-enumerate)", got)
+	}
 	want, err := search.Run(mustCompile(t, clampSrc, "clamp"), search.Options{
 		Faults: faultinject.MustParse("hang=c:100ms"),
 	}).CanonicalHash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if last["space_hash"] != want {
-		t.Fatalf("space after abandon/resume %v differs from clean run %v", last["space_hash"], want)
+	if doc["space_hash"] != want {
+		t.Fatalf("space after abandoned flight %v differs from clean run %v", doc["space_hash"], want)
+	}
+}
+
+// TestLeaderDisconnectKeepsFlightForFollowers is the regression test
+// for tying an enumeration's lifetime to a request context: a leader
+// that disconnects mid-flight must not cancel the work — a follower
+// that joins after the leader is gone still gets the space, from the
+// one and only enumeration.
+func TestLeaderDisconnectKeepsFlightForFollowers(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var startOnce, releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	t.Cleanup(unblock)
+	s.beforeEnumerate = func(*flight) {
+		startOnce.Do(func() { close(started) })
+		<-release
+	}
+
+	// The leader posts with a cancelable request and walks away while
+	// its flight is held on the worker.
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(leaderCtx, http.MethodPost,
+			ts.URL+"/v1/enumerate", strings.NewReader(srcBody(clampSrc)))
+		if err != nil {
+			leaderErr <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leaderErr <- err
+	}()
+	<-started
+	cancelLeader()
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader request completed; it should have been canceled client-side")
+	}
+	// Wait until the server has fully processed the disconnect: the
+	// leader has left and the flight has no waiters at all.
+	key := requestKey(mustCompile(t, clampSrc, "clamp"), normOptions{})
+	waitFor(t, "leader to leave the flight", func() bool {
+		s.pool.mu.Lock()
+		defer s.pool.mu.Unlock()
+		fl := s.pool.flights[key]
+		return fl != nil && fl.waiters == 0
+	})
+
+	// A follower arriving after the leader is gone coalesces onto the
+	// still-running flight.
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	follower := make(chan reply, 1)
+	go func() {
+		st, doc, _ := post(t, ts, srcBody(clampSrc))
+		follower <- reply{st, doc}
+	}()
+	waitFor(t, "follower to coalesce", func() bool { return counter(s, "server.coalesced") == 1 })
+	unblock()
+
+	r := <-follower
+	if r.status != http.StatusOK {
+		t.Fatalf("follower: status %d (%v), want 200", r.status, r.doc)
+	}
+	if r.doc["cache"] != "coalesced" {
+		t.Fatalf("follower served as %q, want coalesced", r.doc["cache"])
+	}
+	if got := counter(s, "server.enumerations"); got != 1 {
+		t.Fatalf("enumerations = %d, want exactly 1", got)
 	}
 }
 

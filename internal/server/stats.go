@@ -56,7 +56,11 @@ type statsResponse struct {
 	// enumerated with options.equiv: raw instances discovered, how many
 	// folded into an existing class, and the corpus-wide collapse
 	// ratio folded/raw. Absent when no cached space used the tier.
-	Equiv  *equivSummary `json:"equiv,omitempty"`
+	Equiv *equivSummary `json:"equiv,omitempty"`
+	// Fleet reports the distributed-enumeration plane: registered
+	// workers by state and assignments in flight. Absent when no
+	// worker has ever registered.
+	Fleet  *fleetSummary `json:"fleet,omitempty"`
 	Tables struct {
 		Enabling           [][]float64 `json:"enabling"`
 		Disabling          [][]float64 `json:"disabling"`
@@ -93,6 +97,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 	var resp statsResponse
 	resp.Snapshot = s.reg.Snapshot()
+	resp.Fleet = s.dist.fleet()
 	s.stats.mu.Lock()
 	resp.Spaces = len(s.stats.seen)
 	if s.stats.equivSpaces > 0 {
