@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search resume-smoke serve-smoke obs-smoke cluster-smoke chaos
+.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search bench-parallel resume-smoke serve-smoke obs-smoke cluster-smoke chaos
 
 check: fmt vet build test race lint lint-fixtures
 
@@ -77,6 +77,14 @@ bench-smoke:
 bench-search:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchRun/(bmh_search|get_code)' -benchmem -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkDedupIndex -benchmem -benchtime 100x ./internal/search/
+
+# Parallel-engine scaling sweep: BenchmarkSearchRun/bmh_search medians
+# at GOMAXPROCS 1/2/4/8/16, striped-index contention counters, and the
+# byte-identical-across-widths gate (spacedot -hash parity at
+# -search-workers 1/4/16). Writes BENCH_parallel.json; COUNT=1 makes it
+# a quick smoke. Needs jq. scripts/bench_parallel.sh has the details.
+bench-parallel:
+	sh scripts/bench_parallel.sh
 
 # Crash/resume smoke test: SIGKILL an enumeration mid-run, resume it
 # from its checkpoint file, and require the resumed space to hash

@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	bigint "math/big"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -67,6 +68,11 @@ var table3Cases = []struct{ bench, fn string }{
 // bytes/op flat as spaces grow. attempts/op is the work actually done,
 // so ns/op ÷ attempts/op is the per-attempt cost tracked in
 // BENCH_search.json.
+//
+// Workers follows GOMAXPROCS, so `go test -cpu 1,2,4,8,16 -bench
+// SearchRun` sweeps the parallel engine's scaling in one invocation —
+// scripts/bench_parallel.sh turns that sweep into BENCH_parallel.json.
+// The enumerated space is byte-identical at every width.
 func BenchmarkSearchRun(b *testing.B) {
 	for _, c := range table3Cases {
 		c := c
@@ -75,7 +81,7 @@ func BenchmarkSearchRun(b *testing.B) {
 			b.ReportAllocs()
 			var attempts, nodes int
 			for i := 0; i < b.N; i++ {
-				r := search.Run(f, search.Options{Workers: 1})
+				r := search.Run(f, search.Options{Workers: runtime.GOMAXPROCS(0)})
 				attempts = r.AttemptedPhases
 				nodes = len(r.Nodes)
 			}
@@ -325,7 +331,7 @@ func BenchmarkInterpreter(b *testing.B) {
 // design choice of evaluating a level's attempts on a pool.
 func BenchmarkAblationWorkers(b *testing.B) {
 	f := benchFunc(b, "dijkstra", "enqueue")
-	for _, w := range []int{1, 4} {
+	for _, w := range []int{1, 2, 4, 8, 16} {
 		w := w
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

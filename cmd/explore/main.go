@@ -113,6 +113,7 @@ func run() int {
 		equiv     = flag.Bool("equiv", false, "collapse equivalence classes beyond renumbering (internal/dataflow tier)")
 		saveDir   = flag.String("save", "", "write each enumerated space to <dir>/<bench>.<func>.space.gz")
 		jobs      = flag.Int("jobs", 1, "number of functions enumerated concurrently")
+		searchW   = flag.Int("search-workers", 0, "worker parallelism inside each enumeration (0 = NumCPU; the space is byte-identical at any width)")
 		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to <dir>/<bench>.<func>.ckpt.space.gz")
 		resume    = flag.Bool("resume", false, "continue each function from its -checkpoint file")
 		ckptEvery = flag.Int("ckpt-levels", 1, "checkpoint every n completed levels")
@@ -225,6 +226,7 @@ func run() int {
 			MaxNodes:              *maxNodes,
 			Timeout:               *timeout,
 			Check:                 *checkAll,
+			Workers:               *searchW,
 			Ctx:                   ctx,
 			Metrics:               session.Registry,
 			Tracer:                session.Tracer,

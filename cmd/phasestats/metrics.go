@@ -277,6 +277,16 @@ func printSearchTotals(s telemetry.Snapshot) {
 				s.Counters["search.index.fpcollisions"],
 				fmtBytes(s.Gauges["search.index.retained_bytes"]))
 		}
+		if acq := s.Counters["search.index.stripe.acquisitions"]; acq > 0 {
+			// Striped-lock contention: acquisitions counts stripe-lock
+			// takes on the probe path, contended the subset that had to
+			// block behind another worker. High contention means the
+			// fingerprint CRC is clustering keys into few stripes (or
+			// the worker count dwarfs the stripe count).
+			cont := s.Counters["search.index.stripe.contended"]
+			fmt.Printf("search: stripes %d lock acquisitions, %d contended (%.2f%%)\n",
+				acq, cont, 100*float64(cont)/float64(acq))
+		}
 	}
 	if calls := s.Counters["check.verify.calls"]; calls > 0 {
 		var findings int64

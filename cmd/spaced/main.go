@@ -63,11 +63,30 @@ func main() {
 	os.Exit(run())
 }
 
+// fleetSearchWorkers resolves a fleet worker's per-search parallelism.
+// An explicit -search-workers wins; otherwise the CPU count is split
+// across the concurrent assignments (-jobs) so a worker process never
+// oversubscribes itself the way jobs × NumCPU used to.
+func fleetSearchWorkers(explicit, cpus, jobs int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	w := cpus / jobs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func run() int {
 	fs := flag.NewFlagSet("spaced", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address (host:0 picks a free port; see -ready-file)")
 	cacheDir := fs.String("cache", "spacecache", "space cache directory")
 	workers := fs.Int("workers", runtime.NumCPU(), "enumeration pool size")
+	searchWorkers := fs.Int("search-workers", 0, "per-enumeration search parallelism cap; flights share a GOMAXPROCS CPU-token budget either way (0 = auto)")
 	queue := fs.Int("queue", 16, "pending-enumeration queue depth; overflow is shed with 429")
 	memEntries := fs.Int("mem", 64, "decoded spaces held in the in-memory LRU")
 	deadline := fs.Duration("deadline", 60*time.Second, "default per-request wait when the client sets no deadline_ms")
@@ -137,7 +156,7 @@ func run() int {
 			ID:            *workerID,
 			ScratchDir:    dir,
 			Jobs:          *jobs,
-			SearchWorkers: *workers,
+			SearchWorkers: fleetSearchWorkers(*searchWorkers, *workers, *jobs),
 			DrainTimeout:  *grace,
 			Faults:        plan,
 			Logger:        logger,
@@ -163,6 +182,7 @@ func run() int {
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		SearchTimeout:   *searchTimeout,
+		SearchWorkers:   *searchWorkers,
 		Registry:        reg,
 		Tracer:          session.Tracer,
 		Faults:          plan,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/fingerprint"
 )
@@ -20,15 +21,64 @@ type indexKey struct {
 	fp    fingerprint.FP
 }
 
-// dedupIndex is the two-tier identical-instance index. The first tier
-// maps (flags, fingerprint) to a small bucket of node IDs; the second
-// tier compares the full canonical bytes of each bucket member, so a
-// fingerprint collision can never merge distinct instances. Keys of
-// bucket members live in the keyStore, which compresses them once
-// their level retires.
+// numStripes is the power-of-two shard count of the concurrent index.
+// A stripe is selected by the fingerprint CRC, so equal keys (equal
+// fingerprints) always land on the same stripe and a single stripe
+// lock serializes all probes that could observe the same instance.
+// 64 stripes keep the expected contention at 16 workers negligible
+// while the per-stripe fixed cost (a mutex and three small maps) stays
+// in the tens of kilobytes per enumeration.
+const numStripes = 64
+
+// stripeFor selects the stripe of a fingerprint. flags are deliberately
+// not mixed in: two keys that differ only in flags never compare equal
+// anyway, and keeping the selection CRC-only makes the invariant
+// "equal instance ⇒ same stripe" immediate.
+func stripeFor(fp fingerprint.FP) uint32 { return fp.CRC & (numStripes - 1) }
+
+// pendingNode is a this-level discovery parked in a stripe until the
+// serial committer assigns it a node ID. Concurrency contract:
+//
+//   - key is immutable after creation (written once under the stripe
+//     lock by the discovering worker; the flags byte + canonical
+//     encoding copy that becomes the node key verbatim).
+//   - id and alias are owned by the committer: -1 until the first
+//     attempt referencing this entry commits; then either the new
+//     node's ID, or — when the equivalence tier folded the instance —
+//     the class node's ID with alias set. Workers never read them;
+//     commits happen in attempt order, so "first committed reference"
+//     is exactly the serial engine's "first discovery".
+type pendingNode struct {
+	key   string
+	id    int32
+	alias bool
+}
+
+// dedupIndex is the striped concurrent identical-instance index. The
+// first tier maps (flags, fingerprint) to a small bucket of node IDs;
+// the second tier compares the full canonical bytes of each bucket
+// member, so a fingerprint collision can never merge distinct
+// instances. Keys of bucket members live in the keyStore, which
+// compresses them once their level retires.
+//
+// Concurrency model (DESIGN.md §13): buckets and aliases hold only
+// committed, promoted entries and change exclusively at level
+// boundaries (promote, serial insert/insertAlias) — during a level
+// they are read-only. pending absorbs the level's discoveries under
+// the stripe lock, so workers resolve concurrently without touching
+// the serial commit path. The per-stripe counters are telemetry only:
+// their values depend on probe interleaving and are never serialized
+// into the space format.
 type dedupIndex struct {
-	buckets map[indexKey][]int32
 	keys    *keyStore
+	stripes [numStripes]indexStripe
+}
+
+// indexStripe is one shard. All fields are guarded by mu.
+type indexStripe struct {
+	mu      sync.Mutex
+	buckets map[indexKey][]int32
+	pending map[indexKey][]*pendingNode
 
 	// aliases is the equivalence tier's overlay (Options.Equiv only):
 	// the canonical keys of raw-distinct instances that folded into an
@@ -39,11 +89,14 @@ type dedupIndex struct {
 	aliases    map[indexKey][]aliasEntry
 	aliasBytes int
 
-	// Counters for the telemetry layer; plain ints because every
-	// probe happens on the serial merge path.
+	// Probe telemetry (scheduling-dependent, see type comment) plus
+	// lock contention: acquisitions counts lock takes, contended the
+	// ones that found the lock held.
 	probes       int64
 	byteCompares int64
 	fpCollisions int64
+	acquisitions int64
+	contended    int64
 }
 
 // aliasEntry is one folded raw spelling: its full canonical key
@@ -54,58 +107,189 @@ type aliasEntry struct {
 }
 
 func newDedupIndex(keys *keyStore) *dedupIndex {
-	return &dedupIndex{buckets: make(map[indexKey][]int32), keys: keys}
+	d := &dedupIndex{keys: keys}
+	for i := range d.stripes {
+		d.stripes[i].buckets = make(map[indexKey][]int32)
+	}
+	return d
 }
 
-// lookup returns the ID of the node whose stored key equals
-// flags+enc — directly, or through the equivalence tier's aliases.
-func (d *dedupIndex) lookup(flags byte, fp fingerprint.FP, enc []byte) (int, bool) {
-	d.probes++
-	k := indexKey{flags, fp}
-	for _, id := range d.buckets[k] {
-		d.byteCompares++
-		if d.keys.matches(int(id), flags, enc) {
-			return int(id), true
-		}
-		d.fpCollisions++
+// lock acquires a stripe, counting the acquisition and whether it
+// contended with another holder.
+func (s *indexStripe) lock() {
+	if !s.mu.TryLock() {
+		s.mu.Lock()
+		s.contended++
 	}
-	for _, a := range d.aliases[k] {
-		d.byteCompares++
-		if len(a.key) == len(enc)+1 && a.key[0] == flags && a.key[1:] == string(enc) {
-			return int(a.to), true
+	s.acquisitions++
+}
+
+// scan looks k up in the stripe's committed tiers: the ID buckets
+// (second-tier byte compare through the keyStore) and the equivalence
+// aliases. Callers hold s.mu.
+func (s *indexStripe) scan(keys *keyStore, k indexKey, flags byte, enc []byte) (int32, bool) {
+	for _, id := range s.buckets[k] {
+		s.byteCompares++
+		if keys.matches(int(id), flags, enc) {
+			return id, true
 		}
-		d.fpCollisions++
+		s.fpCollisions++
+	}
+	for _, a := range s.aliases[k] {
+		s.byteCompares++
+		if len(a.key) == len(enc)+1 && a.key[0] == flags && a.key[1:] == string(enc) {
+			return a.to, true
+		}
+		s.fpCollisions++
 	}
 	return -1, false
 }
 
-// insert records id under (flags, fp). The caller must have stored the
-// node's full key in the keyStore first.
-func (d *dedupIndex) insert(flags byte, fp fingerprint.FP, id int) {
+// resolve is the workers' concurrent probe: find the instance in the
+// committed tiers (dup ≥ 0), find it among this level's pending
+// discoveries (pend non-nil, parked by an earlier probe), or park a
+// new pending entry for it (pend non-nil, freshly created). Exactly
+// one of the two results is meaningful; the committer turns them into
+// the serial engine's merge decisions in attempt order.
+func (d *dedupIndex) resolve(flags byte, fp fingerprint.FP, enc []byte) (dup int32, pend *pendingNode) {
+	s := &d.stripes[stripeFor(fp)]
 	k := indexKey{flags, fp}
-	d.buckets[k] = append(d.buckets[k], int32(id))
+	s.lock()
+	defer s.mu.Unlock()
+	s.probes++
+	if id, ok := s.scan(d.keys, k, flags, enc); ok {
+		return id, nil
+	}
+	for _, p := range s.pending[k] {
+		s.byteCompares++
+		if len(p.key) == len(enc)+1 && p.key[0] == flags && p.key[1:] == string(enc) {
+			return -1, p
+		}
+		s.fpCollisions++
+	}
+	key := make([]byte, 0, 1+len(enc))
+	key = append(append(key, flags), enc...)
+	p := &pendingNode{key: string(key), id: -1}
+	if s.pending == nil {
+		s.pending = make(map[indexKey][]*pendingNode)
+	}
+	s.pending[k] = append(s.pending[k], p)
+	return -1, p
+}
+
+// promote moves the level's committed pending entries into the
+// read-only tiers at the level boundary (no workers are running):
+// plain discoveries into the ID buckets, equivalence folds into the
+// alias overlay. Entries never committed — the level aborted after
+// they were parked — are dropped; an aborted run ends immediately and
+// a resume rebuilds the index from the node table. The iteration
+// order of the pending map only affects future probe-counter values,
+// which are telemetry and never serialized.
+func (d *dedupIndex) promote() {
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		s.lock()
+		for k, list := range s.pending {
+			for _, p := range list {
+				switch {
+				case p.id < 0: // never committed: aborted level
+				case p.alias:
+					if s.aliases == nil {
+						s.aliases = make(map[indexKey][]aliasEntry)
+					}
+					s.aliases[k] = append(s.aliases[k], aliasEntry{key: p.key, to: p.id})
+					s.aliasBytes += len(p.key)
+				default:
+					s.buckets[k] = append(s.buckets[k], p.id)
+				}
+			}
+			delete(s.pending, k)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// lookup returns the ID of the node whose stored key equals
+// flags+enc — directly, or through the equivalence tier's aliases.
+// Serial path (root seeding, Resume's rebuild probes, independence
+// pruning); pending entries are invisible to it.
+func (d *dedupIndex) lookup(flags byte, fp fingerprint.FP, enc []byte) (int, bool) {
+	s := &d.stripes[stripeFor(fp)]
+	s.lock()
+	defer s.mu.Unlock()
+	s.probes++
+	id, ok := s.scan(d.keys, indexKey{flags, fp}, flags, enc)
+	return int(id), ok
+}
+
+// insert records id under (flags, fp). The caller must have stored the
+// node's full key in the keyStore first. Serial path: the root node,
+// Resume's index rebuild and the independence-pruning enumerator.
+func (d *dedupIndex) insert(flags byte, fp fingerprint.FP, id int) {
+	s := &d.stripes[stripeFor(fp)]
+	k := indexKey{flags, fp}
+	s.lock()
+	s.buckets[k] = append(s.buckets[k], int32(id))
+	s.mu.Unlock()
 }
 
 // insertAlias records key — the canonical key of a raw spelling the
-// equivalence tier folded away — as resolving to node id.
+// equivalence tier folded away — as resolving to node id. Serial path
+// (the root's equivalence seeding); level-time folds travel through
+// pending entries and promote instead.
 func (d *dedupIndex) insertAlias(flags byte, fp fingerprint.FP, key string, id int) {
-	if d.aliases == nil {
-		d.aliases = make(map[indexKey][]aliasEntry)
-	}
+	s := &d.stripes[stripeFor(fp)]
 	k := indexKey{flags, fp}
-	d.aliases[k] = append(d.aliases[k], aliasEntry{key: key, to: int32(id)})
-	d.aliasBytes += len(key)
+	s.lock()
+	if s.aliases == nil {
+		s.aliases = make(map[indexKey][]aliasEntry)
+	}
+	s.aliases[k] = append(s.aliases[k], aliasEntry{key: key, to: int32(id)})
+	s.aliasBytes += len(key)
+	s.mu.Unlock()
+}
+
+// indexCounters aggregates the per-stripe telemetry.
+type indexCounters struct {
+	probes       int64
+	byteCompares int64
+	fpCollisions int64
+	acquisitions int64
+	contended    int64
+}
+
+// counters sums the stripe counters. Called at level boundaries and by
+// tests; takes each stripe lock so it is safe alongside workers.
+func (d *dedupIndex) counters() indexCounters {
+	var c indexCounters
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		s.mu.Lock()
+		c.probes += s.probes
+		c.byteCompares += s.byteCompares
+		c.fpCollisions += s.fpCollisions
+		c.acquisitions += s.acquisitions
+		c.contended += s.contended
+		s.mu.Unlock()
+	}
+	return c
 }
 
 // retainedBytes estimates the live memory held by the index: the key
 // payloads (live, compressed and aliased) plus the bucket entries.
 func (d *dedupIndex) retainedBytes() int {
-	n := d.keys.retainedBytes() + d.aliasBytes
-	for _, b := range d.buckets {
-		n += 4 * len(b)
-	}
-	for _, a := range d.aliases {
-		n += 4 * len(a)
+	n := d.keys.retainedBytes()
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		s.mu.Lock()
+		n += s.aliasBytes
+		for _, b := range s.buckets {
+			n += 4 * len(b)
+		}
+		for _, a := range s.aliases {
+			n += 4 * len(a)
+		}
+		s.mu.Unlock()
 	}
 	return n
 }
@@ -118,7 +302,17 @@ func (d *dedupIndex) retainedBytes() int {
 // cross-level merge into a retired node (a phase reverting its
 // parent's change, say) still byte-compares correctly: the blob is
 // decompressed on demand, with the last-used blob cached.
+//
+// Concurrency contract: put, noteLevel and retire run only on the
+// serial commit path (put) or at level boundaries (the rest), under
+// mu. matches is called by workers holding a stripe lock; its live-map
+// fast path takes the read lock, while the retired-blob path upgrades
+// to the write lock because the one-entry decompression cache mutates
+// on read. Membership cannot move between live and retired mid-level
+// (retirement happens only at boundaries), so the upgrade re-reads
+// nothing stale.
 type keyStore struct {
+	mu             sync.RWMutex
 	live           map[int]string
 	blobs          []keyBlob
 	retiredThrough int // IDs below this are in blobs
@@ -159,14 +353,18 @@ func newKeyStore() *keyStore {
 
 // put stores the key of a newly created node.
 func (s *keyStore) put(id int, key string) {
+	s.mu.Lock()
 	s.live[id] = key
 	s.liveBytes += len(key)
+	s.mu.Unlock()
 }
 
 // noteLevel records that a level finished expanding with levelStart
 // nodes discovered before it began, and retires the level that slides
 // out of the live window.
 func (s *keyStore) noteLevel(levelStart int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.levelStarts = append(s.levelStarts, levelStart)
 	if len(s.levelStarts) > keyRetireWindow {
 		s.retire(s.retiredThrough, s.levelStarts[0])
@@ -176,7 +374,8 @@ func (s *keyStore) noteLevel(levelStart int) {
 
 // retire compresses the keys of nodes [from, to) into one blob and
 // drops their live strings. Ranges must be retired in order; empty
-// ranges are ignored.
+// ranges are ignored. Callers hold mu (noteLevel) or own the store
+// exclusively (the space loader).
 func (s *keyStore) retire(from, to int) {
 	if to <= from {
 		return
@@ -230,7 +429,9 @@ func (s *keyStore) blobFor(id int) int {
 // blobData decompresses blob i, serving repeated lookups into the same
 // blob from a one-entry cache. The raw size is known from the offset
 // table, so the decode fills an exact-size buffer; the decompressor is
-// reused via flate's Resetter.
+// reused via flate's Resetter. Callers hold the write lock: the cache
+// and the shared decompressor mutate even on a logically read-only
+// lookup.
 func (s *keyStore) blobData(i int) []byte {
 	if s.cachedBlob == i {
 		return s.cachedData
@@ -251,6 +452,14 @@ func (s *keyStore) blobData(i int) []byte {
 
 // get returns the full key of a node, live or retired.
 func (s *keyStore) get(id int) string {
+	s.mu.RLock()
+	if k, ok := s.live[id]; ok {
+		s.mu.RUnlock()
+		return k
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if k, ok := s.live[id]; ok {
 		return k
 	}
@@ -262,8 +471,19 @@ func (s *keyStore) get(id int) string {
 }
 
 // matches reports whether node id's stored key equals flags+enc,
-// without allocating in the live case.
+// without allocating in the live case. The live fast path holds only
+// the read lock, so concurrent workers probing different stripes never
+// serialize on the store; the rare deep merge against a retired level
+// upgrades to the write lock for the decompression cache.
 func (s *keyStore) matches(id int, flags byte, enc []byte) bool {
+	s.mu.RLock()
+	if k, ok := s.live[id]; ok {
+		s.mu.RUnlock()
+		return len(k) == len(enc)+1 && k[0] == flags && k[1:] == string(enc)
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if k, ok := s.live[id]; ok {
 		return len(k) == len(enc)+1 && k[0] == flags && k[1:] == string(enc)
 	}
@@ -280,5 +500,7 @@ func (s *keyStore) matches(id int, flags byte, enc []byte) bool {
 // decompression cache is excluded — it is bounded by one blob and
 // dropped on the next cross-blob lookup.
 func (s *keyStore) retainedBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.liveBytes + s.blobBytes
 }

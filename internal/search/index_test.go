@@ -36,8 +36,8 @@ func TestDedupIndexForcedFPCollision(t *testing.T) {
 	}
 	// keyB shares keyA's bucket, so resolving it first byte-compared
 	// against keyA — one real fingerprint collision.
-	if d.fpCollisions != 1 {
-		t.Errorf("fpCollisions = %d after resolving both members; want 1", d.fpCollisions)
+	if c := d.counters(); c.fpCollisions != 1 {
+		t.Errorf("fpCollisions = %d after resolving both members; want 1", c.fpCollisions)
 	}
 
 	// A third instance with the same fingerprint but different bytes
@@ -45,21 +45,23 @@ func TestDedupIndexForcedFPCollision(t *testing.T) {
 	if id, ok := d.lookup(flags, fp, []byte("instance-C: distinct")); ok {
 		t.Fatalf("lookup(keyC) matched id %d; distinct bytes must not merge", id)
 	}
-	if d.fpCollisions != 3 {
-		t.Errorf("fpCollisions = %d after a two-member miss; want 3", d.fpCollisions)
+	if c := d.counters(); c.fpCollisions != 3 {
+		t.Errorf("fpCollisions = %d after a two-member miss; want 3", c.fpCollisions)
 	}
 
 	// Different gating flags are a different first-tier key even with
-	// an identical fingerprint: no bucket, no byte compares.
-	before := d.byteCompares
+	// an identical fingerprint: no bucket, no byte compares. (Flags do
+	// not select the stripe, so this probe still lands on the same
+	// stripe — the miss is the empty bucket, not a different shard.)
+	before := d.counters().byteCompares
 	if _, ok := d.lookup(flags^1, fp, keyA); ok {
 		t.Fatal("lookup with different flags must miss")
 	}
-	if d.byteCompares != before {
-		t.Errorf("byteCompares grew by %d on an empty bucket; want 0", d.byteCompares-before)
+	if c := d.counters(); c.byteCompares != before {
+		t.Errorf("byteCompares grew by %d on an empty bucket; want 0", c.byteCompares-before)
 	}
-	if d.probes != 4 {
-		t.Errorf("probes = %d; want 4", d.probes)
+	if c := d.counters(); c.probes != 4 {
+		t.Errorf("probes = %d; want 4", c.probes)
 	}
 }
 

@@ -77,12 +77,17 @@ type instruments struct {
 	gFrontier, gLevel          *telemetry.Gauge
 	tracer                     *telemetry.Tracer
 
-	// Two-tier index counters. The dedupIndex itself counts with plain
-	// ints (every probe is on the serial merge path); observeIndex
-	// flushes the deltas into the registry at level boundaries.
-	mIdxProbes, mIdxByteCmps, mIdxFPColls             *telemetry.Counter
-	gIdxRetained                                      *telemetry.Gauge
-	idxProbesFlushed, idxCmpsFlushed, idxCollsFlushed int64
+	// Striped-index counters. Each stripe counts under its own lock;
+	// observeIndex aggregates across stripes and flushes the deltas
+	// into the registry at level boundaries. The values depend on
+	// probe interleaving (they are telemetry, never serialized into
+	// the space format); the stripe.* pair exposes lock contention:
+	// acquisitions counts stripe-lock takes, contended the takes that
+	// found the lock held.
+	mIdxProbes, mIdxByteCmps, mIdxFPColls *telemetry.Counter
+	mIdxStripeAcq, mIdxStripeCont         *telemetry.Counter
+	gIdxRetained                          *telemetry.Gauge
+	idxFlushed                            indexCounters
 }
 
 func newInstruments(opts *Options, fnName string, start time.Time) *instruments {
@@ -106,21 +111,25 @@ func newInstruments(opts *Options, fnName string, start time.Time) *instruments 
 		ins.mIdxProbes = reg.Counter("search.index.probes")
 		ins.mIdxByteCmps = reg.Counter("search.index.bytecompares")
 		ins.mIdxFPColls = reg.Counter("search.index.fpcollisions")
+		ins.mIdxStripeAcq = reg.Counter("search.index.stripe.acquisitions")
+		ins.mIdxStripeCont = reg.Counter("search.index.stripe.contended")
 		ins.gIdxRetained = reg.Gauge("search.index.retained_bytes")
 	}
 	return ins
 }
 
-// observeIndex flushes the dedup index's probe counters into the
-// metrics registry and refreshes the retained-memory gauge. Called at
-// level boundaries on the serial path.
+// observeIndex flushes the striped index's aggregated probe and
+// contention counters into the metrics registry and refreshes the
+// retained-memory gauge. Called at level boundaries on the serial
+// path, with no workers running.
 func (ins *instruments) observeIndex(d *dedupIndex) {
-	ins.mIdxProbes.Add(d.probes - ins.idxProbesFlushed)
-	ins.idxProbesFlushed = d.probes
-	ins.mIdxByteCmps.Add(d.byteCompares - ins.idxCmpsFlushed)
-	ins.idxCmpsFlushed = d.byteCompares
-	ins.mIdxFPColls.Add(d.fpCollisions - ins.idxCollsFlushed)
-	ins.idxCollsFlushed = d.fpCollisions
+	c := d.counters()
+	ins.mIdxProbes.Add(c.probes - ins.idxFlushed.probes)
+	ins.mIdxByteCmps.Add(c.byteCompares - ins.idxFlushed.byteCompares)
+	ins.mIdxFPColls.Add(c.fpCollisions - ins.idxFlushed.fpCollisions)
+	ins.mIdxStripeAcq.Add(c.acquisitions - ins.idxFlushed.acquisitions)
+	ins.mIdxStripeCont.Add(c.contended - ins.idxFlushed.contended)
+	ins.idxFlushed = c
 	ins.gIdxRetained.Set(int64(d.retainedBytes()))
 }
 

@@ -1,0 +1,172 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fingerprint"
+	"repro/internal/rtl"
+)
+
+// TestOutcomeRingClearsSlots is the regression test for the outcome
+// retention bug: the old level loop reused an outcomes slice across
+// chunks and only cleared the prefix, so a quarantined-chunk abort
+// could pin dead *rtl.Func clones (and their fingerprint buffers) for
+// the rest of the level. The ring's contract is that consuming a slot
+// clears it: after take, no pointer to the clone, buffer, equivalence
+// encoding or pending entry may remain reachable from the ring.
+func TestOutcomeRingClearsSlots(t *testing.T) {
+	r := newOutcomeRing()
+	fn := &rtl.Func{Name: "retained"}
+	buf := fingerprint.GetBuffer()
+	defer fingerprint.PutBuffer(buf)
+	pend := &pendingNode{key: "k", id: -1}
+
+	const i = int64(5)
+	r.put(i, outcome{active: true, fn: fn, buf: buf, equiv: []byte{1}, pend: pend})
+	if !r.ready(i) {
+		t.Fatal("published outcome not ready")
+	}
+	o := r.take(i)
+	if o.fn != fn || o.buf != buf || o.pend != pend {
+		t.Fatal("take returned a different outcome than was published")
+	}
+	s := &r.slots[i&(ringSize-1)]
+	if s.o.fn != nil || s.o.buf != nil || s.o.equiv != nil || s.o.pend != nil || s.o.active {
+		t.Fatal("ring slot retains outcome pointers after take")
+	}
+
+	// Slot reuse one lap later: the stale seq from lap 0 must not make
+	// the next occupant look published before its put.
+	if r.ready(i + ringSize) {
+		t.Fatal("slot reads ready for the next lap before publication")
+	}
+	r.put(i+ringSize, outcome{active: true, fn: fn})
+	if !r.ready(i + ringSize) {
+		t.Fatal("next-lap outcome not ready after put")
+	}
+	if got := r.take(i + ringSize); got.fn != fn {
+		t.Fatal("next-lap take returned the wrong outcome")
+	}
+}
+
+// TestStripedIndexForcedCollisionConcurrent drives the striped index
+// the way a level's worker pool does, with manufactured fingerprint
+// collisions so every key lands in one stripe's one bucket — the
+// worst case for both the second-tier byte compare and the stripe
+// lock. Several goroutines concurrently resolve a mix of committed
+// keys (must return the committed ID) and fresh keys (all resolvers
+// of one key must converge on a single pending entry); the serial
+// commit + promote then files the survivors, including one entry
+// committed as an equivalence alias, and the committed tiers must
+// resolve every spelling afterwards.
+func TestStripedIndexForcedCollisionConcurrent(t *testing.T) {
+	ks := newKeyStore()
+	d := newDedupIndex(ks)
+	const flags = byte(0x05)
+	fp := fingerprint.FP{Count: 7, ByteSum: 4242, CRC: 0xFEEDBEEF}
+
+	committedKeys := [][]byte{
+		[]byte("committed-instance-0"),
+		[]byte("committed-instance-1"),
+	}
+	for i, k := range committedKeys {
+		ks.put(i, string(flags)+string(k))
+		d.insert(flags, fp, i)
+	}
+	freshKeys := make([][]byte, 8)
+	for j := range freshKeys {
+		freshKeys[j] = []byte(fmt.Sprintf("fresh-instance-%d", j))
+	}
+
+	const workers = 8
+	pends := make([][]*pendingNode, len(freshKeys))
+	for j := range pends {
+		pends[j] = make([]*pendingNode, workers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, k := range committedKeys {
+				dup, pend := d.resolve(flags, fp, k)
+				if pend != nil || dup != int32(i) {
+					t.Errorf("worker %d: resolve(committed %d) = (%d, %v); want (%d, nil)", w, i, dup, pend, i)
+				}
+			}
+			// Walk the fresh keys in a per-worker order so entry
+			// creations and re-probes of the same key interleave.
+			for off := 0; off < len(freshKeys); off++ {
+				j := (off + w) % len(freshKeys)
+				dup, pend := d.resolve(flags, fp, freshKeys[j])
+				if pend == nil {
+					t.Errorf("worker %d: resolve(fresh %d) returned committed id %d", w, j, dup)
+					continue
+				}
+				pends[j][w] = pend
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every resolver of one key must have been handed the same pending
+	// entry — two entries for one key would split a node in two.
+	for j := range pends {
+		for w := 1; w < workers; w++ {
+			if pends[j][w] != pends[j][0] {
+				t.Fatalf("fresh key %d: workers 0 and %d hold distinct pending entries", j, w)
+			}
+		}
+	}
+
+	// Serial commit in "attempt order": the first fresh key folds into
+	// committed node 0 as an equivalence alias, the rest become nodes.
+	nextID := int32(len(committedKeys))
+	aliased := pends[0][0]
+	aliased.id, aliased.alias = 0, true
+	for j := 1; j < len(freshKeys); j++ {
+		p := pends[j][0]
+		ks.put(int(nextID), p.key)
+		p.id = nextID
+		nextID++
+	}
+	d.promote()
+
+	if id, ok := d.lookup(flags, fp, freshKeys[0]); !ok || id != 0 {
+		t.Fatalf("aliased spelling resolves to (%d, %v); want the class node (0, true)", id, ok)
+	}
+	for j := 1; j < len(freshKeys); j++ {
+		want := len(committedKeys) + j - 1
+		if id, ok := d.lookup(flags, fp, freshKeys[j]); !ok || id != want {
+			t.Fatalf("promoted key %d resolves to (%d, %v); want (%d, true)", j, id, ok, want)
+		}
+	}
+	for i, k := range committedKeys {
+		if id, ok := d.lookup(flags, fp, k); !ok || id != i {
+			t.Fatalf("committed key %d resolves to (%d, %v) after promote", i, id, ok)
+		}
+	}
+
+	// Counter sanity: every probe hit the same stripe, the forced
+	// collisions showed up, and no second pending generation remains.
+	c := d.counters()
+	wantProbes := int64(workers*(len(committedKeys)+len(freshKeys)) + /* post-promote lookups */ len(freshKeys) + len(committedKeys))
+	if c.probes != wantProbes {
+		t.Errorf("probes = %d; want %d", c.probes, wantProbes)
+	}
+	if c.fpCollisions == 0 {
+		t.Error("forced collisions produced no fpCollisions count")
+	}
+	s := &d.stripes[stripeFor(fp)]
+	s.mu.Lock()
+	pendingLeft := len(s.pending)
+	s.mu.Unlock()
+	if pendingLeft != 0 {
+		t.Errorf("%d pending map entries survive promote", pendingLeft)
+	}
+}

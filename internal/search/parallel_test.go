@@ -1,0 +1,107 @@
+package search_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestParallelDeterminismTable is the byte-identity contract of the
+// pipelined parallel engine: the canonical serialization of a space
+// must not depend on the worker count, on the equivalence tier, or on
+// whether the enumeration was interrupted mid-level and resumed.
+// Workers=1 × uninterrupted is the reference; every other cell of the
+// {workers} × {default, equiv} × {uninterrupted, interrupt+resume}
+// table must serialize to the same bytes. The equiv × resume cells are
+// skipped by design: equivalence-collapsed runs are not checkpointable
+// (the class and alias tables are not persisted), and Resume rejects
+// the option.
+//
+// The interrupted runs cancel via a Verifier hook after the n-th
+// active instance — the in-process analog of kill -9 mid-level — so
+// under the parallel engine the cancellation lands while workers and
+// the committer are genuinely racing. Run the package under -race
+// (the Makefile race target does) to make the cells double as a data
+// race probe.
+func TestParallelDeterminismTable(t *testing.T) {
+	_, f := compileFunc(t, sumSrc, "sum")
+	widths := []int{1, 4, 16}
+	for _, equiv := range []bool{false, true} {
+		tier := "default"
+		if equiv {
+			tier = "equiv"
+		}
+		t.Run(tier, func(t *testing.T) {
+			base := search.Run(f, search.Options{Workers: 1, Equiv: equiv})
+			if base.Aborted {
+				t.Fatalf("reference run aborted: %s", base.AbortReason)
+			}
+			want := canonical(t, base)
+
+			for _, w := range widths {
+				w := w
+				t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+					r := search.Run(f, search.Options{Workers: w, Equiv: equiv})
+					if r.Aborted {
+						t.Fatalf("run aborted: %s", r.AbortReason)
+					}
+					if !bytes.Equal(canonical(t, r), want) {
+						t.Fatalf("space at %d workers differs from the Workers=1 reference", w)
+					}
+					if equiv {
+						if r.Equiv == nil || base.Equiv == nil {
+							t.Fatal("equiv stats missing")
+						}
+						if r.Equiv.Raw != base.Equiv.Raw || r.Equiv.Merged != base.Equiv.Merged {
+							t.Fatalf("equiv stats differ: %d/%d raw/merged at %d workers vs %d/%d at 1",
+								r.Equiv.Raw, r.Equiv.Merged, w, base.Equiv.Raw, base.Equiv.Merged)
+						}
+					}
+				})
+				if equiv {
+					continue // resume unsupported with Equiv by design
+				}
+				t.Run(fmt.Sprintf("workers=%d,resume", w), func(t *testing.T) {
+					ckpt := filepath.Join(t.TempDir(), fmt.Sprintf("sum.w%d.ckpt.space.gz", w))
+					ctx, cancel := context.WithCancel(context.Background())
+					interrupted := search.Run(f, search.Options{
+						Workers:        w,
+						Ctx:            ctx,
+						Verifier:       cancelAfter(cancel, 40),
+						CheckpointPath: ckpt,
+					})
+					cancel()
+					if !interrupted.Aborted {
+						// The space finished before the cancel landed;
+						// the checkpoint file is the complete space.
+						if got := mustLoadCanonical(t, ckpt); !bytes.Equal(got, want) {
+							t.Fatal("completed checkpoint differs from reference space")
+						}
+						return
+					}
+					loaded, err := search.LoadFile(ckpt)
+					if err != nil {
+						t.Fatalf("loading checkpoint: %v", err)
+					}
+					if loaded.Checkpoint == nil {
+						t.Fatal("interrupted checkpoint has no frontier")
+					}
+					resumed, err := search.Resume(loaded, search.Options{Workers: w, CheckpointPath: ckpt})
+					if err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+					if resumed.Aborted {
+						t.Fatalf("resumed run aborted: %s", resumed.AbortReason)
+					}
+					if !bytes.Equal(canonical(t, resumed), want) {
+						t.Fatalf("resumed space at %d workers differs from reference", w)
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package search
+
+import "sync/atomic"
+
+// ringSize bounds how many evaluated-but-uncommitted outcomes a level
+// holds at once — the pipelined replacement for the old 4096-attempt
+// chunk barrier's memory bound. Power of two so slot selection is a
+// mask. A slot holds at most one live child clone plus one fingerprint
+// buffer, so the worst-case transient footprint matches the old
+// chunking while workers never stall on a barrier.
+const ringSize = 4096
+
+// outcomeSlot is one ring cell. seq is the publication marker: a
+// worker fills o and then stores attempt-index+1 (release); the
+// committer observes that value (acquire) before reading o, which
+// makes the plain o fields safe to hand across goroutines. After the
+// committer consumes a slot it zeroes o — the ring must never retain
+// a dead *rtl.Func or fingerprint buffer past its commit (they return
+// to their pools instead).
+type outcomeSlot struct {
+	seq atomic.Int64
+	o   outcome
+}
+
+// outcomeRing is a single-consumer ring buffer carrying evaluation
+// outcomes from the workers to the in-order committer. Slot reuse is
+// coordinated outside the ring: a worker writes slot i&mask only after
+// the committer's published commit count shows i-ringSize was
+// consumed, so put never races with a take of the previous occupant.
+type outcomeRing struct {
+	slots []outcomeSlot
+}
+
+func newOutcomeRing() *outcomeRing {
+	return &outcomeRing{slots: make([]outcomeSlot, ringSize)}
+}
+
+// put publishes the outcome of attempt i.
+func (r *outcomeRing) put(i int64, o outcome) {
+	s := &r.slots[i&(ringSize-1)]
+	s.o = o
+	s.seq.Store(i + 1)
+}
+
+// ready reports whether attempt i's outcome has been published.
+func (r *outcomeRing) ready(i int64) bool {
+	return r.slots[i&(ringSize-1)].seq.Load() == i+1
+}
+
+// take consumes attempt i's outcome, clearing the slot so the ring
+// holds no pointer to the clone or buffer past the commit. The caller
+// must have observed ready(i).
+func (r *outcomeRing) take(i int64) outcome {
+	s := &r.slots[i&(ringSize-1)]
+	o := s.o
+	s.o = outcome{}
+	return o
+}

@@ -718,111 +718,11 @@ func (e *engine) run() *Result {
 		if workers <= 0 {
 			workers = runtime.NumCPU()
 		}
-
-		// Process in chunks so a very wide level does not hold every
-		// child clone in memory at once.
-		const chunkSize = 4096
-		var next []*Node
-		outcomes := make([]outcome, 0, chunkSize)
-		for lo := 0; lo < len(work); lo += chunkSize {
-			hi := lo + chunkSize
-			if hi > len(work) {
-				hi = len(work)
-			}
-			chunk := work[lo:hi]
-			outcomes = outcomes[:len(chunk)]
-			for i := range outcomes {
-				outcomes[i] = outcome{}
-			}
-			nw := workers
-			if nw > len(chunk) {
-				nw = len(chunk)
-			}
-			var wg sync.WaitGroup
-			var cursor atomic.Int64
-			for w := 0; w < nw; w++ {
-				wg.Add(1)
-				// Lane w+1 keeps each worker's spans in their own
-				// trace row; lane 0 is the serial control lane.
-				go func(lane int) {
-					defer wg.Done()
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= len(chunk) {
-							return
-						}
-						// Checked per expansion so cancellation stops
-						// the run within one attempt's latency.
-						select {
-						case <-e.done:
-							return
-						default:
-						}
-						a := chunk[i]
-						var began time.Time
-						if ins.timed {
-							began = time.Now()
-						}
-						expandSpan := ins.tracer.Begin("search.expand", "search", lane)
-						outcomes[i] = evalAttempt(res.root, a, opts, ins, lane)
-						if expandSpan.Active() {
-							expandSpan.End(map[string]any{
-								"seq":    a.node.Seq,
-								"phase":  string(a.phase.ID()),
-								"active": outcomes[i].active,
-							})
-						}
-						if ins.timed {
-							ins.observeExpand(began)
-						} else {
-							ins.levelDone.Add(1)
-						}
-					}
-				}(w + 1)
-			}
-			wg.Wait()
-			if canceled() {
-				// Discard the chunk: partially evaluated outcomes
-				// would skew the merge and the prune statistics.
-				e.abort(abortCanceledReason(opts.Ctx))
-				break
-			}
-			for i, a := range chunk {
-				o := outcomes[i]
-				if o.quarantine != "" {
-					qn := e.addQuarantined(a.node, a.phase.ID(), o.quarantine)
-					a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: qn.ID})
-					ins.observeQuarantine()
-					if ins.log != nil {
-						ins.log.WarnContext(e.logCtx(), "attempt quarantined",
-							"fn", ins.fnName, "seq", a.node.Seq+string(a.phase.ID()),
-							"reason", o.quarantine)
-					}
-					continue
-				}
-				if !o.active {
-					ins.observeOutcome(false, false)
-					continue
-				}
-				cn, kind := e.add(o.fn, o.st, o.fp, o.buf, o.equiv, a.phase.ID(), a.node.Level+1, a.node.Seq+string(a.phase.ID()))
-				fingerprint.PutBuffer(o.buf)
-				ins.observeOutcome(true, kind == mergeNew)
-				if kind == mergeEquiv {
-					ins.observeEquivMerge()
-				}
-				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
-				if kind == mergeNew {
-					cn.CheckErr = o.checkErr
-					next = append(next, cn)
-				} else {
-					putClone(o.fn) // duplicate instance: merged into cn
-				}
-			}
-			if opts.Timeout > 0 && time.Since(e.start) > opts.Timeout {
-				e.abort(abortTimeout)
-				break
-			}
+		if workers > len(work) {
+			workers = len(work)
 		}
+
+		next := e.runLevel(work, workers, canceled)
 		levelSpan.End(map[string]any{
 			"level": level, "frontier": len(frontier), "attempts": len(work), "nodes": len(res.Nodes),
 		})
@@ -878,6 +778,288 @@ type attempt struct {
 	phase opt.Phase
 }
 
+// checkAbort polls the two mid-level abort conditions (cancellation,
+// wall-time budget) and marks the result aborted on the first hit.
+// Committer-side only.
+func (e *engine) checkAbort(canceled func() bool) bool {
+	if e.res.Aborted {
+		return true
+	}
+	if canceled() {
+		e.abort(abortCanceledReason(e.opts.Ctx))
+		return true
+	}
+	if e.opts.Timeout > 0 && time.Since(e.start) > e.opts.Timeout {
+		e.abort(abortTimeout)
+		return true
+	}
+	return false
+}
+
+// runLevel evaluates one level's attempts on a pipelined worker pool
+// and returns the next frontier (nil, with the result marked aborted,
+// on a mid-level abort). Workers claim attempts from a shared cursor,
+// evaluate them, probe (or park a pending entry in) the striped index,
+// and publish the outcome into a bounded ring; this goroutine is the
+// single committer, consuming outcomes strictly in attempt order. The
+// in-order commit is what makes the space deterministic: node IDs are
+// assigned in first-committed-reference order, which is exactly the
+// serial engine's discovery order, independent of worker count and
+// scheduling. The ring bound doubles as the memory bound the old
+// chunk barrier provided — at most ringSize evaluated-but-uncommitted
+// clones exist — but with no barrier: workers keep evaluating while
+// the committer merges, and a slow attempt stalls only commits beyond
+// it, not the evaluation pipeline.
+func (e *engine) runLevel(work []attempt, workers int, canceled func() bool) []*Node {
+	opts, res, ins := e.opts, e.res, e.ins
+
+	ring := newOutcomeRing()
+	var claim, committed atomic.Int64
+	// notify wakes the committer after a publish; space wakes
+	// window-blocked workers after a commit. Both are best-effort
+	// (non-blocking sends into small buffers): a dropped notify means
+	// a wakeup is already pending, and a dropped space token means
+	// enough tokens for every blocked worker are already buffered.
+	notify := make(chan struct{}, 1)
+	space := make(chan struct{}, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// Lane w+1 keeps each worker's spans in their own trace row;
+		// lane 0 is the serial control lane.
+		go func(lane int) {
+			defer wg.Done()
+			for {
+				i := claim.Add(1) - 1
+				if i >= int64(len(work)) {
+					return
+				}
+				// Claiming ringSize ahead of the committer would reuse
+				// a slot whose previous outcome is still uncommitted;
+				// wait for the window to advance.
+				for i-committed.Load() >= ringSize {
+					select {
+					case <-space:
+					case <-stop:
+						return
+					case <-e.done:
+						return
+					}
+				}
+				// Checked per expansion so cancellation stops the run
+				// within one attempt's latency.
+				select {
+				case <-stop:
+					return
+				case <-e.done:
+					return
+				default:
+				}
+				a := work[i]
+				var began time.Time
+				if ins.timed {
+					began = time.Now()
+				}
+				expandSpan := ins.tracer.Begin("search.expand", "search", lane)
+				o := evalAttempt(res.root, a, opts, ins, lane)
+				if o.active {
+					// Resolve against the striped index here, on the
+					// worker: a concurrent probe either finds the
+					// committed node, finds the pending entry an
+					// earlier probe parked, or parks a new one. The
+					// committer only turns the result into the merge
+					// decision.
+					o.dup, o.pend = e.index.resolve(stateBits(o.st), o.fp, o.buf.Enc)
+				}
+				if expandSpan.Active() {
+					expandSpan.End(map[string]any{
+						"seq":    a.node.Seq,
+						"phase":  string(a.phase.ID()),
+						"active": o.active,
+					})
+				}
+				if ins.timed {
+					ins.observeExpand(began)
+				} else {
+					ins.levelDone.Add(1)
+				}
+				ring.put(i, o)
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			}
+		}(w + 1)
+	}
+
+	// tickC re-checks the wall-time budget while the committer is
+	// blocked waiting for a slow attempt; nil (never fires) without a
+	// timeout, where cancellation alone can interrupt the wait.
+	var tickC <-chan time.Time
+	if opts.Timeout > 0 {
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		tickC = t.C
+	}
+
+	var next []*Node
+	total := int64(len(work))
+commitLoop:
+	for i := int64(0); i < total; i++ {
+		for !ring.ready(i) {
+			if e.checkAbort(canceled) {
+				break commitLoop
+			}
+			select {
+			case <-notify:
+			case <-e.done:
+			case <-tickC:
+			}
+		}
+		o := ring.take(i)
+		committed.Store(i + 1)
+		select {
+		case space <- struct{}{}:
+		default:
+		}
+		next = e.commitOutcome(work[i], &o, next)
+		// Bound how much commit work runs between abort polls when
+		// outcomes arrive faster than the committer drains them.
+		if (i+1)%4096 == 0 && e.checkAbort(canceled) {
+			break commitLoop
+		}
+	}
+	if res.Aborted {
+		// Stop the pipeline and drain every published-but-uncommitted
+		// outcome: their clones and fingerprint buffers go back to the
+		// pools, and the ring slots are cleared, so an aborted level
+		// pins nothing. Partially committed level state stays in
+		// memory (as it always has) but the durable snapshot rolls
+		// back to the last level boundary.
+		close(stop)
+		wg.Wait()
+		hi := claim.Load()
+		if hi > total {
+			hi = total
+		}
+		for i := committed.Load(); i < hi; i++ {
+			if !ring.ready(i) {
+				continue // claimed but never published
+			}
+			o := ring.take(i)
+			putClone(o.fn)
+			if o.buf != nil {
+				fingerprint.PutBuffer(o.buf)
+			}
+		}
+		return nil
+	}
+	wg.Wait()
+	// The level is complete: promote the pending discoveries into the
+	// read-only bucket/alias tiers before the next level probes them.
+	e.index.promote()
+	return next
+}
+
+// commitOutcome applies one evaluated outcome on the serial commit
+// path, in attempt order, appending any new node to next and
+// returning it. This is the old serial merge loop body verbatim in
+// its observable effects: quarantine nodes, edge append order, merge
+// classification and every counter match the chunked engine.
+func (e *engine) commitOutcome(a attempt, o *outcome, next []*Node) []*Node {
+	ins := e.ins
+	if o.quarantine != "" {
+		qn := e.addQuarantined(a.node, a.phase.ID(), o.quarantine)
+		a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: qn.ID})
+		ins.observeQuarantine()
+		if ins.log != nil {
+			ins.log.WarnContext(e.logCtx(), "attempt quarantined",
+				"fn", ins.fnName, "seq", a.node.Seq+string(a.phase.ID()),
+				"reason", o.quarantine)
+		}
+		return next
+	}
+	if !o.active {
+		ins.observeOutcome(false, false)
+		return next
+	}
+	cn, kind := e.commitInstance(a, o)
+	fingerprint.PutBuffer(o.buf)
+	ins.observeOutcome(true, kind == mergeNew)
+	if kind == mergeEquiv {
+		ins.observeEquivMerge()
+	}
+	a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
+	if kind == mergeNew {
+		cn.CheckErr = o.checkErr
+		next = append(next, cn)
+	} else {
+		putClone(o.fn) // duplicate instance: merged into cn
+	}
+	return next
+}
+
+// commitInstance resolves an active outcome's probe result into the
+// serial merge decision. A dup (committed-tier hit on the worker) or
+// an already-committed pending entry is the classic identical-instance
+// merge. The first commit referencing an unassigned pending entry is
+// the instance's discovery — because commits happen in attempt order,
+// it is the same attempt the serial engine would have discovered it
+// on — and either folds it into an equivalence class (Options.Equiv)
+// or creates the node and assigns the next ID.
+func (e *engine) commitInstance(a attempt, o *outcome) (*Node, mergeKind) {
+	if o.pend == nil {
+		return e.res.Nodes[o.dup], mergeDup
+	}
+	p := o.pend
+	if p.id >= 0 {
+		// An earlier attempt of this level committed the same key
+		// (or, under Equiv, aliased it into a class): later identical
+		// spellings merge like any duplicate.
+		return e.res.Nodes[p.id], mergeDup
+	}
+	flags := p.key[0]
+	if e.res.Equiv != nil {
+		e.res.Equiv.Raw++
+		ckey := string(flags) + string(o.equiv)
+		if id, ok := e.equivClasses[ckey]; ok {
+			// Raw-distinct instance, known class: the pending entry
+			// becomes an alias at promote, so future identical
+			// duplicates of this spelling resolve to the class node.
+			p.id, p.alias = id, true
+			n := e.res.Nodes[id]
+			n.EquivRaw++
+			e.res.Equiv.Merged++
+			if a.phase.ID() != 0 {
+				e.res.Equiv.RedundantByPhase[string(a.phase.ID())]++
+			}
+			return n, mergeEquiv
+		}
+	}
+	n := &Node{
+		ID:        len(e.res.Nodes),
+		Level:     a.node.Level + 1,
+		Seq:       a.node.Seq + string(a.phase.ID()),
+		FP:        o.fp,
+		State:     o.st,
+		NumInstrs: o.fn.NumInstrs(),
+		CFKey:     fingerprint.Key(o.buf.CF),
+		fn:        o.fn,
+	}
+	// The pending entry's key was copied on the worker; it becomes the
+	// node key directly — no copy on the commit path.
+	e.res.keys.put(n.ID, p.key)
+	p.id = int32(n.ID)
+	e.res.Nodes = append(e.res.Nodes, n)
+	if e.res.Equiv != nil {
+		n.EquivRaw = 1
+		e.equivClasses[string(flags)+string(o.equiv)] = int32(n.ID)
+	}
+	return n, mergeNew
+}
+
 // clonePool recycles the storage of dead function clones. The
 // enumeration clones the parent for every attempt but keeps only the
 // clones that become new nodes; dormant attempts, duplicate instances
@@ -900,9 +1082,11 @@ func putClone(fn *rtl.Func) {
 
 // outcome is the result of evaluating one attempt on a worker. Active
 // outcomes carry the instance summary — fingerprint plus the pooled
-// buffer holding the canonical encoding and CF key — computed on the
-// worker, so the serial merge loop only probes the index. The merge
-// loop returns buf to the fingerprint pool.
+// buffer holding the canonical encoding and CF key — and the striped
+// index's probe result, both computed on the worker, so the serial
+// committer only turns them into the merge decision. The committer
+// returns buf to the fingerprint pool and clears the ring slot the
+// outcome traveled in.
 type outcome struct {
 	active     bool
 	fn         *rtl.Func
@@ -912,6 +1096,13 @@ type outcome struct {
 	equiv      []byte // equivalence encoding, Options.Equiv only
 	checkErr   string
 	quarantine string
+
+	// Probe result, set by the worker for active outcomes: either the
+	// committed node this instance duplicates (pend nil, dup ≥ 0) or
+	// the pending entry it resolved to or parked (pend non-nil, dup
+	// meaningless).
+	dup  int32
+	pend *pendingNode
 }
 
 // evalAttempt evaluates one (node, phase) pair: materialize the parent

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestCPUBudgetElasticGrant(t *testing.T) {
+	b := newCPUBudget(4, telemetry.NewRegistry())
+
+	got, _ := b.acquire(context.Background(), 16)
+	if got != 4 {
+		t.Fatalf("first acquire(16) = %d tokens; want the whole pool (4)", got)
+	}
+	b.release(got)
+
+	// With part of the pool drawn down, a wide request gets the rest
+	// instead of blocking.
+	a, _ := b.acquire(context.Background(), 3)
+	if a != 3 {
+		t.Fatalf("acquire(3) = %d; want 3", a)
+	}
+	c, _ := b.acquire(context.Background(), 4)
+	if c != 1 {
+		t.Fatalf("acquire(4) with 1 free = %d; want the elastic remainder 1", c)
+	}
+	b.release(a)
+	b.release(c)
+}
+
+func TestCPUBudgetBlocksUntilRelease(t *testing.T) {
+	b := newCPUBudget(2, telemetry.NewRegistry())
+	got, _ := b.acquire(context.Background(), 2)
+	if got != 2 {
+		t.Fatalf("acquire(2) = %d; want 2", got)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		g, _ := b.acquire(context.Background(), 1)
+		done <- g
+	}()
+	select {
+	case g := <-done:
+		t.Fatalf("acquire on a drained pool returned %d without waiting", g)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.release(got)
+	select {
+	case g := <-done:
+		if g != 1 {
+			t.Fatalf("post-release acquire = %d; want 1", g)
+		}
+		b.release(g)
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+}
+
+func TestCPUBudgetCanceledWaiter(t *testing.T) {
+	b := newCPUBudget(1, telemetry.NewRegistry())
+	got, _ := b.acquire(context.Background(), 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		g, _ := b.acquire(ctx, 1)
+		done <- g
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case g := <-done:
+		if g != 0 {
+			t.Fatalf("canceled acquire = %d; want 0 (run single-width, nothing to release)", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+	b.release(got)
+
+	// The pool must be whole again: a fresh acquire succeeds.
+	if g, _ := b.acquire(context.Background(), 1); g != 1 {
+		t.Fatalf("acquire after cancel+release = %d; want 1", g)
+	}
+}

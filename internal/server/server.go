@@ -55,6 +55,13 @@ type Config struct {
 	// SearchTimeout bounds each enumeration's wall time, independent of
 	// request deadlines (0 = unlimited).
 	SearchTimeout time.Duration
+	// SearchWorkers caps one flight's search parallelism (0 = up to
+	// GOMAXPROCS). Whatever the cap, flights draw their actual width
+	// from a shared CPU-token budget of GOMAXPROCS tokens, so N
+	// concurrent flights never run more than GOMAXPROCS search workers
+	// in total; time spent waiting for a token is surfaced in
+	// /v1/stats as server.cpu.wait_ns.
+	SearchWorkers int
 	// Registry receives the server and search instruments; when nil a
 	// private registry is created so /v1/stats always has counters.
 	Registry *telemetry.Registry
@@ -112,6 +119,7 @@ type Server struct {
 	mem     *memCache
 	store   *diskStore
 	pool    *pool
+	cpu     *cpuBudget
 	dist    *dispatcher
 	stats   *spaceStats
 	flights *flightLog
@@ -203,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	depth := reg.Gauge("server.queue.depth")
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runFlight, depth.Set)
+	s.cpu = newCPUBudget(0, reg)
 	s.dist = newDispatcher(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
@@ -708,12 +717,23 @@ func (s *Server) resolveFlight(fl *flight) (*search.Result, error) {
 // persisted (search.Run refuses the combination) — so a drained equiv
 // flight simply starts over on the next request.
 func (s *Server) enumerateFlight(fl *flight) (*search.Result, error) {
+	// Draw this flight's search parallelism from the shared CPU-token
+	// budget instead of letting every flight default to NumCPU: the
+	// sum across concurrent flights never exceeds GOMAXPROCS. A grant
+	// of zero means the flight was canceled while waiting; it proceeds
+	// single-width and the abort surfaces through the search itself.
+	workers, _ := s.cpu.acquire(fl.ctx, s.cfg.SearchWorkers)
+	defer s.cpu.release(workers)
+	if workers <= 0 {
+		workers = 1
+	}
 	opts := search.Options{
 		MaxSeqPerLevel: fl.no.Cap,
 		MaxNodes:       fl.no.MaxNodes,
 		Check:          fl.no.Check,
 		Equiv:          fl.no.Equiv,
 		Timeout:        s.cfg.SearchTimeout,
+		Workers:        workers,
 		Ctx:            fl.ctx,
 		Logger:         s.logger,
 		Metrics:        s.reg,

@@ -1,0 +1,111 @@
+#!/bin/sh
+# bench_parallel.sh — scaling sweep for the parallel enumeration engine.
+#
+# Runs BenchmarkSearchRun/bmh_search at GOMAXPROCS 1/2/4/8/16 (the
+# benchmark's Workers follows GOMAXPROCS, so `go test -cpu` sweeps the
+# engine width), takes the median of $COUNT runs per width, collects the
+# striped-index contention counters from an instrumented explore run at
+# the widest setting, asserts byte-identical spaces across widths
+# (spacedot -hash on explore -search-workers 1/4/16 outputs), and writes
+# the whole table to the JSON file named by $1 (default
+# BENCH_parallel.json).
+#
+# Speedups are measured against whatever hardware this runs on —
+# host_cpus in the output records how many CPUs were actually available,
+# so a 16-wide row on a 1-CPU container is an oversubscription datapoint,
+# not a parallelism one. Needs jq.
+set -eu
+
+GO=${GO:-go}
+OUT=${1:-BENCH_parallel.json}
+COUNT=${COUNT:-3}
+WIDTHS="1 2 4 8 16"
+PARITY_WIDTHS="1 4 16"
+BENCH=BenchmarkSearchRun/bmh_search
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench-parallel: $BENCH at -cpu $(echo $WIDTHS | tr ' ' ','), count=$COUNT" >&2
+$GO test -run '^$' -bench "$BENCH" -benchtime 1x -count "$COUNT" \
+	-cpu "$(echo $WIDTHS | tr ' ' ',')" . | tee "$tmp/bench.txt" >&2
+
+# median <width> <field-suffix>: middle value of the per-run samples for
+# one width. Go appends "-N" to the benchmark name except at
+# GOMAXPROCS=1.
+median() {
+	awk -v w="$1" -v unit="$2" '
+		$1 == "BenchmarkSearchRun/bmh_search" && w == 1 ||
+		$1 == ("BenchmarkSearchRun/bmh_search-" w) {
+			for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i
+		}
+	' "$tmp/bench.txt" | sort -n | awk '
+		{ a[NR] = $1 }
+		END { if (NR == 0) { print 0 } else { print a[int((NR + 1) / 2)] } }
+	'
+}
+
+# Byte-identity across widths: the acceptance gate. Enumerate the same
+# function at several -search-workers settings and require identical
+# canonical hashes. The 16-wide run doubles as the contention probe via
+# its metrics snapshot.
+$GO build -o "$tmp/explore" ./cmd/explore
+$GO build -o "$tmp/spacedot" ./cmd/spacedot
+want=""
+for w in $PARITY_WIDTHS; do
+	mkdir -p "$tmp/w$w"
+	metrics=""
+	if [ "$w" = 16 ]; then metrics="-metrics $tmp/metrics.json"; fi
+	"$tmp/explore" -bench stringsearch -func bmh_search \
+		-search-workers "$w" -save "$tmp/w$w" $metrics >/dev/null
+	h=$("$tmp/spacedot" -hash "$tmp/w$w/stringsearch.bmh_search.space.gz" | cut -d' ' -f1)
+	if [ -z "$want" ]; then
+		want=$h
+	elif [ "$h" != "$want" ]; then
+		echo "bench-parallel: space at -search-workers $w hashes $h, width 1 gave $want" >&2
+		exit 1
+	fi
+done
+echo "bench-parallel: spaces byte-identical across widths $PARITY_WIDTHS ($want)" >&2
+
+# The stripe counters must both exist and show up in the phasestats
+# rollup (this is the smoke for the -from-metrics breakdown).
+$GO run ./cmd/phasestats -from-metrics "$tmp/metrics.json" \
+	-require search.index.probes,search.index.stripe.acquisitions >&2
+
+counter() {
+	jq -r --arg k "$1" '.counters[$k] // 0' "$tmp/metrics.json"
+}
+
+base=$(median 1 ns/op)
+{
+	printf '{\n'
+	printf '  "description": "BenchmarkSearchRun/bmh_search medians (%s runs per width, -benchtime 1x) across GOMAXPROCS sweeps; Workers follows GOMAXPROCS. stripe counters from an instrumented explore run at -search-workers 16. hash_parity asserts the enumerated space is byte-identical at every width. Regenerate on a multi-core host for a meaningful scaling column: speedup_vs_1 on a machine with fewer CPUs than the width measures oversubscription overhead, not parallel speedup.",\n' "$COUNT"
+	printf '  "go": "%s",\n' "$($GO env GOVERSION)"
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+	printf '  "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '  "command": "go test -run ^$ -bench BenchmarkSearchRun/bmh_search -benchtime 1x -count %s -cpu %s .",\n' "$COUNT" "$(echo $WIDTHS | tr ' ' ',')"
+	printf '  "widths": [\n'
+	first=1
+	for w in $WIDTHS; do
+		ns=$(median "$w" ns/op)
+		att=$(median "$w" attempts/op)
+		[ "$first" = 1 ] || printf ',\n'
+		first=0
+		printf '    {"gomaxprocs": %s, "median_ns_per_op": %s, "attempts_per_op": %s, "speedup_vs_1": %s}' \
+			"$w" "$ns" "$att" \
+			"$(awk -v b="$base" -v n="$ns" 'BEGIN { if (n > 0) printf "%.2f", b / n; else printf "0" }')"
+	done
+	printf '\n  ],\n'
+	printf '  "stripe_counters": {\n'
+	printf '    "acquisitions": %s,\n' "$(counter search.index.stripe.acquisitions)"
+	printf '    "contended": %s,\n' "$(counter search.index.stripe.contended)"
+	printf '    "probes": %s,\n' "$(counter search.index.probes)"
+	printf '    "byte_compares": %s,\n' "$(counter search.index.bytecompares)"
+	printf '    "fp_collisions": %s\n' "$(counter search.index.fpcollisions)"
+	printf '  },\n'
+	printf '  "hash_parity": {"search_workers": [%s], "hash": "%s", "identical": true}\n' \
+		"$(echo $PARITY_WIDTHS | tr ' ' ',')" "$want"
+	printf '}\n'
+} >"$OUT"
+echo "bench-parallel: wrote $OUT" >&2
