@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search bench-parallel resume-smoke serve-smoke obs-smoke cluster-smoke chaos
+.PHONY: check fmt vet build test race lint lint-fixtures bench-smoke bench-search bench-parallel resume-smoke serve-smoke obs-smoke cluster-smoke chaos shard-smoke
 
 check: fmt vet build test race lint lint-fixtures
 
@@ -31,8 +31,10 @@ test:
 # those same workers (the -jobs + -equiv combination in the search
 # suite exercises it end to end), and distcl because the fleet worker
 # runs assignments, heartbeats and drains on separate goroutines.
+# -timeout 30m: the search suite's determinism grids run ~10m under
+# -race on a 1-CPU box, brushing the 10m per-package default.
 race:
-	$(GO) test -race ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/ ./internal/dataflow/ ./internal/distcl/
+	$(GO) test -race -timeout 30m ./internal/search/ ./internal/driver/ ./internal/telemetry/ ./internal/faultinject/ ./internal/fingerprint/ ./internal/server/ ./internal/dataflow/ ./internal/distcl/
 
 # Static analysis beyond go vet. staticcheck and govulncheck run when
 # installed and are skipped with a note otherwise, so the target stays
@@ -232,5 +234,19 @@ cluster-smoke:
 # the SIGKILL, and the served bytes still may not change. Override the
 # plan with REPRO_FAULTS, e.g.
 # REPRO_FAULTS='httpdrop=4,httpslow=4:200ms' make chaos.
+# The sharded harness rides along with the same plan: network faults
+# compose with intra-space sharding, phase-level faults do not (they
+# are keyed by shard-relative node sequence; DESIGN.md §14).
 chaos:
 	CLUSTER_FAULTS="$${REPRO_FAULTS:-httpdrop=2,httpslow=2:100ms}" sh scripts/cluster_smoke.sh
+	CLUSTER_FAULTS="$${REPRO_FAULTS:-httpdrop=2,httpslow=2:100ms}" sh scripts/shard_smoke.sh
+
+# Intra-space sharding crash test: coordinator with -shard-fanout 2 +
+# two workers, one enumeration split into frontier shards across the
+# fleet, the shard holder SIGKILLed mid-space, and the merged space —
+# plus the equivalence tier derived from a second sharded merge —
+# required to hash byte-identically (spacedot -hash) to single-node
+# cmd/explore runs. scripts/shard_smoke.sh has the details. Needs curl
+# and jq.
+shard-smoke:
+	sh scripts/shard_smoke.sh

@@ -299,6 +299,22 @@ func printSearchTotals(s telemetry.Snapshot) {
 		fmt.Printf("check:  %d verifications, %d findings, mean %s\n",
 			calls, findings, time.Duration(int64(h.Mean())).Round(time.Nanosecond))
 	}
+	// Fleet counters from a coordinator snapshot. The labeled per-worker
+	// series (dist.completions{worker=...}) were already folded into
+	// their base families by collapseLabels, so these are fleet-wide
+	// totals; -by worker recovers the per-worker split.
+	if asn := s.Counters["dist.assignments"]; asn > 0 {
+		fmt.Printf("dist:   %d assignments, %d completions, %d lease expiries, %d retries, %d recoveries, %d stale uploads, %d local fallbacks\n",
+			asn, s.Counters["dist.completions"], s.Counters["dist.lease_expiries"],
+			s.Counters["dist.retries"], s.Counters["dist.recoveries"],
+			s.Counters["dist.stale_uploads"], s.Counters["dist.local_fallbacks"])
+	}
+	if splits := s.Counters["dist.shard.splits"]; splits > 0 || s.Counters["dist.shard.fallbacks"] > 0 {
+		fmt.Printf("dist:   shards: %d splits into %d shard assignments, %d merges, %d merge failures, %d fallbacks, %d warmup completions\n",
+			splits, s.Counters["dist.shard.assignments"], s.Counters["dist.shard.merges"],
+			s.Counters["dist.shard.merge_failures"], s.Counters["dist.shard.fallbacks"],
+			s.Counters["dist.shard.warmup_completions"])
+	}
 	for _, compiler := range []string{"batch", "prob"} {
 		if n := s.Counters["driver."+compiler+".compiles"]; n > 0 {
 			h := s.Histograms["driver."+compiler+".duration_ns"]

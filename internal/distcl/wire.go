@@ -72,6 +72,12 @@ type Assignment struct {
 	// SearchTimeoutMillis bounds the worker-side search wall time
 	// (0 = unlimited), mirroring the coordinator's local limit.
 	SearchTimeoutMillis int64 `json:"search_timeout_ms,omitempty"`
+	// LeaseGen is the dispatch generation of this lease. The worker
+	// echoes it with every heartbeat upload for the assignment; the
+	// coordinator rejects uploads carrying a stale generation, which
+	// fences off checkpoints from an expired lease arriving after the
+	// work was re-dispatched (possibly to the same worker).
+	LeaseGen int64 `json:"lease_gen,omitempty"`
 }
 
 // HeartbeatAssignment reports progress on one in-flight assignment.
@@ -81,6 +87,11 @@ type Assignment struct {
 type HeartbeatAssignment struct {
 	AssignmentID  string `json:"assignment_id"`
 	CheckpointB64 string `json:"checkpoint_b64,omitempty"`
+	// LeaseGen echoes the Assignment's lease generation. Zero is the
+	// legacy wildcard (a worker predating the field); any other value
+	// must match the assignment's current generation or the entry is
+	// ignored — neither renewing the lease nor uploading the checkpoint.
+	LeaseGen int64 `json:"lease_gen,omitempty"`
 }
 
 // HeartbeatRequest renews the worker's leases. Draining announces a

@@ -281,7 +281,7 @@ func (w *Worker) heartbeat(ctx context.Context, draining bool) {
 	var uploads []pendingUpload
 	w.mu.Lock()
 	for _, ru := range w.active {
-		ha := HeartbeatAssignment{AssignmentID: ru.a.AssignmentID}
+		ha := HeartbeatAssignment{AssignmentID: ru.a.AssignmentID, LeaseGen: ru.a.LeaseGen}
 		if b, sum := ru.changedCheckpoint(); b != nil {
 			ha.CheckpointB64 = base64.StdEncoding.EncodeToString(b)
 			uploads = append(uploads, pendingUpload{ru, sum})
@@ -349,14 +349,31 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) {
 	logger := w.logger.With("assignment_id", a.AssignmentID, "key", a.Key, "func", a.Func.Name)
 	rctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	// The scratch file is scoped to the lease generation: a re-dispatch
+	// of an assignment this worker still runs must not share (or, on
+	// cleanup, delete) the superseded run's checkpoint file.
 	ru := &run{a: a, cancel: cancel,
-		ckptPath: filepath.Join(w.cfg.ScratchDir, a.AssignmentID+".ckpt.space.gz")}
+		ckptPath: filepath.Join(w.cfg.ScratchDir,
+			fmt.Sprintf("%s.g%d.ckpt.space.gz", a.AssignmentID, a.LeaseGen))}
 	w.mu.Lock()
+	old := w.active[a.AssignmentID]
 	w.active[a.AssignmentID] = ru
 	w.mu.Unlock()
+	if old != nil {
+		// The coordinator expired our lease on this assignment and then
+		// handed it back: the old run's lease is gone, so its uploads
+		// are fenced off anyway — stop burning CPU on it.
+		logger.Info("superseding stale run of re-dispatched assignment")
+		old.mu.Lock()
+		old.abandoned = true
+		old.mu.Unlock()
+		old.cancel(errAbandoned)
+	}
 	defer func() {
 		w.mu.Lock()
-		delete(w.active, a.AssignmentID)
+		if w.active[a.AssignmentID] == ru {
+			delete(w.active, a.AssignmentID)
+		}
 		w.mu.Unlock()
 	}()
 	logger.Info("assignment started", "resume", a.CheckpointB64 != "")
@@ -393,7 +410,7 @@ func (w *Worker) execute(ctx context.Context, a *Assignment) {
 		// Drain: the search's abort path wrote a final checkpoint;
 		// queue it for the drain heartbeat so the coordinator can
 		// re-dispatch from exactly where we stopped.
-		ha := HeartbeatAssignment{AssignmentID: a.AssignmentID}
+		ha := HeartbeatAssignment{AssignmentID: a.AssignmentID, LeaseGen: a.LeaseGen}
 		if b, _ := ru.changedCheckpoint(); b != nil {
 			ha.CheckpointB64 = base64.StdEncoding.EncodeToString(b)
 		}

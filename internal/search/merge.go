@@ -1,0 +1,336 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fingerprint"
+	"repro/internal/opt"
+)
+
+// The merge step reassembles one space from completed sub-spaces. The
+// shards cannot simply be concatenated: node IDs must land in the
+// serial engine's first-discovery order, Seq must be the
+// lexicographically first shortest sequence *globally* (a node two
+// shards both reach keeps the sequence the serial run would have found
+// first), and the stats counters are part of the canonical hash. So
+// the merge replays the enumeration from the base checkpoint — the
+// same level loop, the same dedup index probes, the same counter
+// updates — but answers every "what does phase p do at instance n?"
+// question from an oracle harvested out of the shard results instead
+// of evaluating the phase. Replay cost is pure index work: no cloning,
+// no phase application, no verification.
+
+// oracleChild is one harvested attempt outcome: the child instance a
+// phase application produced at a parent (or the quarantine it died
+// with). Absence from the oracle means the phase was dormant.
+type oracleChild struct {
+	key       string // full canonical key (flags byte + encoding)
+	fp        fingerprint.FP
+	state     byte
+	numInstrs int
+	cfKey     string
+	checkErr  string
+	// seq is the harvesting space's own Seq for the child. It is
+	// shard-relative — the merge replay reconstructs sequences serially
+	// and never uses it — but equivalence derivation replays it to
+	// materialize the instance (see equivderive.go).
+	seq string
+	// quarantine, when non-empty, is the failure message with the
+	// parent's shard-relative quoted Seq replaced by seqToken, so
+	// records from different shards compare equal and the replay can
+	// re-embed the serial parent sequence.
+	quarantine string
+}
+
+// seqToken marks where a quarantine message embedded the parent's
+// quoted sequence. NUL bytes cannot appear in a %q rendering, so the
+// token never collides with message content.
+const seqToken = "\x00parent-seq\x00"
+
+// attemptOracle maps a parent's canonical key and a phase ID to the
+// harvested outcome. The outcome of a phase at an instance is a pure
+// function of the two, so records from different shards must agree;
+// record rejects any conflict (a corrupt or mismatched shard).
+type attemptOracle map[string]map[byte]oracleChild
+
+func (o attemptOracle) record(parentKey string, phase byte, c oracleChild) error {
+	if c.quarantine == "" && c.key == "" {
+		return fmt.Errorf("search: merge: child of phase %c has an empty canonical key", phase)
+	}
+	m := o[parentKey]
+	if m == nil {
+		m = make(map[byte]oracleChild)
+		o[parentKey] = m
+	}
+	prev, ok := m[phase]
+	if !ok {
+		m[phase] = c
+		return nil
+	}
+	// Same (instance, phase) seen again — by another shard, or via a
+	// second edge path. seq is shard-relative, so it is excluded from
+	// the consistency check.
+	a, b := prev, c
+	a.seq, b.seq = "", ""
+	if a != b {
+		return fmt.Errorf("search: merge: shards disagree on the outcome of phase %c", phase)
+	}
+	return nil
+}
+
+// harvestOracle records every attempt outcome res evaluated: for each
+// node the expanded filter admits, its edges become oracle entries
+// (active children and quarantines); phases with no edge were dormant
+// there. Quarantined nodes are never parents — they have no instance.
+func harvestOracle(o attemptOracle, res *Result, expanded func(id int) bool) error {
+	for _, n := range res.Nodes {
+		if n.Quarantine != "" || !expanded(n.ID) {
+			continue
+		}
+		pkey := res.NodeKey(n)
+		for _, e := range n.Edges {
+			c := res.Nodes[e.To]
+			var oc oracleChild
+			if c.Quarantine != "" {
+				oc = oracleChild{quarantine: strings.ReplaceAll(c.Quarantine, strconv.Quote(n.Seq), seqToken)}
+			} else {
+				oc = oracleChild{
+					key:       res.NodeKey(c),
+					fp:        c.FP,
+					state:     stateBits(c.State),
+					numInstrs: c.NumInstrs,
+					cfKey:     string(c.CFKey),
+					checkErr:  c.CheckErr,
+					seq:       c.Seq,
+				}
+			}
+			if err := o.record(pkey, e.Phase, oc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ShardSpace pairs one completed sub-space with the slice of the base
+// frontier it was assigned (PartitionCheckpoint's second return value,
+// in base discovery order).
+type ShardSpace struct {
+	Res *Result
+	// FrontierIDs are the base-table node IDs of the frontier subset
+	// this shard resumed from. They distinguish the shard's own
+	// expansions from foreign frontier nodes, which sit edge-less in
+	// its node table and would otherwise read as all-dormant leaves.
+	FrontierIDs []int
+}
+
+// MergeShards reassembles the space of base's function from completed
+// shard sub-spaces, producing the Result a serial run from the base
+// checkpoint would have produced — byte-identical under canonical
+// serialization. base must be a paused (or loaded) result whose
+// checkpoint frontier the shards' FrontierIDs cover disjointly; every
+// shard must be complete (no checkpoint, not aborted). The merge
+// replays the level loop from the base frontier in serial order,
+// resolving every attempt through the striped dedup index with the
+// harvested oracle standing in for phase evaluation; if the base
+// MaxSeqPerLevel/MaxNodes caps bind during replay the merged result
+// aborts with exactly the serial run's reason. Inconsistent shards
+// (disagreeing outcomes, uncovered frontier nodes) fail with an error
+// and leave base untouched.
+func MergeShards(base *Result, shards []ShardSpace) (*Result, error) {
+	cp := base.Checkpoint
+	if cp == nil {
+		return nil, fmt.Errorf("search: merge: base result has no checkpoint frontier")
+	}
+	if base.Aborted {
+		return nil, fmt.Errorf("search: merge: base result is aborted (%s)", base.AbortReason)
+	}
+	if base.Equiv != nil {
+		return nil, fmt.Errorf("search: merge: equivalence-collapsed bases are not shardable")
+	}
+	baseN := len(base.Nodes)
+	covered := make(map[int]bool, len(cp.Frontier))
+	oracle := attemptOracle{}
+	for i, sh := range shards {
+		s := sh.Res
+		if s == nil {
+			return nil, fmt.Errorf("search: merge: shard %d is missing", i)
+		}
+		if s.Checkpoint != nil {
+			return nil, fmt.Errorf("search: merge: shard %d is not complete (checkpoint frontier remains)", i)
+		}
+		if s.Aborted {
+			return nil, fmt.Errorf("search: merge: shard %d aborted: %s", i, s.AbortReason)
+		}
+		if s.FuncName != base.FuncName {
+			return nil, fmt.Errorf("search: merge: shard %d enumerates %q, base is %q", i, s.FuncName, base.FuncName)
+		}
+		if len(s.Nodes) < baseN {
+			return nil, fmt.Errorf("search: merge: shard %d has %d nodes, fewer than the %d-node base table", i, len(s.Nodes), baseN)
+		}
+		own := make(map[int]bool, len(sh.FrontierIDs))
+		for _, id := range sh.FrontierIDs {
+			if id < 0 || id >= baseN {
+				return nil, fmt.Errorf("search: merge: shard %d claims frontier node %d, outside the %d-node base table", i, id, baseN)
+			}
+			if covered[id] {
+				return nil, fmt.Errorf("search: merge: frontier node %d claimed by two shards", id)
+			}
+			covered[id] = true
+			own[id] = true
+		}
+		// A shard expanded its own frontier subset plus everything it
+		// discovered past the base table. Foreign frontier nodes were
+		// never expanded there and must not be harvested as leaves.
+		err := harvestOracle(oracle, s, func(id int) bool {
+			return id >= baseN || own[id]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("search: merge: shard %d: %w", i, err)
+		}
+	}
+	for _, n := range cp.Frontier {
+		if !covered[n.ID] {
+			return nil, fmt.Errorf("search: merge: frontier node %d not covered by any shard", n.ID)
+		}
+	}
+	return replayMerge(base, oracle), nil
+}
+
+// replayMerge runs the serial level loop from the base checkpoint,
+// answering attempts from the oracle. The base node table is copied
+// (base stays reusable for a fallback), the instruments are seeded
+// from the base stats exactly as Resume seeds them, and every index
+// probe, counter update and abort check sits at the same point of the
+// loop as in engine.run — the invariant the byte-identity rests on.
+func replayMerge(base *Result, oracle attemptOracle) *Result {
+	baseN := len(base.Nodes)
+	ropts := base.opts
+	// The replay is bookkeeping, not enumeration: telemetry and
+	// checkpointing of the original options must not fire again.
+	ropts.CheckpointPath = ""
+	ropts.Logger, ropts.Metrics, ropts.Tracer = nil, nil, nil
+	res := &Result{
+		FuncName:        base.FuncName,
+		AttemptedPhases: base.AttemptedPhases,
+		Elapsed:         base.Elapsed,
+		root:            base.root,
+		opts:            ropts,
+		keys:            newKeyStore(),
+	}
+	res.Nodes = make([]*Node, 0, baseN)
+	for _, n := range base.Nodes {
+		m := *n
+		m.fn = nil
+		res.Nodes = append(res.Nodes, &m)
+		res.keys.put(m.ID, base.keys.get(n.ID))
+	}
+	// Retire the copied keys level by level, mirroring Load; replay
+	// retirement then continues seamlessly past the base table.
+	for start := 0; start < len(res.Nodes); {
+		end := start + 1
+		for end < len(res.Nodes) && res.Nodes[end].Level == res.Nodes[start].Level {
+			end++
+		}
+		res.keys.retire(start, end)
+		start = end
+	}
+	idx := newDedupIndex(res.keys)
+	for _, n := range res.Nodes {
+		if n.Quarantine != "" {
+			continue
+		}
+		idx.insert(stateBits(n.State), n.FP, n.ID)
+	}
+	ins := newInstruments(&res.opts, res.FuncName, time.Now())
+	ins.seed(base.Stats, baseN)
+
+	frontier := make([]*Node, len(base.Checkpoint.Frontier))
+	for i, n := range base.Checkpoint.Frontier {
+		frontier[i] = res.Nodes[n.ID]
+	}
+	opts := &res.opts
+	for len(frontier) > 0 {
+		var work []attempt
+		for _, n := range frontier {
+			for _, p := range opts.Phases {
+				if !opt.Enabled(p, n.State) {
+					continue
+				}
+				if len(n.Seq) > 0 && n.Seq[len(n.Seq)-1] == p.ID() {
+					continue
+				}
+				work = append(work, attempt{n, p})
+			}
+		}
+		if len(work) > opts.MaxSeqPerLevel {
+			res.abort(abortLevelCapReason(frontier[0].Level+1, len(work), opts.MaxSeqPerLevel))
+			break
+		}
+		res.AttemptedPhases += len(work)
+		level := frontier[0].Level
+		levelStart := len(res.Nodes)
+		ins.beginLevel(level, len(frontier), len(work))
+		var next []*Node
+		for _, a := range work {
+			pkey := res.keys.get(a.node.ID)
+			rec, ok := oracle[pkey][a.phase.ID()]
+			if !ok {
+				// No shard recorded an outcome: the phase was dormant.
+				// A shard whose own Seq for the parent ended in this
+				// phase skipped the attempt entirely, but that proves
+				// the same thing — an active phase is never active twice
+				// in a row (Section 4.1).
+				ins.observeOutcome(false, false)
+				continue
+			}
+			if rec.quarantine != "" {
+				qn := &Node{
+					ID:         len(res.Nodes),
+					Level:      a.node.Level + 1,
+					Seq:        a.node.Seq + string(a.phase.ID()),
+					Quarantine: strings.ReplaceAll(rec.quarantine, seqToken, strconv.Quote(a.node.Seq)),
+				}
+				res.keys.put(qn.ID, "Q"+qn.Seq)
+				res.Nodes = append(res.Nodes, qn)
+				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: qn.ID})
+				ins.observeQuarantine()
+				continue
+			}
+			flags := rec.key[0]
+			if id, dup := idx.lookup(flags, rec.fp, []byte(rec.key[1:])); dup {
+				ins.observeOutcome(true, false)
+				a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: id})
+				continue
+			}
+			cn := &Node{
+				ID:        len(res.Nodes),
+				Level:     a.node.Level + 1,
+				Seq:       a.node.Seq + string(a.phase.ID()),
+				FP:        rec.fp,
+				State:     bitsState(rec.state),
+				NumInstrs: rec.numInstrs,
+				CFKey:     fingerprint.Key(rec.cfKey),
+				CheckErr:  rec.checkErr,
+			}
+			res.keys.put(cn.ID, rec.key)
+			idx.insert(flags, rec.fp, cn.ID)
+			res.Nodes = append(res.Nodes, cn)
+			ins.observeOutcome(true, true)
+			a.node.Edges = append(a.node.Edges, Edge{Phase: a.phase.ID(), To: cn.ID})
+			next = append(next, cn)
+		}
+		ins.nodesExpanded += len(frontier)
+		frontier = next
+		res.keys.noteLevel(levelStart)
+		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
+			res.abort(abortNodeCapReason(opts.MaxNodes))
+			break
+		}
+	}
+	res.Stats = ins.runStats()
+	return res
+}

@@ -1,0 +1,75 @@
+package search
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHarvestQuarantineSeqTemplate checks the quarantine-message
+// normalization the cross-shard oracle depends on: a node two shards
+// both discover can carry different shard-relative sequences, so the
+// harvested record replaces the parent's quoted Seq with seqToken
+// (making the shards' records compare equal) and the replay
+// re-substitutes the serial sequence.
+func TestHarvestQuarantineSeqTemplate(t *testing.T) {
+	const pkey = "\x01parent-encoding"
+	res := &Result{FuncName: "f", keys: newKeyStore()}
+	parent := &Node{ID: 0, Seq: "KC", NumInstrs: 3}
+	msg := "watchdog: phase S at " + strconv.Quote("KC") + " still running after 1s"
+	parent.Edges = []Edge{{Phase: 'S', To: 1}}
+	res.Nodes = []*Node{
+		parent,
+		{ID: 1, Level: 1, Seq: "KCS", Quarantine: msg},
+	}
+	res.keys.put(0, pkey)
+	res.keys.put(1, "QKCS")
+
+	o := attemptOracle{}
+	if err := harvestOracle(o, res, func(int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := o[pkey]['S']
+	if !ok {
+		t.Fatalf("no oracle record harvested for %q/S", pkey)
+	}
+	if !strings.Contains(rec.quarantine, seqToken) {
+		t.Fatalf("template %q does not carry the seq token", rec.quarantine)
+	}
+	if strings.Contains(rec.quarantine, strconv.Quote("KC")) {
+		t.Fatalf("template %q still embeds the shard-relative sequence", rec.quarantine)
+	}
+	// The replay side: re-embedding a different (serial) parent sequence
+	// reconstructs the message the serial run would have recorded.
+	got := strings.ReplaceAll(rec.quarantine, seqToken, strconv.Quote("XY"))
+	want := "watchdog: phase S at " + strconv.Quote("XY") + " still running after 1s"
+	if got != want {
+		t.Fatalf("rewritten message %q, want %q", got, want)
+	}
+}
+
+// TestOracleRecordConsistency checks the oracle's duplicate handling:
+// re-records that differ only in the shard-relative child sequence are
+// accepted (two shards legitimately reach the same child by different
+// paths), any other disagreement is a corrupt shard, and an active
+// child without a canonical key is rejected outright.
+func TestOracleRecordConsistency(t *testing.T) {
+	o := attemptOracle{}
+	a := oracleChild{key: "\x01child", numInstrs: 3, seq: "KS"}
+	if err := o.record("p", 'S', a); err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.seq = "CS"
+	if err := o.record("p", 'S', b); err != nil {
+		t.Fatalf("seq-only difference rejected: %v", err)
+	}
+	c := a
+	c.numInstrs = 4
+	if err := o.record("p", 'S', c); err == nil {
+		t.Fatal("conflicting outcome accepted")
+	}
+	if err := o.record("p", 'K', oracleChild{}); err == nil {
+		t.Fatal("active child with empty canonical key accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// PartitionCheckpoint splits a paused enumeration's frontier into k
+// contiguous, disjoint sub-checkpoints and returns them as serialized
+// v2 space documents, each one a valid checkpoint Load + Resume accept.
+// Every shard document carries the full node table — a shard resuming
+// from it rebuilds the complete dedup index, so cross-shard duplicate
+// instances merge into the shared base nodes exactly as they would in a
+// serial run — and differs only in its checkpoint section, which holds
+// shard i's slice of the frontier (sizes differ by at most one; k is
+// clamped to the frontier size).
+//
+// The second return value lists each shard's frontier node IDs, in the
+// base frontier's discovery order; MergeShards needs them to tell a
+// shard's own expansions apart from foreign frontier nodes it never
+// touched. The split is deterministic: partitioning the same result
+// with the same k yields byte-identical documents.
+func PartitionCheckpoint(r *Result, k int) ([][]byte, [][]int, error) {
+	cp := r.Checkpoint
+	if cp == nil {
+		return nil, nil, fmt.Errorf("search: partition: result has no checkpoint frontier")
+	}
+	if r.Aborted {
+		return nil, nil, fmt.Errorf("search: partition: result is aborted (%s)", r.AbortReason)
+	}
+	if r.Equiv != nil {
+		return nil, nil, fmt.Errorf("search: partition: equivalence-collapsed spaces are not partitionable")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("search: partition: need k >= 1 shards, got %d", k)
+	}
+	for i, n := range cp.Frontier {
+		if n.fn == nil {
+			return nil, nil, fmt.Errorf("search: partition: frontier node %d (id %d) has no retained instance", i, n.ID)
+		}
+	}
+	if k > len(cp.Frontier) {
+		k = len(cp.Frontier)
+	}
+	// Encode the shared node table once; the documents differ only in
+	// their checkpoint sections. Frontier nodes are unexpanded, so they
+	// carry no edges — no stripping needed.
+	nodes := r.encodeNodes(len(r.Nodes), nil)
+	docs := make([][]byte, 0, k)
+	ids := make([][]int, 0, k)
+	quo, rem := len(cp.Frontier)/k, len(cp.Frontier)%k
+	start := 0
+	for i := 0; i < k; i++ {
+		size := quo
+		if i < rem {
+			size++
+		}
+		part := cp.Frontier[start : start+size]
+		start += size
+		fc := &fileCheckpoint{}
+		sub := make([]int, 0, size)
+		for _, n := range part {
+			fc.Frontier = append(fc.Frontier, n.ID)
+			fc.Bodies = append(fc.Bodies, n.fn)
+			sub = append(sub, n.ID)
+		}
+		// SavedAtUnixNS stays zero: shard documents are content-addressed
+		// by the coordinator and must not vary run to run.
+		ff := &fileFormat{
+			Version:         formatVersion,
+			FuncName:        r.FuncName,
+			AttemptedPhases: r.AttemptedPhases,
+			ElapsedNS:       int64(r.Elapsed),
+			Stats:           r.Stats,
+			Root:            r.root,
+			Machine:         r.opts.Machine,
+			Nodes:           nodes,
+			Checkpoint:      fc,
+		}
+		var buf bytes.Buffer
+		if err := writeFormat(&buf, ff); err != nil {
+			return nil, nil, fmt.Errorf("search: partition: shard %d: %w", i, err)
+		}
+		docs = append(docs, buf.Bytes())
+		ids = append(ids, sub)
+	}
+	return docs, ids, nil
+}

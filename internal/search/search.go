@@ -114,6 +114,16 @@ type Options struct {
 	// MaxNodes aborts the search when the DAG exceeds this many
 	// distinct instances (0 = unlimited).
 	MaxNodes int
+	// StopAtFrontier, when > 0, pauses the enumeration at the first
+	// level boundary whose frontier holds at least this many unexpanded
+	// nodes: the Result comes back un-aborted with Checkpoint set to the
+	// live frontier, exactly as if it had been loaded from a checkpoint
+	// file. Callers partition that frontier (PartitionCheckpoint) or
+	// hand the Result straight back to Resume. A space that completes
+	// before the frontier ever grows that wide returns complete, with no
+	// Checkpoint. Ignored under Equiv (equivalence-collapsed runs are
+	// not resumable).
+	StopAtFrontier int
 	// Timeout aborts the search after this much wall time
 	// (0 = unlimited). On Resume the budget restarts.
 	Timeout time.Duration
@@ -758,6 +768,13 @@ func (e *engine) run() *Result {
 		e.snap = e.boundary()
 		if opts.MaxNodes > 0 && len(res.Nodes) > opts.MaxNodes {
 			e.abort(abortNodeCapReason(opts.MaxNodes))
+			break
+		}
+		if opts.StopAtFrontier > 0 && res.Equiv == nil && len(e.frontier) >= opts.StopAtFrontier {
+			// Pause at this boundary: expose the live frontier as an
+			// in-memory checkpoint. The final write below then persists
+			// the paused (resumable) state rather than a complete space.
+			res.Checkpoint = &Checkpoint{Frontier: e.frontier, SavedAt: time.Now()}
 			break
 		}
 		e.maybeCheckpoint()

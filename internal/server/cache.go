@@ -139,8 +139,18 @@ func (c *memCache) len() int {
 // least-recently-used entries until the total fits again. An entry
 // with in-flight readers (a /v1/space download streaming it, a load
 // decoding it) is never evicted — the sweep skips it and takes the
-// next oldest. Checkpoint files are transient work state, not cache
-// entries; they are outside the budget and never swept.
+// next oldest.
+//
+// Checkpoint slots come in two kinds. The ones the local search engine
+// writes directly (opts.CheckpointPath) are transient work state
+// outside the budget. The ones the coordinator mirrors through
+// writeCkpt — a worker's uploaded recovery point, or one shard of a
+// partitioned enumeration — are budgeted like entries: a fleet of K
+// shards holds K full node tables on disk, which is exactly the kind
+// of growth the budget exists to bound. A mirror slot pinned by the
+// coordinator (pinCkpt) belongs to an in-flight sharded assignment and
+// is never swept: evicting it would turn the next lease expiry's
+// re-dispatch into a from-scratch re-enumeration of the shard.
 type diskStore struct {
 	dir      string
 	maxBytes int64
@@ -152,17 +162,32 @@ type diskStore struct {
 	seq     int64 // LRU use clock; higher = more recent
 }
 
-// diskEntry is the eviction bookkeeping for one complete space file.
+// diskEntry is the eviction bookkeeping for one complete space file or
+// one budgeted checkpoint mirror.
 type diskEntry struct {
 	size    int64
 	lastUse int64
 	readers int
+	// pins counts explicit coordinator pins (pinCkpt): the slot backs
+	// an in-flight sharded assignment and must survive every sweep.
+	pins int
 }
 
 const (
 	spaceSuffix = ".space.gz"
 	ckptSuffix  = ".ckpt.space.gz"
 )
+
+// ckptEntrySuffix decorates the entries-map key of a budgeted
+// checkpoint mirror so it never collides with the same key's complete
+// space entry. NUL never appears in a filename-derived key.
+const ckptEntrySuffix = "\x00ckpt"
+
+func ckptEntryKey(k cacheKey) cacheKey { return k + ckptEntrySuffix }
+
+// ckptKeyPattern admits the keys checkpoint mirror slots use: a plain
+// request key, or a shard slot of one (<key>.shard<i>).
+var ckptKeyPattern = regexp.MustCompile(`^[0-9a-f]{64}(\.shard[0-9]+)?$`)
 
 func newDiskStore(dir string, maxBytes int64, gauge *telemetry.Gauge) (*diskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -191,19 +216,36 @@ func (st *diskStore) scan() error {
 	}
 	var seeds []seed
 	for _, de := range des {
-		name := de.Name()
-		if de.IsDir() || !hasSuffix(name, spaceSuffix) || hasSuffix(name, ckptSuffix) {
+		if de.IsDir() {
 			continue
 		}
-		k := cacheKey(name[:len(name)-len(spaceSuffix)])
-		if !keyPattern.MatchString(string(k)) {
+		name := de.Name()
+		var entKey cacheKey
+		switch {
+		case hasSuffix(name, ckptSuffix):
+			// A checkpoint mirror a previous process left behind — a
+			// crashed coordinator's shard slots, typically. Budgeted and
+			// unpinned: nothing in this process is running the shard, so
+			// the sweep may reclaim it like any cold entry.
+			k := cacheKey(name[:len(name)-len(ckptSuffix)])
+			if !ckptKeyPattern.MatchString(string(k)) {
+				continue
+			}
+			entKey = ckptEntryKey(k)
+		case hasSuffix(name, spaceSuffix):
+			k := cacheKey(name[:len(name)-len(spaceSuffix)])
+			if !keyPattern.MatchString(string(k)) {
+				continue
+			}
+			entKey = k
+		default:
 			continue
 		}
 		fi, err := de.Info()
 		if err != nil {
 			continue
 		}
-		seeds = append(seeds, seed{k, fi.Size(), fi.ModTime().UnixNano()})
+		seeds = append(seeds, seed{entKey, fi.Size(), fi.ModTime().UnixNano()})
 	}
 	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mtime < seeds[j].mtime })
 	for _, sd := range seeds {
@@ -253,9 +295,10 @@ func (st *diskStore) release(k cacheKey) {
 	}
 }
 
-// sweepLocked evicts least-recently-used complete entries until the
-// budget fits, skipping entries with in-flight readers and the key
-// just written. Callers hold st.mu.
+// sweepLocked evicts least-recently-used budgeted entries (complete
+// spaces and checkpoint mirrors) until the budget fits, skipping
+// entries with in-flight readers, coordinator pins, and the key just
+// written. Callers hold st.mu.
 func (st *diskStore) sweepLocked(justWrote cacheKey) (evicted int) {
 	if st.maxBytes <= 0 || st.total <= st.maxBytes {
 		return 0
@@ -266,7 +309,7 @@ func (st *diskStore) sweepLocked(justWrote cacheKey) (evicted int) {
 	}
 	var cands []cand
 	for k, e := range st.entries {
-		if e.size > 0 && e.readers == 0 && k != justWrote {
+		if e.size > 0 && e.readers == 0 && e.pins == 0 && k != justWrote {
 			cands = append(cands, cand{k, e})
 		}
 	}
@@ -275,13 +318,21 @@ func (st *diskStore) sweepLocked(justWrote cacheKey) (evicted int) {
 		if st.total <= st.maxBytes {
 			break
 		}
-		os.Remove(st.path(c.key)) //nolint:errcheck // accounting proceeds; a stray file is re-scanned next boot
+		os.Remove(st.entryFile(c.key)) //nolint:errcheck // accounting proceeds; a stray file is re-scanned next boot
 		st.total -= c.e.size
 		delete(st.entries, c.key)
 		evicted++
 	}
 	st.setGauge()
 	return evicted
+}
+
+// entryFile maps an entries-map key to the file it accounts for.
+func (st *diskStore) entryFile(entKey cacheKey) string {
+	if raw, ok := cutSuffix(string(entKey), ckptEntrySuffix); ok {
+		return st.ckptPath(cacheKey(raw))
+	}
+	return st.path(entKey)
 }
 
 func (st *diskStore) path(k cacheKey) string {
@@ -391,6 +442,7 @@ func (st *diskStore) put(k cacheKey, r *search.Result) error {
 	e.size = size
 	st.seq++
 	e.lastUse = st.seq
+	st.dropCkptLocked(k) // the removed checkpoint leaves the budget too
 	st.sweepLocked(k)
 	st.setGauge()
 	st.mu.Unlock()
@@ -414,7 +466,9 @@ func (st *diskStore) readCkpt(k cacheKey) ([]byte, error) {
 // coordinator mirroring a worker's uploaded checkpoint into the slot
 // the local resume path and re-dispatch seeding both read. Plain
 // rename atomicity without the full durability discipline: a
-// checkpoint lost to power failure only costs re-enumeration.
+// checkpoint lost to power failure only costs re-enumeration. The slot
+// enters the eviction budget (pin it first when it must survive
+// sweeps).
 func (st *diskStore) writeCkpt(k cacheKey, b []byte) error {
 	path := st.ckptPath(k)
 	tmp := path + ".tmp"
@@ -425,7 +479,72 @@ func (st *diskStore) writeCkpt(k cacheKey, b []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("server: checkpoint write: %w", err)
 	}
+	ek := ckptEntryKey(k)
+	st.mu.Lock()
+	e := st.entries[ek]
+	if e == nil {
+		e = &diskEntry{}
+		st.entries[ek] = e
+	}
+	st.total += int64(len(b)) - e.size
+	e.size = int64(len(b))
+	st.seq++
+	e.lastUse = st.seq
+	st.sweepLocked(ek)
+	st.setGauge()
+	st.mu.Unlock()
 	return nil
+}
+
+// pinCkpt pins k's checkpoint mirror slot against eviction — the
+// coordinator holds a pin for every shard slot of an in-flight sharded
+// assignment. Balance with unpinCkpt.
+func (st *diskStore) pinCkpt(k cacheKey) {
+	ek := ckptEntryKey(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entries[ek]
+	if e == nil {
+		e = &diskEntry{}
+		st.entries[ek] = e
+	}
+	e.pins++
+}
+
+// unpinCkpt releases one pinCkpt pin.
+func (st *diskStore) unpinCkpt(k cacheKey) {
+	ek := ckptEntryKey(k)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.entries[ek]; e != nil {
+		e.pins--
+		if e.pins <= 0 && e.size == 0 && e.readers <= 0 {
+			delete(st.entries, ek)
+		}
+	}
+}
+
+// removeCkpt deletes k's checkpoint file and its budget accounting —
+// the shard slots of a merged (or abandoned) sharded enumeration.
+func (st *diskStore) removeCkpt(k cacheKey) {
+	st.mu.Lock()
+	st.dropCkptLocked(k)
+	st.setGauge()
+	st.mu.Unlock()
+	os.Remove(st.ckptPath(k))
+}
+
+// dropCkptLocked removes k's checkpoint mirror from the accounting
+// (not the file). Callers hold st.mu.
+func (st *diskStore) dropCkptLocked(k cacheKey) {
+	ek := ckptEntryKey(k)
+	if e := st.entries[ek]; e != nil {
+		st.total -= e.size
+		e.size = 0
+		if e.pins <= 0 && e.readers <= 0 {
+			delete(st.entries, ek)
+		}
+	}
 }
 
 // keys lists the complete cache entries on disk.
@@ -450,6 +569,13 @@ func (st *diskStore) keys() ([]cacheKey, error) {
 
 func hasSuffix(s, suffix string) bool {
 	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if !hasSuffix(s, suffix) {
+		return s, false
+	}
+	return s[:len(s)-len(suffix)], true
 }
 
 func syncDir(dir string) error {

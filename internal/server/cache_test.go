@@ -131,7 +131,9 @@ func TestDiskStorePinnedEntriesSurviveSweep(t *testing.T) {
 }
 
 // TestDiskStoreScanSeedsAccounting restarts the store over an existing
-// directory and checks the budget applies to inherited entries too.
+// directory and checks the budget applies to inherited entries too —
+// including leftover checkpoint slots, which a coordinator killed
+// mid-shard can strand and which must stay evictable once unpinned.
 func TestDiskStoreScanSeedsAccounting(t *testing.T) {
 	dir := t.TempDir()
 	st, err := newDiskStore(dir, 0, nil)
@@ -139,14 +141,15 @@ func TestDiskStoreScanSeedsAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	putSpaces(t, st, lruSrcs, []string{"clamp", "myabs", "neg"})
-	total := st.diskBytes()
 
-	// Checkpoint files are work state, not cache entries: outside the
-	// accounting and never swept.
-	ck := st.ckptPath(cacheKey(strings.Repeat("a", 64)))
-	if err := os.WriteFile(ck, []byte("checkpoint bytes"), 0o644); err != nil {
+	// Checkpoint slots written through the store (dist mirrors) are
+	// budgeted entries like any other; pins, not exemption, protect the
+	// ones in use.
+	ck := cacheKey(strings.Repeat("a", 64))
+	if err := st.writeCkpt(ck, []byte("checkpoint bytes")); err != nil {
 		t.Fatal(err)
 	}
+	total := st.diskBytes()
 
 	st2, err := newDiskStore(dir, 0, nil)
 	if err != nil {
@@ -162,17 +165,64 @@ func TestDiskStoreScanSeedsAccounting(t *testing.T) {
 	if got := st2.diskBytes(); got != 0 {
 		t.Fatalf("inherited entries not evictable: %d bytes left", got)
 	}
-	if _, err := os.Stat(ck); err != nil {
-		t.Fatalf("sweep touched a checkpoint file: %v", err)
+	if _, err := os.Stat(st2.ckptPath(ck)); !os.IsNotExist(err) {
+		t.Fatalf("inherited checkpoint slot survived a 1-byte budget (err=%v)", err)
 	}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, de := range des {
-		if name := de.Name(); hasSuffix(name, spaceSuffix) && !hasSuffix(name, ckptSuffix) {
-			t.Fatalf("space file %s survived a 1-byte budget", name)
+		if name := de.Name(); hasSuffix(name, spaceSuffix) {
+			t.Fatalf("file %s survived a 1-byte budget", name)
 		}
+	}
+}
+
+// TestDiskStorePinnedCkptMirrorsSurviveSweep pins the shard slots of an
+// in-flight sharded assignment the way the coordinator does and forces
+// a sweep under budget pressure: the pinned mirror must keep its file
+// (the sweeper may re-dispatch from it within a lease TTL) while the
+// unpinned mirror is evicted; releasing the pin makes the survivor an
+// ordinary victim again.
+func TestDiskStorePinnedCkptMirrorsSurviveSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newDiskStore(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cacheKey(strings.Repeat("b", 64))
+	pinned, victim := shardSlot(base, 0), shardSlot(base, 1)
+	st.pinCkpt(pinned)
+	for _, k := range []cacheKey{pinned, victim} {
+		if err := st.writeCkpt(k, []byte("shard checkpoint")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st.mu.Lock()
+	st.maxBytes = 1
+	st.sweepLocked("")
+	st.mu.Unlock()
+	if _, err := os.Stat(st.ckptPath(pinned)); err != nil {
+		t.Fatalf("pinned shard mirror evicted: %v", err)
+	}
+	if _, err := os.Stat(st.ckptPath(victim)); !os.IsNotExist(err) {
+		t.Fatalf("unpinned shard mirror survived a 1-byte budget (err=%v)", err)
+	}
+	if b, err := st.readCkpt(pinned); err != nil || string(b) != "shard checkpoint" {
+		t.Fatalf("pinned mirror unreadable mid-pin: %q, %v", b, err)
+	}
+
+	st.unpinCkpt(pinned)
+	st.mu.Lock()
+	st.sweepLocked("")
+	st.mu.Unlock()
+	if _, err := os.Stat(st.ckptPath(pinned)); !os.IsNotExist(err) {
+		t.Fatalf("released mirror not evicted by the next sweep (err=%v)", err)
+	}
+	if got := st.diskBytes(); got != 0 {
+		t.Fatalf("tracked bytes %d after full eviction, want 0", got)
 	}
 }
 

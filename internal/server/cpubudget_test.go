@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -85,5 +87,65 @@ func TestCPUBudgetCanceledWaiter(t *testing.T) {
 	// The pool must be whole again: a fresh acquire succeeds.
 	if g, _ := b.acquire(context.Background(), 1); g != 1 {
 		t.Fatalf("acquire after cancel+release = %d; want 1", g)
+	}
+}
+
+// TestCPUBudgetCancelReleaseHammer races acquire against cancellation
+// from every angle — contexts dead on arrival, contexts canceled while
+// the flight is blocked in acquire, and plain acquire/release churn —
+// and checks the two invariants the flight path depends on: a canceled
+// waiter that got nothing has nothing to return (release(0) is a
+// no-op, so tokens cannot leak), and server.cpu.inuse never dips below
+// zero (release would panic before letting it). Run under -race.
+func TestCPUBudgetCancelReleaseHammer(t *testing.T) {
+	b := newCPUBudget(3, telemetry.NewRegistry())
+
+	// Sample the in-use gauge concurrently with the churn; a negative
+	// reading means a release returned tokens nobody held.
+	var stop atomic.Bool
+	sampler := make(chan struct{})
+	go func() {
+		defer close(sampler)
+		for !stop.Load() {
+			if v := b.gInUse.Value(); v < 0 {
+				t.Errorf("server.cpu.inuse sampled at %d", v)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				switch (seed + i) % 3 {
+				case 0:
+					cancel() // dead on arrival; a free pool may still grant
+				case 1:
+					go cancel() // races the blocked wait
+				}
+				got, _ := b.acquire(ctx, 1+(seed+i)%4)
+				if got < 0 || got > 3 {
+					t.Errorf("acquire granted %d tokens from a pool of 3", got)
+				}
+				b.release(got)
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-sampler
+
+	// Every grant was returned: the next acquire drains the whole pool.
+	if g, _ := b.acquire(context.Background(), 3); g != 3 {
+		t.Fatalf("acquire after hammer = %d tokens; want the whole pool (3) — a grant leaked", g)
+	}
+	b.release(3)
+	if v := b.gInUse.Value(); v != 0 {
+		t.Fatalf("server.cpu.inuse = %d after full release; want 0", v)
 	}
 }

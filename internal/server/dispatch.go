@@ -46,11 +46,30 @@ type assignment struct {
 	fl  *flight
 	key cacheKey
 
+	// wopts is the wire options the assignment runs under. For a
+	// whole-space assignment it mirrors the flight's options; for a
+	// shard assignment Equiv is forced off (shards enumerate the
+	// default tier; the coordinator derives the equivalence space from
+	// the merged result).
+	wopts distcl.SearchOptions
+	// shard is this assignment's partition index, or -1 for a
+	// whole-space assignment. seed is the initial checkpoint document a
+	// first dispatch is seeded with (a shard's frontier partition);
+	// whole-space assignments have none.
+	shard int
+	seed  []byte
+
 	// All below guarded by dispatcher.mu.
 	state      string
 	worker     string // current lessee ("" while pending)
 	attempts   int    // dispatches so far
 	leaseUntil time.Time
+	// leaseGen increments on every dispatch. Heartbeat entries carrying
+	// an older generation are fenced off: a checkpoint upload that was
+	// in flight (queued, or crawling through an httpslow link) when the
+	// lease expired must not regress the watermark after a re-dispatch
+	// — even a re-dispatch to the same worker.
+	leaseGen int64
 
 	// ckpt is the latest validated checkpoint upload (serialized space
 	// v2) and ckptNodes its node count — the monotonicity watermark a
@@ -118,9 +137,22 @@ type dispatcher struct {
 	expiryVec    *telemetry.CounterVec
 	retryVec     *telemetry.CounterVec
 	recoverVec   *telemetry.CounterVec
+	staleVec     *telemetry.CounterVec
 	workerGauge  *telemetry.GaugeVec
 	inflight     *telemetry.Gauge
 	fallbacks    *telemetry.Counter
+
+	// Intra-space sharding counters: spaces split across the fleet,
+	// merges that reproduced the serial bytes, merges that failed
+	// verification, shard flights that fell back to the whole-space
+	// path, and warmups that completed before the frontier grew wide
+	// enough to split.
+	shardSplits      *telemetry.Counter
+	shardMerges      *telemetry.Counter
+	shardMergeFails  *telemetry.Counter
+	shardFallbacks   *telemetry.Counter
+	shardWarmupDone  *telemetry.Counter
+	shardAssignments *telemetry.Counter
 }
 
 func newDispatcher(s *Server) *dispatcher {
@@ -141,9 +173,17 @@ func newDispatcher(s *Server) *dispatcher {
 		expiryVec:    s.reg.CounterVec("dist.lease_expiries", "worker"),
 		retryVec:     s.reg.CounterVec("dist.retries", "worker"),
 		recoverVec:   s.reg.CounterVec("dist.recoveries", "worker"),
+		staleVec:     s.reg.CounterVec("dist.stale_uploads", "worker"),
 		workerGauge:  s.reg.GaugeVec("dist.workers", "state"),
 		inflight:     s.reg.Gauge("dist.assignments_inflight"),
 		fallbacks:    s.reg.Counter("dist.local_fallbacks"),
+
+		shardSplits:      s.reg.Counter("dist.shard.splits"),
+		shardMerges:      s.reg.Counter("dist.shard.merges"),
+		shardMergeFails:  s.reg.Counter("dist.shard.merge_failures"),
+		shardFallbacks:   s.reg.Counter("dist.shard.fallbacks"),
+		shardWarmupDone:  s.reg.Counter("dist.shard.warmup_completions"),
+		shardAssignments: s.reg.Counter("dist.shard.assignments"),
 	}
 	if d.leaseTTL <= 0 {
 		d.leaseTTL = 10 * time.Second
@@ -166,10 +206,14 @@ func (d *dispatcher) close() {
 }
 
 // ckptUpload is one heartbeat-borne checkpoint waiting for validation.
+// gen is the lease generation the upload arrived under; by the time
+// the validator gets to it the lease may have expired and the work
+// been re-dispatched, so acceptance re-checks it under the lock.
 type ckptUpload struct {
 	a        *assignment
 	workerID string
 	b64      string
+	gen      int64
 }
 
 // accepter validates uploaded checkpoints off the heartbeat path.
@@ -180,7 +224,7 @@ func (d *dispatcher) accepter() {
 		case <-d.stop:
 			return
 		case u := <-d.ckptq:
-			d.acceptCheckpoint(u.a, u.workerID, u.b64)
+			d.acceptCheckpoint(u.a, u.workerID, u.b64, u.gen)
 		}
 	}
 }
@@ -200,13 +244,10 @@ func (d *dispatcher) enumerate(fl *flight) (*search.Result, bool) {
 		d.mu.Unlock()
 		return nil, false
 	}
-	a := &assignment{
-		id:    "a" + strconv.FormatInt(d.nextAssign.Add(1), 10),
-		fl:    fl,
-		key:   fl.key,
-		state: statePending,
-		done:  make(chan struct{}),
-	}
+	a := d.newAssignment(fl, fl.key, distcl.SearchOptions{
+		Cap: fl.no.Cap, MaxNodes: fl.no.MaxNodes,
+		Check: fl.no.Check, Equiv: fl.no.Equiv,
+	}, -1, nil)
 	d.assignments[a.id] = a
 	d.mu.Unlock()
 
@@ -245,6 +286,22 @@ func (d *dispatcher) enumerate(fl *flight) (*search.Result, bool) {
 		d.s.logger.WarnContext(fl.ctx, "dist attempts exhausted, running locally",
 			"assignment_id", a.id, "flight_id", fl.id)
 		return nil, false
+	}
+}
+
+// newAssignment builds one assignment. Callers hold d.mu (the ID
+// counter is atomic, but the table insert is theirs to do under the
+// same critical section that checked fleet liveness).
+func (d *dispatcher) newAssignment(fl *flight, key cacheKey, wopts distcl.SearchOptions, shard int, seed []byte) *assignment {
+	return &assignment{
+		id:    "a" + strconv.FormatInt(d.nextAssign.Add(1), 10),
+		fl:    fl,
+		key:   key,
+		wopts: wopts,
+		shard: shard,
+		seed:  seed,
+		state: statePending,
+		done:  make(chan struct{}),
 	}
 }
 
@@ -535,8 +592,10 @@ func (d *dispatcher) dispatch(a *assignment, workerID string) (*distcl.Assignmen
 	a.state = stateAssigned
 	a.worker = workerID
 	a.attempts++
+	a.leaseGen++
 	a.leaseUntil = time.Now().Add(d.leaseTTL)
 	attempt := a.attempts
+	gen := a.leaseGen
 	seed := a.ckpt
 	if wk := d.workers[workerID]; wk != nil {
 		// If this worker just lost the lease on a, the expiry queued a
@@ -554,22 +613,34 @@ func (d *dispatcher) dispatch(a *assignment, workerID string) (*distcl.Assignmen
 	if seed == nil {
 		// A previous life of this key (pre-restart, or a local request
 		// that drained) may have left a checkpoint on disk; recover
-		// from it rather than re-enumerating.
+		// from it rather than re-enumerating. For a shard assignment
+		// the key is the shard's mirror slot, so a coordinator restart
+		// resumes the shard from its own last upload.
 		if b, err := d.s.store.readCkpt(a.key); err == nil {
 			seed = b
 		}
 	}
-	msg := &distcl.Assignment{
-		AssignmentID: a.id,
-		Key:          string(a.key),
-		Func:         a.fl.fn,
-		Options: distcl.SearchOptions{Cap: a.fl.no.Cap, MaxNodes: a.fl.no.MaxNodes,
-			Check: a.fl.no.Check, Equiv: a.fl.no.Equiv},
-		SearchTimeoutMillis: d.s.cfg.SearchTimeout.Milliseconds(),
+	// A disk seed that still equals the shard's primed starting document
+	// is a first dispatch, not a recovery; only bytes some worker
+	// actually uploaded count.
+	recovered := seed != nil && !bytes.Equal(seed, a.seed)
+	if seed == nil {
+		// First dispatch of a shard: seed with its frontier partition.
+		seed = a.seed
 	}
-	if seed != nil && !a.fl.no.Equiv {
+	msg := &distcl.Assignment{
+		AssignmentID:        a.id,
+		Key:                 string(a.key),
+		Func:                a.fl.fn,
+		Options:             a.wopts,
+		SearchTimeoutMillis: d.s.cfg.SearchTimeout.Milliseconds(),
+		LeaseGen:            gen,
+	}
+	if seed != nil && !a.wopts.Equiv {
 		msg.CheckpointB64 = base64.StdEncoding.EncodeToString(seed)
-		d.recoverVec.With(workerID).Inc()
+		if recovered {
+			d.recoverVec.With(workerID).Inc()
+		}
 	}
 	d.assignVec.With(workerID).Inc()
 	d.s.flights.add(flightRecord{Event: "dispatch", FlightID: a.fl.id,
@@ -607,10 +678,23 @@ func (s *Server) handleDistHeartbeat(w http.ResponseWriter, r *http.Request) {
 	type upload struct {
 		a   *assignment
 		b64 string
+		gen int64
 	}
 	var uploads []upload
+	var stale int
 	for _, ha := range req.Assignments {
 		a := d.assignments[ha.AssignmentID]
+		if a != nil && a.state == stateAssigned && a.worker == req.WorkerID &&
+			ha.LeaseGen != 0 && ha.LeaseGen != a.leaseGen {
+			// A report from an expired lease this worker once held on an
+			// assignment it now holds again under a newer lease: the
+			// whole entry is fenced off. Renewing from it would keep a
+			// zombie lease alive, its checkpoint could regress the
+			// watermark, and an abandon-by-ID would kill the *current*
+			// run of the same assignment on this very worker.
+			stale++
+			continue
+		}
 		if a == nil || a.state != stateAssigned || a.worker != req.WorkerID {
 			// Not this worker's to report anymore (reassigned after an
 			// expiry it outlived, or already finished): tell it to stop.
@@ -621,24 +705,27 @@ func (s *Server) handleDistHeartbeat(w http.ResponseWriter, r *http.Request) {
 		}
 		a.leaseUntil = now.Add(d.leaseTTL)
 		if ha.CheckpointB64 != "" {
-			uploads = append(uploads, upload{a, ha.CheckpointB64})
+			uploads = append(uploads, upload{a, ha.CheckpointB64, ha.LeaseGen})
 		}
 	}
 	drainReassign := req.Draining
 	d.mu.Unlock()
 
 	d.heartbeatVec.With(req.WorkerID).Inc()
+	if stale > 0 {
+		d.staleVec.With(req.WorkerID).Add(int64(stale))
+	}
 	for _, u := range uploads {
 		if drainReassign {
 			// Final checkpoints from a draining worker must land before
 			// the reassign below re-dispatches with a seed.
-			d.acceptCheckpoint(u.a, req.WorkerID, u.b64)
+			d.acceptCheckpoint(u.a, req.WorkerID, u.b64, u.gen)
 			continue
 		}
 		select {
-		case d.ckptq <- ckptUpload{u.a, req.WorkerID, u.b64}:
+		case d.ckptq <- ckptUpload{u.a, req.WorkerID, u.b64, u.gen}:
 		default:
-			d.acceptCheckpoint(u.a, req.WorkerID, u.b64)
+			d.acceptCheckpoint(u.a, req.WorkerID, u.b64, u.gen)
 		}
 	}
 	if drainReassign {
@@ -661,8 +748,13 @@ func (s *Server) handleDistHeartbeat(w http.ResponseWriter, r *http.Request) {
 // recovery point, mirrored into the disk store's checkpoint slot for
 // the key so a coordinator restart (or local fallback) resumes from it
 // too. Invalid uploads are dropped: the previous good checkpoint
-// stands, and a torn httpdrop upload can never poison recovery.
-func (d *dispatcher) acceptCheckpoint(a *assignment, workerID, b64 string) {
+// stands, and a torn httpdrop upload can never poison recovery. gen is
+// the lease generation the upload was reported under; anything but the
+// assignment's current generation is a fenced-off straggler (0 is the
+// legacy wildcard) — the state/worker re-check alone cannot catch a
+// queued upload that outlived an expiry and a re-dispatch to the same
+// worker.
+func (d *dispatcher) acceptCheckpoint(a *assignment, workerID, b64 string, gen int64) {
 	b, err := base64.StdEncoding.DecodeString(b64)
 	if err != nil {
 		d.s.logger.Warn("dist checkpoint undecodable", "assignment_id", a.id,
@@ -678,6 +770,12 @@ func (d *dispatcher) acceptCheckpoint(a *assignment, workerID, b64 string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if a.state != stateAssigned || a.worker != workerID {
+		return
+	}
+	if gen != 0 && gen != a.leaseGen {
+		d.staleVec.With(workerID).Inc()
+		d.s.logger.Warn("dist checkpoint from stale lease dropped", "assignment_id", a.id,
+			"worker_id", workerID, "upload_gen", gen, "lease_gen", a.leaseGen)
 		return
 	}
 	if res.FuncName != a.fl.fn.Name || len(res.Nodes) < a.ckptNodes {

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -64,6 +66,15 @@ func startWorker(t *testing.T, ts *httptest.Server, id string, transport http.Ro
 			t.Errorf("worker %s did not drain", id)
 		}
 	})
+}
+
+func mustB64(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func getJSON(t *testing.T, ts *httptest.Server, path string, out any) {
@@ -207,6 +218,173 @@ func TestLeaseExpiryRecoversOnSecondWorker(t *testing.T) {
 	}
 	if got := s.dist.completeVec.With("w2").Value(); got != 1 {
 		t.Fatalf(`dist.completions{worker="w2"} = %d, want 1`, got)
+	}
+}
+
+// TestStaleLeaseUploadFenced is the expired-lease upload race, played
+// out by hand so every step is deterministic: a worker holds a lease,
+// uploads a checkpoint, loses the lease to the sweeper, wins the SAME
+// assignment back under a new generation — and then its original
+// upload, which had been crawling through an httpslow link the whole
+// time, finally arrives carrying the old generation. The coordinator
+// must fence the straggler completely: no watermark regression, no
+// lease renewal, and no abandon echo (an abandon-by-ID would kill the
+// worker's current run of the very assignment it just re-won).
+func TestStaleLeaseUploadFenced(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DistLeaseTTL: 10 * time.Second, DistPollWait: 200 * time.Millisecond,
+	})
+	d := s.dist
+	ctx := context.Background()
+	cl := distcl.NewClient(distcl.Config{BaseURL: ts.URL, Timeout: 5 * time.Second})
+	// The straggler heartbeat travels the slow link that makes this race
+	// reachable in the wild.
+	slow := distcl.NewClient(distcl.Config{BaseURL: ts.URL, Timeout: 5 * time.Second,
+		Faults: faultinject.MustParse("httpslow=1:150ms")})
+
+	var reg distcl.RegisterResponse
+	if _, err := cl.Call(ctx, distcl.PathRegister, distcl.RegisterRequest{WorkerID: "w1"}, &reg); err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		status int
+		doc    map[string]any
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		st, doc, _ := post(t, ts, srcBody(sumSrc))
+		replies <- reply{st, doc}
+	}()
+
+	var asn distcl.Assignment
+	waitFor(t, "the flight's assignment", func() bool {
+		st, err := cl.Call(ctx, distcl.PathPoll, distcl.PollRequest{WorkerID: "w1"}, &asn)
+		return err == nil && st == http.StatusOK
+	})
+	if asn.LeaseGen != 1 {
+		t.Fatalf("first dispatch lease_gen = %d, want 1", asn.LeaseGen)
+	}
+
+	// Two genuine partial enumerations of the assigned function — the
+	// second one level deeper — so the deeper pause is the watermark the
+	// shallow straggler must not undo.
+	enc := func(r *search.Result) string {
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return base64.StdEncoding.EncodeToString(buf.Bytes())
+	}
+	fn := mustCompile(t, sumSrc, "sum")
+	small := search.Run(fn, search.Options{StopAtFrontier: 2})
+	if small.Checkpoint == nil {
+		t.Fatal("shallow enumeration did not pause")
+	}
+	prev, err := search.Load(bytes.NewReader(mustB64(t, enc(small))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := search.Resume(prev, search.Options{StopAtFrontier: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Checkpoint == nil || len(big.Nodes) <= len(small.Nodes) {
+		t.Fatalf("deeper pause did not grow (small %d nodes, big %d)", len(small.Nodes), len(big.Nodes))
+	}
+	hb := func(c *distcl.Client, gen int64, ckpt string) distcl.HeartbeatResponse {
+		var resp distcl.HeartbeatResponse
+		if _, err := c.Call(ctx, distcl.PathHeartbeat, distcl.HeartbeatRequest{
+			WorkerID: "w1",
+			Assignments: []distcl.HeartbeatAssignment{
+				{AssignmentID: asn.AssignmentID, CheckpointB64: ckpt, LeaseGen: gen},
+			},
+		}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	lookup := func() (int, time.Time) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		a := d.assignments[asn.AssignmentID]
+		if a == nil {
+			t.Fatal("assignment vanished")
+		}
+		return a.ckptNodes, a.leaseUntil
+	}
+
+	hb(cl, 1, enc(big))
+	waitFor(t, "the gen-1 upload to be accepted", func() bool {
+		nodes, _ := lookup()
+		return nodes == len(big.Nodes)
+	})
+
+	// The sweeper fires after the TTL: the lease expires and the work is
+	// re-queued.
+	d.sweep(time.Now().Add(15 * time.Second))
+	if got := d.expiryVec.With("w1").Value(); got != 1 {
+		t.Fatalf(`dist.lease_expiries{worker="w1"} = %d, want 1`, got)
+	}
+
+	// The same worker wins the assignment back under generation 2,
+	// seeded with its own last good checkpoint.
+	var asn2 distcl.Assignment
+	waitFor(t, "the re-dispatch", func() bool {
+		st, err := cl.Call(ctx, distcl.PathPoll, distcl.PollRequest{WorkerID: "w1"}, &asn2)
+		return err == nil && st == http.StatusOK
+	})
+	if asn2.AssignmentID != asn.AssignmentID || asn2.LeaseGen != 2 {
+		t.Fatalf("re-dispatch = %s gen %d, want %s gen 2", asn2.AssignmentID, asn2.LeaseGen, asn.AssignmentID)
+	}
+	if asn2.CheckpointB64 == "" {
+		t.Fatal("re-dispatch was not seeded with the accepted checkpoint")
+	}
+	_, leaseBefore := lookup()
+
+	// The straggler lands: generation 1, smaller checkpoint.
+	resp := hb(slow, 1, enc(small))
+	if len(resp.Abandon) != 0 {
+		t.Fatalf("stale entry echoed abandon %v — that would kill the new lease on this worker", resp.Abandon)
+	}
+	nodes, leaseAfter := lookup()
+	if nodes != len(big.Nodes) {
+		t.Fatalf("watermark regressed to %d nodes by a stale upload, want %d", nodes, len(big.Nodes))
+	}
+	if !leaseAfter.Equal(leaseBefore) {
+		t.Fatal("stale heartbeat entry renewed the lease")
+	}
+	if got := d.staleVec.With("w1").Value(); got < 1 {
+		t.Fatalf(`dist.stale_uploads{worker="w1"} = %d, want >= 1`, got)
+	}
+
+	// The current generation still reports normally.
+	hb(cl, 2, enc(big))
+	waitFor(t, "the gen-2 heartbeat to renew the lease", func() bool {
+		_, lu := lookup()
+		return lu.After(leaseBefore)
+	})
+
+	// And the gen-2 holder finishes the space; the client sees the
+	// single-node hash.
+	full := search.Run(fn, search.Options{})
+	hash, err := full.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cresp distcl.CompleteResponse
+	if _, err := cl.Call(ctx, distcl.PathComplete, distcl.CompleteRequest{
+		WorkerID: "w1", AssignmentID: asn.AssignmentID, Key: asn.Key,
+		SpaceHash: hash, SpaceB64: enc(full),
+	}, &cresp); err != nil {
+		t.Fatal(err)
+	}
+	if cresp.Status != "accepted" {
+		t.Fatalf("completion status %q, want accepted", cresp.Status)
+	}
+	r := <-replies
+	if r.status != http.StatusOK || r.doc["space_hash"] != hash {
+		t.Fatalf("flight answered %d %v, want 200 with hash %s", r.status, r.doc["space_hash"], hash)
 	}
 }
 

@@ -89,7 +89,10 @@ type Config struct {
 	// DiskMaxBytes bounds the disk cache: when the complete space
 	// entries exceed it, a put sweeps the least-recently-used entries
 	// (never one with in-flight readers) until the total fits again
-	// (0 = unbounded). Checkpoint files are outside the budget.
+	// (0 = unbounded). Checkpoint slots count against the budget too;
+	// the coordinator pins the slots of in-flight sharded assignments so
+	// a sweep can never evict a recovery point the sweeper may
+	// re-dispatch from.
 	DiskMaxBytes int64
 
 	// DistLeaseTTL is the distributed-assignment lease duration: a
@@ -104,6 +107,16 @@ type Config struct {
 	// on before the flight falls back to local enumeration, resuming
 	// from the last uploaded checkpoint (default 3).
 	DistMaxAttempts int
+	// ShardFanout, when >= 2, splits a single enumeration across the
+	// fleet: the coordinator runs the space locally until the frontier
+	// holds at least ShardFanout nodes, partitions that frontier into
+	// ShardFanout disjoint shard assignments, dispatches them through
+	// the lease protocol, and merges the completed sub-spaces back into
+	// the byte-identical serial result. Flights fall back to the
+	// whole-space dispatch (and from there to local enumeration)
+	// whenever a shard aborts, the fleet thins out, or the merge fails
+	// verification. 0 or 1 disables intra-space sharding.
+	ShardFanout int
 
 	// noObs builds the server without the observability middleware —
 	// the pre-plane configuration the overhead benchmark compares
@@ -700,12 +713,17 @@ func (s *Server) runFlight(fl *flight) {
 	}
 }
 
-// resolveFlight produces fl's space: offered to the worker fleet first
-// when one is registered, locally otherwise. The fallback composes
-// with recovery — a dispatch that exhausted its attempts has already
-// mirrored the fleet's last checkpoint into the disk slot the local
-// path resumes from, so no enumeration work is repeated either way.
+// resolveFlight produces fl's space: sharded across the fleet when
+// intra-space sharding is on and viable, offered whole to the fleet
+// when one is registered, locally otherwise. Each fallback composes
+// with recovery — a sharded attempt leaves its warmup checkpoint in
+// the key's disk slot and a dispatch that exhausted its attempts has
+// already mirrored the fleet's last checkpoint there, so the local
+// path resumes rather than restarts either way.
 func (s *Server) resolveFlight(fl *flight) (*search.Result, error) {
+	if res, handled := s.dist.shardEnumerate(fl); handled {
+		return s.finishFlight(fl, res)
+	}
 	if res, handled := s.dist.enumerate(fl); handled {
 		return s.finishFlight(fl, res)
 	}

@@ -1,0 +1,172 @@
+#!/bin/sh
+# shard_smoke.sh — intra-space sharding crash test.
+#
+# Starts a spaced coordinator with -shard-fanout 2 plus two fleet
+# workers, fires one enumeration so the coordinator warms the space up
+# locally, splits its frontier into two shard assignments, and runs
+# them on the fleet. Mid-space, whichever worker holds a shard lease is
+# SIGKILLed, and the script requires:
+#
+#   1. the space really was sharded (dist.shard.splits) and the dead
+#      holder's lease expired (dist.lease_expiries), re-dispatching
+#      only that shard,
+#   2. the merged space hashes byte-identical (spacedot -hash) to what
+#      a single-node cmd/explore run writes for the same function,
+#   3. a second, equivalence-tier request — derived from a fresh
+#      sharded merge — hashes identical to a single-node -equiv run,
+#   4. no merge ever failed verification, and the surviving worker and
+#      the coordinator drain cleanly on SIGTERM.
+#
+# CLUSTER_FAULTS, when set, is passed to both workers as their fault
+# plan. Keep it to network directives (httpdrop/httpslow): phase-level
+# faults are keyed by node sequence, which is shard-relative below the
+# partition frontier, so a deep phase fault can fire in one shard and
+# not another and the merge correctly refuses the inconsistent oracle
+# (see DESIGN.md §14).
+#
+# Needs curl and jq, like cluster-smoke.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+coord=""
+w1=""
+w2=""
+w3=""
+cleanup() {
+	for pid in $w1 $w2 $w3 $coord; do kill -9 "$pid" 2>/dev/null || true; done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "shard-smoke: $*" >&2
+	echo "--- coordinator log ---" >&2
+	cat "$tmp/coord.log" >&2 || true
+	echo "--- worker logs ---" >&2
+	cat "$tmp"/w?.log >&2 2>/dev/null || true
+	exit 1
+}
+
+stat_counter() { # stat_counter <series-name>
+	curl -fsS "http://$addr/v1/stats" | jq -r --arg k "$1" '.counters[$k] // 0'
+}
+
+"$GO" build -o "$tmp/explore" ./cmd/explore
+"$GO" build -o "$tmp/spacedot" ./cmd/spacedot
+"$GO" build -o "$tmp/spaced" ./cmd/spaced
+
+# Single-node references, one per tier: the sharded answers must hash
+# identically.
+mkdir -p "$tmp/ref" "$tmp/refeq"
+"$tmp/explore" -bench sha -func sha_transform -save "$tmp/ref" >/dev/null
+want=$("$tmp/spacedot" -hash "$tmp/ref/sha.sha_transform.space.gz" | cut -d' ' -f1)
+"$tmp/explore" -bench sha -func sha_transform -equiv -save "$tmp/refeq" >/dev/null
+wanteq=$("$tmp/spacedot" -hash "$tmp/refeq/sha.sha_transform.space.gz" | cut -d' ' -f1)
+
+# Lease TTL 2s (not cluster-smoke's 1s): a shard holder saturates its
+# CPUs mid-level, and on a loaded CI box a >1s heartbeat-scheduling
+# hiccup would expire a healthy survivor's lease. -deadline stretches
+# the request budget for the same reason — the recovery path replays
+# the dead holder's shard from its last uploaded checkpoint.
+REPRO_FAULTS= "$tmp/spaced" -addr 127.0.0.1:0 -cache "$tmp/cache" \
+	-ready-file "$tmp/addr" -shard-fanout 2 -lease-ttl 2s -poll-wait 250ms \
+	-dispatch-attempts 5 -deadline 240s -metrics "$tmp/coord.metrics.json" \
+	-log json 2>"$tmp/coord.log" &
+coord=$!
+for _ in $(seq 1 100); do [ -s "$tmp/addr" ] && break; sleep 0.1; done
+[ -s "$tmp/addr" ] || fail "coordinator never became ready"
+addr=$(head -n1 "$tmp/addr")
+
+start_worker() { # start_worker <id>  (sets wpid)
+	# -search-workers 2 keeps the two workers from oversubscribing the
+	# box (each would otherwise claim every CPU), which starves their
+	# own heartbeat loops and fakes lease expiries.
+	REPRO_FAULTS= "$tmp/spaced" -worker -join "http://$addr" \
+		-worker-id "$1" -workers 1 -search-workers 2 -scratch "$tmp/$1" \
+		${CLUSTER_FAULTS:+-faults "$CLUSTER_FAULTS"} \
+		-log json >/dev/null 2>"$tmp/$1.log" &
+	wpid=$!
+}
+start_worker w1; w1=$wpid
+start_worker w2; w2=$wpid
+for _ in $(seq 1 100); do
+	[ "$(curl -fsS "http://$addr/v1/stats" | jq -r '.fleet.workers_live // 0')" = 2 ] && break
+	sleep 0.1
+done
+[ "$(curl -fsS "http://$addr/v1/stats" | jq -r '.fleet.workers_live // 0')" = 2 ] \
+	|| fail "two workers never registered"
+
+curl -fsS -d '{"bench":"sha","func":"sha_transform"}' \
+	"http://$addr/v1/enumerate" -o "$tmp/r1.json" &
+req=$!
+
+# Wait for the split, find a shard holder, give it a heartbeat or two
+# to upload shard progress, then kill it without a goodbye.
+victim=""
+for _ in $(seq 1 200); do
+	[ "$(stat_counter 'dist.shard.splits')" -ge 1 ] || { sleep 0.05; continue; }
+	victim=$(curl -fsS "http://$addr/v1/stats" \
+		| jq -r '.fleet.workers[]? | select(.assignments > 0) | .id' | head -n1)
+	[ -n "$victim" ] && break
+	sleep 0.05
+done
+[ -n "$victim" ] || fail "space never split into shard assignments"
+sleep 0.6
+if [ "$victim" = w1 ]; then vpid=$w1; survivor=w2; else vpid=$w2; survivor=w1; fi
+kill -9 "$vpid"
+echo "shard-smoke: SIGKILLed shard holder $victim mid-space"
+# A replacement joins so the dead holder's shard re-dispatches promptly
+# and the later equivalence-tier request still has a 2-worker fleet to
+# shard across.
+start_worker w3; w3=$wpid
+
+wait "$req" || fail "enumerate request failed"
+got=$(jq -r .space_hash "$tmp/r1.json")
+[ "$got" = "$want" ] || fail "sharded hash $got, single-node run wrote $want"
+
+splits=$(stat_counter "dist.shard.splits")
+[ "$splits" -ge 1 ] || fail "space was never sharded"
+merges=$(stat_counter "dist.shard.merges")
+[ "$merges" -ge 1 ] || fail "shards were never merged (local fallback answered?)"
+mergefails=$(stat_counter "dist.shard.merge_failures")
+[ "$mergefails" = 0 ] || fail "$mergefails shard merges failed verification"
+exp=$(stat_counter "dist.lease_expiries{worker=\"$victim\"}")
+[ "$exp" -ge 1 ] || fail "no lease expiry for $victim; kill landed after its shard completed?"
+
+# Byte identity of what the coordinator serves from its cache.
+key=$(jq -r .key "$tmp/r1.json")
+curl -fsS "http://$addr/v1/space/$key" -o "$tmp/served.space.gz"
+served=$("$tmp/spacedot" -hash "$tmp/served.space.gz" | cut -d' ' -f1)
+[ "$served" = "$want" ] || fail "served space hashes $served, want $want"
+
+# Equivalence tier: sharded default-tier enumeration + derivation must
+# match a direct single-node -equiv run bit for bit.
+curl -fsS -d '{"bench":"sha","func":"sha_transform","options":{"equiv":true}}' \
+	"http://$addr/v1/enumerate" -o "$tmp/r2.json" || fail "equiv enumerate request failed"
+goteq=$(jq -r .space_hash "$tmp/r2.json")
+[ "$goteq" = "$wanteq" ] || fail "sharded equiv hash $goteq, single-node -equiv run wrote $wanteq"
+merges=$(stat_counter "dist.shard.merges")
+[ "$merges" -ge 2 ] || fail "equiv flight was not answered by a sharded merge (merges=$merges)"
+mergefails=$(stat_counter "dist.shard.merge_failures")
+[ "$mergefails" = 0 ] || fail "$mergefails shard merges failed verification after the equiv flight"
+
+# Clean drains: surviving workers first, then the coordinator.
+if [ "$survivor" = w1 ]; then spid=$w1; else spid=$w2; fi
+kill -TERM "$spid" "$w3"
+wait "$spid" || fail "surviving worker did not drain cleanly"
+wait "$w3" || fail "replacement worker did not drain cleanly"
+w1=""; w2=""; w3=""
+kill -9 "$vpid" 2>/dev/null || true
+kill -TERM "$coord"
+wait "$coord" || fail "coordinator did not drain cleanly"
+coord=""
+
+# The coordinator's exit snapshot must surface the shard series through
+# phasestats -from-metrics (the fleet operator's offline view).
+"$GO" run ./cmd/phasestats -from-metrics "$tmp/coord.metrics.json" \
+	-require dist.shard.splits,dist.shard.merges,dist.assignments \
+	>"$tmp/phasestats.txt" || fail "phasestats -from-metrics rejected the coordinator snapshot"
+grep -q 'dist:   shards:' "$tmp/phasestats.txt" \
+	|| fail "phasestats -from-metrics printed no dist.shard series"
+echo "shard-smoke: $victim killed mid-shard, $survivor absorbed it, both tiers hash-identical ($want / $wanteq)"
